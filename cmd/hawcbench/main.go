@@ -1,0 +1,204 @@
+// Command hawcbench regenerates the paper's tables and figures on the
+// simulated substrate.
+//
+// Usage:
+//
+//	hawcbench -exp table1,table5 -preset standard
+//	hawcbench -exp all -preset quick
+//
+// Experiments: table1 table2 table3 table4 table5 table6 fig4 fig6 fig8
+// (combined 8a+8b; fig8a/fig8b run the individual variants) fig9 fig10
+// fig11, or "all". Presets: quick, standard, full.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hawccc/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hawcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (table1..table6, fig4, fig6, fig8a, fig8b, fig9, fig10, fig11, all)")
+	preset := flag.String("preset", "standard", "dataset/training scale: quick, standard, full")
+	seed := flag.Int64("seed", 0, "override the preset's random seed")
+	pnEpochs := flag.Int("pn-epochs", 0, "override the preset's PointNet training epochs")
+	hawcEpochs := flag.Int("hawc-epochs", 0, "override the preset's HAWC training epochs")
+	verbose := flag.Bool("v", true, "print progress")
+	flag.Parse()
+
+	var cfg experiments.Config
+	switch *preset {
+	case "quick":
+		cfg = experiments.Quick()
+	case "standard":
+		cfg = experiments.Standard()
+	case "full":
+		cfg = experiments.Full()
+	default:
+		return fmt.Errorf("unknown preset %q", *preset)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *pnEpochs > 0 {
+		cfg.PointNetEpochs = *pnEpochs
+	}
+	if *hawcEpochs > 0 {
+		cfg.HAWCEpochs = *hawcEpochs
+	}
+
+	lab := experiments.NewLab(cfg)
+	if *verbose {
+		lab.Log = os.Stderr
+	}
+
+	wanted := map[string]bool{}
+	for _, id := range strings.Split(*expFlag, ",") {
+		wanted[strings.TrimSpace(strings.ToLower(id))] = true
+	}
+	all := wanted["all"]
+	runIt := func(id string) bool { return all || wanted[id] }
+
+	start := time.Now()
+	header := func(title string) {
+		fmt.Printf("\n================ %s ================\n", title)
+	}
+
+	if runIt("table1") {
+		header("Table I — single-person detection accuracy")
+		fmt.Print(experiments.FormatTableI(experiments.TableI(lab)))
+	}
+	if runIt("table2") {
+		header("Table II — edge inference time (device model)")
+		fmt.Print(experiments.FormatTableII(experiments.TableII(lab)))
+	}
+	if runIt("table3") {
+		header("Table III — up-sampling ablation")
+		fmt.Print(experiments.FormatTableIII(experiments.TableIII(lab)))
+	}
+	if runIt("table4") {
+		header("Table IV — clustering ablation")
+		fmt.Print(experiments.FormatTableIV(experiments.TableIV(lab)))
+	}
+	if runIt("table5") {
+		header("Table V — crowd counting accuracy & speed")
+		fmt.Print(experiments.FormatTableV(experiments.TableV(lab)))
+	}
+	if runIt("table6") {
+		header("Table VI — scalability (synthetic high density)")
+		fmt.Print(experiments.FormatTableVI(experiments.TableVI(lab)))
+	}
+	if runIt("fig4") {
+		header("Figure 4 — adaptive ε diagnostics")
+		r := experiments.Figure4(lab)
+		fmt.Printf("sample capture: %d points, elbow at index %d → ε = %.4f\n",
+			len(r.Curve), r.ElbowIndex, r.ElbowEps)
+		fmt.Printf("optimal ε over dataset: min %.4f, max %.4f, mode ≈ %.3f\n",
+			r.EpsMin, r.EpsMax, r.EpsMode)
+		fmt.Println("ε histogram:")
+		fmt.Print(experiments.FormatHistogramASCII(r.EpsHistogram, 40))
+	}
+	if runIt("fig6") {
+		header("Figure 6 — Human vs Object coordinate histograms")
+		r := experiments.Figure6(lab)
+		for axis, name := range []string{"x", "y", "z"} {
+			fmt.Printf("--- %s axis, Human ---\n%s", name, experiments.FormatHistogramASCII(r.Human[axis], 30))
+			fmt.Printf("--- %s axis, Object ---\n%s", name, experiments.FormatHistogramASCII(r.Object[axis], 30))
+		}
+	}
+	if runIt("fig8") {
+		header("Figure 8 — training curves (a) and data efficiency (b)")
+		fractions := []float64{1.0, 0.1, 0.01, 0.001}
+		r := experiments.Figure8(lab, fractions)
+		fmt.Println("(a) test accuracy per epoch:")
+		for _, c := range r.Curves {
+			fmt.Printf("%-12s", c.Model)
+			for _, a := range c.Acc {
+				fmt.Printf(" %.3f", a)
+			}
+			fmt.Println()
+		}
+		fmt.Println("(b) accuracy vs training fraction:")
+		fmt.Printf("%-12s", "fraction")
+		for _, f := range fractions {
+			fmt.Printf(" %8.3f%%", f*100)
+		}
+		fmt.Println()
+		for _, fr := range r.Fractions {
+			fmt.Printf("%-12s", fr.Model)
+			for _, a := range fr.Acc {
+				fmt.Printf(" %9.3f", a)
+			}
+			fmt.Println()
+		}
+	}
+	if wanted["fig8a"] { // explicit only; "all" runs the combined fig8
+		header("Figure 8a — test accuracy per training epoch")
+		for _, r := range experiments.Figure8a(lab) {
+			fmt.Printf("%-12s", r.Model)
+			for _, a := range r.Acc {
+				fmt.Printf(" %.3f", a)
+			}
+			fmt.Println()
+		}
+	}
+	if wanted["fig8b"] { // explicit only; "all" runs the combined fig8
+		header("Figure 8b — accuracy vs training-data fraction")
+		fmt.Printf("%-12s", "fraction")
+		for _, f := range experiments.Figure8bFractions {
+			fmt.Printf(" %8.3f%%", f*100)
+		}
+		fmt.Println()
+		for _, r := range experiments.Figure8b(lab) {
+			fmt.Printf("%-12s", r.Model)
+			for _, a := range r.Acc {
+				fmt.Printf(" %9.3f", a)
+			}
+			fmt.Println()
+		}
+	}
+	if runIt("fig9") {
+		header("Figure 9 — projection ablation")
+		fmt.Printf("%-6s %10s %8s %8s\n", "Proj", "Acc(%)", "MAE", "MSE")
+		for _, r := range experiments.Figure9(lab) {
+			fmt.Printf("%-6s %10.2f %8.2f %8.2f\n", r.Projection, r.Acc*100, r.MAE, r.MSE)
+		}
+	}
+	if runIt("fig10") {
+		header("Figure 10 — pole temperature analysis")
+		r := experiments.Figure10()
+		fmt.Printf("readings: %d over %d days\n", len(r.Readings), len(r.DailyMax))
+		fmt.Printf("pole temperature: max %.2f°C  min %.2f°C  mean %.2f°C\n",
+			r.Stats.Max, r.Stats.Min, r.Stats.Mean)
+		fmt.Printf("pole−weather delta: %.1f°C at peak, %.1f°C in cool hours\n",
+			r.Stats.PeakDelta, r.Stats.CoolDelta)
+		fmt.Printf("hours above the Coral's 50°C rating: %.1f\n", r.Stats.HoursAboveRated)
+		fmt.Print("daily maxima:")
+		for _, m := range r.DailyMax {
+			fmt.Printf(" %.1f", m)
+		}
+		fmt.Println()
+	}
+	if runIt("fig11") {
+		header("Figure 11 — density level visualization")
+		for _, r := range experiments.Figure11(lab) {
+			fmt.Printf("--- %d pedestrians: %d points ---\n", r.Pedestrians, r.Points)
+			fmt.Println("x-offset distribution:")
+			fmt.Print(experiments.FormatHistogramASCII(r.OffsetHistX, 30))
+		}
+	}
+
+	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Second))
+	return nil
+}

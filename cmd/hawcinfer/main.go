@@ -1,0 +1,98 @@
+// Command hawcinfer loads a model saved by hawctrain and counts people in
+// frames written by hawcgen, printing one line per frame.
+//
+//	hawcinfer -model model.hwcm -frames frames.hwcc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hawccc/internal/counting"
+	"hawccc/internal/dataset"
+	"hawccc/internal/models"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hawcinfer:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	modelPath := flag.String("model", "", "model file written by hawctrain (required)")
+	framesPath := flag.String("frames", "", "frames file written by hawcgen (required)")
+	quantize := flag.Bool("int8", false, "quantize the model before inference (calibrates on the model's object pool)")
+	flag.Parse()
+
+	if *modelPath == "" || *framesPath == "" {
+		return fmt.Errorf("-model and -frames are required")
+	}
+	h, err := models.LoadHAWCFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	frames, err := dataset.LoadFrames(*framesPath)
+	if err != nil {
+		return err
+	}
+	var clf models.Classifier = h
+	if *quantize {
+		calib := poolClouds(h)
+		if len(calib) > 100 {
+			calib = calib[:100]
+		}
+		q, err := h.Quantize(calib)
+		if err != nil {
+			return err
+		}
+		clf = q
+	}
+
+	p := counting.New(clf)
+	var pred, truth []float64
+	start := time.Now()
+	for i, f := range frames {
+		r := p.Count(f.Cloud)
+		pred = append(pred, float64(r.Count))
+		truth = append(truth, float64(f.Count))
+		fmt.Printf("frame %3d: %3d people (truth %3d) in %6.2f ms\n",
+			i, r.Count, f.Count, float64(r.Timing.Total().Microseconds())/1000)
+	}
+	elapsed := time.Since(start)
+	ev := evaluation(pred, truth)
+	fmt.Printf("\n%d frames in %v — MAE %.2f, MSE %.2f\n", len(frames), elapsed.Round(time.Millisecond), ev.mae, ev.mse)
+	return nil
+}
+
+func poolClouds(h *models.HAWC) []dataset.Sample {
+	// The saved model's pool doubles as a calibration source; clusters are
+	// what the classifier sees at inference time.
+	var out []dataset.Sample
+	for _, c := range h.PoolClouds() {
+		out = append(out, dataset.Sample{Cloud: c})
+	}
+	return out
+}
+
+type ev struct{ mae, mse float64 }
+
+func evaluation(pred, truth []float64) ev {
+	var sumAbs, sumSq float64
+	for i := range pred {
+		d := pred[i] - truth[i]
+		if d < 0 {
+			d = -d
+		}
+		sumAbs += d
+		sumSq += d * d
+	}
+	n := float64(len(pred))
+	if n == 0 {
+		return ev{}
+	}
+	return ev{mae: sumAbs / n, mse: sumSq / n}
+}

@@ -1,0 +1,84 @@
+// Command hawctrain trains a HAWC-CC counter and saves the full model
+// (weights, projector, up-sampling pool) for later inference.
+//
+//	hawctrain -data train.hwcc -epochs 30 -o model.hwcm
+//	hawctrain -generate 1200 -o model.hwcm       # synthesize data inline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"hawccc/internal/dataset"
+	"hawccc/internal/models"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hawctrain:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dataPath := flag.String("data", "", "classification dataset written by hawcgen (mutually exclusive with -generate)")
+	generate := flag.Int("generate", 0, "synthesize this many samples per class instead of loading")
+	epochs := flag.Int("epochs", 30, "training epochs")
+	seed := flag.Int64("seed", 1, "random seed")
+	holdout := flag.Float64("holdout", 0.2, "fraction held out for the accuracy report")
+	out := flag.String("o", "", "output model path (required)")
+	flag.Parse()
+
+	if *out == "" {
+		return fmt.Errorf("-o is required")
+	}
+	var samples []dataset.Sample
+	switch {
+	case *dataPath != "" && *generate > 0:
+		return fmt.Errorf("-data and -generate are mutually exclusive")
+	case *dataPath != "":
+		var err error
+		samples, err = dataset.LoadSamples(*dataPath)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded %d samples from %s\n", len(samples), *dataPath)
+	case *generate > 0:
+		fmt.Printf("generating %d samples per class...\n", *generate)
+		samples = dataset.NewGenerator(*seed).Classification(*generate)
+	default:
+		return fmt.Errorf("either -data or -generate is required")
+	}
+
+	split := dataset.TrainTestSplit(rand.New(rand.NewSource(*seed)), samples, 1-*holdout)
+	fmt.Printf("training HAWC on %d samples (%d epochs)...\n", len(split.Train), *epochs)
+	start := time.Now()
+	h := models.NewHAWC()
+	cfg := models.TrainConfig{Epochs: *epochs, Seed: *seed}
+	cfg.Progress = func(e int) {
+		if (e+1)%5 == 0 {
+			fmt.Printf("  epoch %d/%d\n", e+1, *epochs)
+		}
+	}
+	if err := h.Train(split.Train, cfg); err != nil {
+		return err
+	}
+	fmt.Printf("trained in %v\n", time.Since(start).Round(time.Second))
+
+	if len(split.Test) > 0 {
+		conf := models.Evaluate(h, split.Test)
+		fmt.Printf("holdout: %s\n", conf)
+	}
+	if err := models.SaveHAWCFile(*out, h); err != nil {
+		return err
+	}
+	info, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("saved model to %s (%d bytes)\n", *out, info.Size())
+	return nil
+}

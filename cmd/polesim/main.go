@@ -1,0 +1,100 @@
+// Command polesim runs a multi-pole smart campus over loopback TCP: it
+// trains one HAWC model, starts the campus backend, and launches N pole
+// nodes that scan simulated walkways, count on the edge, and stream
+// reports and telemetry upstream (the Figure 1 deployment).
+//
+//	polesim -poles 3 -frames 10 -crowding-limit 8
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"hawccc/internal/backend"
+	"hawccc/internal/counting"
+	"hawccc/internal/dataset"
+	"hawccc/internal/models"
+	"hawccc/internal/pole"
+	"hawccc/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "polesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	poles := flag.Int("poles", 3, "number of pole nodes")
+	frames := flag.Int("frames", 8, "frames per pole")
+	maxPeople := flag.Int("max-people", 6, "maximum pedestrians per frame")
+	epochs := flag.Int("epochs", 10, "HAWC training epochs")
+	perClass := flag.Int("train", 250, "training samples per class")
+	crowding := flag.Int("crowding-limit", 6, "backend crowding alert threshold (0 = off)")
+	interval := flag.Duration("interval", 0, "pacing between frames (0 = as fast as possible)")
+	seed := flag.Int64("seed", 7, "random seed")
+	flag.Parse()
+
+	fmt.Printf("training HAWC on %d samples/class (%d epochs)...\n", *perClass, *epochs)
+	g := dataset.NewGenerator(*seed)
+	clf := models.NewHAWC()
+	if err := clf.Train(g.Classification(*perClass), models.TrainConfig{Epochs: *epochs, Seed: *seed}); err != nil {
+		return err
+	}
+
+	srv, err := backend.Listen(backend.Config{
+		Addr:          "127.0.0.1:0",
+		CrowdingLimit: *crowding,
+		OverheatLimit: 50,
+		Logf:          func(f string, a ...any) { fmt.Fprintf(os.Stderr, "[backend] "+f+"\n", a...) },
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Println("backend listening on", srv.Addr())
+
+	readings := telemetry.Simulate(telemetry.SummerConfig())
+	start := time.Now()
+	var wg sync.WaitGroup
+	for id := 1; id <= *poles; id++ {
+		poleFrames := g.CrowdFrames(*frames, 1, *maxPeople, 2)
+		node, err := pole.Dial(pole.Config{
+			PoleID:        uint32(id),
+			Location:      fmt.Sprintf("walkway-%d", id),
+			BackendAddr:   srv.Addr(),
+			Pipeline:      counting.New(clf),
+			Source:        &pole.SliceSource{Frames: poleFrames},
+			FrameInterval: *interval,
+			Telemetry:     readings[400*id:],
+			Logf:          func(f string, a ...any) { fmt.Fprintf(os.Stderr, "[pole] "+f+"\n", a...) },
+		})
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			n, err := node.Run(context.Background())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pole %d: %v\n", id, err)
+			}
+			fmt.Printf("pole %d done: %d frames, %d alerts received\n", id, n, len(node.Alerts()))
+		}(id)
+	}
+	wg.Wait()
+
+	fmt.Printf("\nall poles finished in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Println("campus snapshot:")
+	for _, p := range srv.Snapshot() {
+		fmt.Printf("  pole %d (%s): reports %d, last %d, peak %d, total %d, maxTemp %.1f°C\n",
+			p.PoleID, p.Location, p.Reports, p.LastCount, p.PeakCount, p.TotalCount, p.MaxTemp)
+	}
+	fmt.Printf("alerts: %d, campus count: %d\n", len(srv.Alerts()), srv.CampusCount())
+	return nil
+}

@@ -1,0 +1,39 @@
+// Limited-data: the Figure 8b scenario — how little labeled data does
+// HAWC actually need? The paper's standout robustness result is 90.29%
+// accuracy from just 0.1% of the training data. This example retrains
+// HAWC on shrinking subsets and prints the degradation curve.
+//
+//	go run ./examples/limited-data
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hawccc"
+	"hawccc/internal/dataset"
+)
+
+func main() {
+	fmt.Println("generating data...")
+	all := hawccc.GenerateTrainingData(5, 400)
+	split := dataset.TrainTestSplit(rand.New(rand.NewSource(2)), all, 0.8)
+	rng := rand.New(rand.NewSource(3))
+
+	fmt.Println("training on shrinking subsets:")
+	for _, frac := range []float64{1.0, 0.25, 0.05, 0.01} {
+		sub := dataset.Subset(rng, split.Train, frac)
+		opts := hawccc.DefaultTrainOptions()
+		opts.Epochs = 12
+		counter, err := hawccc.Train(sub, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc, p, r, f1 := counter.EvaluateClassifier(split.Test)
+		fmt.Printf("  %6.1f%% of data (%4d samples): acc %.2f%%  P %.2f  R %.2f  F1 %.2f\n",
+			frac*100, len(sub), acc*100, p, r, f1)
+	}
+	fmt.Println("\nHAWC's height-aware projections keep the task learnable even from")
+	fmt.Println("a few dozen samples — the property Figure 8b quantifies.")
+}

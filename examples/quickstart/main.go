@@ -1,0 +1,57 @@
+// Quickstart: train a HAWC-CC counter on simulated campus data and count
+// the people in a handful of LiDAR frames.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hawccc"
+)
+
+func main() {
+	// 1. Synthesize training data: single-person and object captures from
+	//    the built-in walkway simulator (stands in for the paper's pole
+	//    deployment captures).
+	fmt.Println("generating training data...")
+	train := hawccc.GenerateTrainingData(1, 300)
+
+	// 2. Train the Height-Aware Human Classifier and assemble the
+	//    counting pipeline (ground filter → adaptive DBSCAN → HAWC).
+	fmt.Println("training HAWC (this takes a minute on one core)...")
+	opts := hawccc.DefaultTrainOptions()
+	opts.Epochs = 12
+	opts.Progress = func(epoch int) { fmt.Printf("  epoch %d done\n", epoch+1) }
+	counter, err := hawccc.Train(train, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Count people in fresh frames.
+	frames := hawccc.GenerateFrames(99, 5, 1, 5)
+	fmt.Println("\ncounting:")
+	for i, f := range frames {
+		r := counter.Count(f.Cloud)
+		fmt.Printf("  frame %d: predicted %d people (truth %d) — %d clusters, %.1f ms\n",
+			i, r.Count, f.Count, r.Clusters,
+			float64(r.Latency.Total().Microseconds())/1000)
+	}
+
+	// 4. Quantize to int8 for edge deployment and compare.
+	counterQ, err := counter.Quantize(train[:100])
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := counter.Evaluate(frames)
+	if err != nil {
+		log.Fatal(err)
+	}
+	evQ, err := counterQ.Evaluate(frames)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfp32: MAE %.2f  MSE %.2f\nint8: MAE %.2f  MSE %.2f\n",
+		ev.MAE, ev.MSE, evQ.MAE, evQ.MSE)
+}

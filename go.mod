@@ -1,0 +1,3 @@
+module hawccc
+
+go 1.22

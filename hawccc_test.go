@@ -1,0 +1,108 @@
+package hawccc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// trainSmall builds a small counter shared across tests.
+func trainSmall(t *testing.T) (*Counter, []Sample) {
+	t.Helper()
+	train := GenerateTrainingData(1, 120)
+	opts := DefaultTrainOptions()
+	opts.Epochs = 6
+	c, err := Train(train, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, train
+}
+
+func TestTrainAndCount(t *testing.T) {
+	c, _ := trainSmall(t)
+	frames := GenerateFrames(2, 4, 1, 3)
+	for i, f := range frames {
+		r := c.Count(f.Cloud)
+		if r.Count < 0 || r.Count > f.Count+4 {
+			t.Errorf("frame %d: count %d vs truth %d", i, r.Count, f.Count)
+		}
+		if r.Latency.Total() <= 0 {
+			t.Error("no latency recorded")
+		}
+	}
+}
+
+func TestTrainProgressAndDefaults(t *testing.T) {
+	train := GenerateTrainingData(2, 60)
+	calls := 0
+	_, err := Train(train, TrainOptions{Epochs: 2, Progress: func(int) { calls++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Errorf("progress called %d times", calls)
+	}
+	if _, err := Train(nil, DefaultTrainOptions()); err == nil {
+		t.Error("empty training data accepted")
+	}
+}
+
+func TestQuantizeAndEvaluate(t *testing.T) {
+	c, train := trainSmall(t)
+	q, err := c.Quantize(train[:30])
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := GenerateFrames(3, 4, 1, 3)
+	ev, err := c.Evaluate(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evQ, err := q.Evaluate(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.MSE < ev.MAE-1e-9 || evQ.MSE < evQ.MAE-1e-9 {
+		t.Error("MSE must be at least MAE")
+	}
+	if _, err := c.Evaluate(nil); err == nil {
+		t.Error("empty frames accepted")
+	}
+}
+
+func TestClassifyClusterAndMetrics(t *testing.T) {
+	c, train := trainSmall(t)
+	// Classifier metrics on the training data must beat chance clearly.
+	acc, p, r, f1 := c.EvaluateClassifier(train)
+	if acc < 0.6 {
+		t.Errorf("train accuracy %.3f", acc)
+	}
+	if p < 0 || p > 1 || r < 0 || r > 1 || f1 < 0 || f1 > 1 {
+		t.Error("metrics out of range")
+	}
+	_ = c.ClassifyCluster(train[0].Cloud)
+}
+
+func TestSaveWeights(t *testing.T) {
+	c, _ := trainSmall(t)
+	var buf bytes.Buffer
+	if err := c.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("no weights written")
+	}
+}
+
+func TestROIAndHelpers(t *testing.T) {
+	xMin, xMax, yMin, yMax := ROI()
+	if xMin != 12 || xMax != 35 || yMin != -2.5 || yMax != 2.5 {
+		t.Errorf("ROI = %v %v %v %v", xMin, xMax, yMin, yMax)
+	}
+	if p := P(1, 2, 3); p.X != 1 || p.Y != 2 || p.Z != 3 {
+		t.Error("P constructor")
+	}
+	if got := CountingAccuracy([]float64{244.1, 255.9}, []float64{250, 250}); got < 0.97 || got > 0.98 {
+		t.Errorf("CountingAccuracy = %v", got)
+	}
+}

@@ -1,0 +1,255 @@
+// Package backend implements the private campus cloud of Figure 1: a TCP
+// server that receives crowd-count reports and compartment telemetry from
+// the smart blue light poles, keeps per-pole aggregates, and raises alerts
+// on unusual crowding (the safety scenario the paper's introduction
+// motivates) and on compartment overheating (Section VII-D).
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"hawccc/internal/wire"
+)
+
+// Config parameterizes the backend.
+type Config struct {
+	// Addr is the listen address, e.g. "127.0.0.1:0".
+	Addr string
+	// CrowdingLimit raises AlertCrowding when a single report's count
+	// meets or exceeds it (0 disables).
+	CrowdingLimit int
+	// OverheatLimit raises AlertOverheat when a telemetry reading meets
+	// or exceeds it in °C (0 disables). The Coral Dev Board is rated to
+	// 50 °C.
+	OverheatLimit float64
+	// Logf, if non-nil, receives diagnostic output.
+	Logf func(format string, args ...any)
+}
+
+// PoleStats aggregates one pole's reports.
+type PoleStats struct {
+	PoleID     uint32
+	Location   string
+	Reports    int
+	LastCount  int
+	TotalCount int64
+	PeakCount  int
+	LastSeen   time.Time
+	LastTemp   float64
+	MaxTemp    float64
+	Alerts     int
+}
+
+// Server is the campus backend.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+
+	mu     sync.Mutex
+	poles  map[uint32]*PoleStats
+	alerts []wire.Alert
+
+	wg       sync.WaitGroup
+	shutdown context.CancelFunc
+	done     chan struct{}
+}
+
+// Listen starts the backend on cfg.Addr.
+func Listen(cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("backend: %w", err)
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		ln:       ln,
+		poles:    make(map[uint32]*PoleStats),
+		shutdown: cancel,
+		done:     make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop(ctx)
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes all connections, and waits for handler
+// goroutines to exit.
+func (s *Server) Close() error {
+	s.shutdown()
+	err := s.ln.Close()
+	s.wg.Wait()
+	close(s.done)
+	return err
+}
+
+func (s *Server) acceptLoop(ctx context.Context) {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			// Close the connection when either the handler finishes or
+			// the server shuts down.
+			stop := context.AfterFunc(ctx, func() { conn.Close() })
+			defer stop()
+			defer conn.Close()
+			if err := s.handle(conn); err != nil && !errors.Is(err, net.ErrClosed) {
+				s.cfg.Logf("backend: connection from %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) error {
+	wc := wire.NewConn(conn)
+	var poleID uint32
+	for {
+		t, body, err := wc.Recv()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		switch t {
+		case wire.MsgHello:
+			h, err := wire.DecodeHello(body)
+			if err != nil {
+				return err
+			}
+			poleID = h.PoleID
+			s.withPole(h.PoleID, func(p *PoleStats) {
+				p.Location = h.Location
+				p.LastSeen = time.Now()
+			})
+			s.cfg.Logf("backend: pole %d (%s) connected", h.PoleID, h.Location)
+		case wire.MsgCountReport:
+			r, err := wire.DecodeCountReport(body)
+			if err != nil {
+				return err
+			}
+			s.recordCount(r)
+			if err := wc.Send(wire.MsgAck, wire.EncodeAck(wire.Ack{Seq: r.Seq})); err != nil {
+				return err
+			}
+			if s.cfg.CrowdingLimit > 0 && int(r.Count) >= s.cfg.CrowdingLimit {
+				if err := s.alert(wc, wire.Alert{
+					PoleID:  r.PoleID,
+					Kind:    wire.AlertCrowding,
+					Message: fmt.Sprintf("count %d at pole %d exceeds limit %d", r.Count, r.PoleID, s.cfg.CrowdingLimit),
+				}); err != nil {
+					return err
+				}
+			}
+		case wire.MsgTelemetry:
+			tm, err := wire.DecodeTelemetry(body)
+			if err != nil {
+				return err
+			}
+			s.recordTelemetry(tm)
+			if s.cfg.OverheatLimit > 0 && tm.PoleTemp >= s.cfg.OverheatLimit {
+				if err := s.alert(wc, wire.Alert{
+					PoleID:  tm.PoleID,
+					Kind:    wire.AlertOverheat,
+					Message: fmt.Sprintf("pole %d compartment at %.1f°C exceeds rated %.1f°C", tm.PoleID, tm.PoleTemp, s.cfg.OverheatLimit),
+				}); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("backend: unexpected message type %d from pole %d", t, poleID)
+		}
+	}
+}
+
+func (s *Server) alert(wc *wire.Conn, a wire.Alert) error {
+	s.mu.Lock()
+	s.alerts = append(s.alerts, a)
+	if p, ok := s.poles[a.PoleID]; ok {
+		p.Alerts++
+	}
+	s.mu.Unlock()
+	s.cfg.Logf("backend: ALERT %s", a.Message)
+	return wc.Send(wire.MsgAlert, wire.EncodeAlert(a))
+}
+
+func (s *Server) withPole(id uint32, f func(*PoleStats)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.poles[id]
+	if !ok {
+		p = &PoleStats{PoleID: id}
+		s.poles[id] = p
+	}
+	f(p)
+}
+
+func (s *Server) recordCount(r wire.CountReport) {
+	s.withPole(r.PoleID, func(p *PoleStats) {
+		p.Reports++
+		p.LastCount = int(r.Count)
+		p.TotalCount += int64(r.Count)
+		if int(r.Count) > p.PeakCount {
+			p.PeakCount = int(r.Count)
+		}
+		p.LastSeen = time.Now()
+	})
+}
+
+func (s *Server) recordTelemetry(t wire.Telemetry) {
+	s.withPole(t.PoleID, func(p *PoleStats) {
+		p.LastTemp = t.PoleTemp
+		if t.PoleTemp > p.MaxTemp {
+			p.MaxTemp = t.PoleTemp
+		}
+		p.LastSeen = time.Now()
+	})
+}
+
+// Snapshot returns per-pole aggregates sorted by pole id.
+func (s *Server) Snapshot() []PoleStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]PoleStats, 0, len(s.poles))
+	for _, p := range s.poles {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PoleID < out[j].PoleID })
+	return out
+}
+
+// Alerts returns a copy of all raised alerts in order.
+func (s *Server) Alerts() []wire.Alert {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]wire.Alert(nil), s.alerts...)
+}
+
+// CampusCount returns the most recent total count across all poles.
+func (s *Server) CampusCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for _, p := range s.poles {
+		total += p.LastCount
+	}
+	return total
+}

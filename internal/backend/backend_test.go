@@ -1,0 +1,192 @@
+package backend
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"hawccc/internal/wire"
+)
+
+func dialBackend(t *testing.T, s *Server) *wire.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return wire.NewConn(conn)
+}
+
+func TestHelloAndCountAggregation(t *testing.T) {
+	s, err := Listen(Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c := dialBackend(t, s)
+	if err := c.Send(wire.MsgHello, wire.EncodeHello(wire.Hello{PoleID: 1, Location: "Palm Walk"})); err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		report := wire.CountReport{PoleID: 1, Seq: seq, Timestamp: time.Now(), Count: uint32(seq * 2)}
+		if err := c.Send(wire.MsgCountReport, wire.EncodeCountReport(report)); err != nil {
+			t.Fatal(err)
+		}
+		typ, body, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != wire.MsgAck {
+			t.Fatalf("expected ack, got type %d", typ)
+		}
+		ack, err := wire.DecodeAck(body)
+		if err != nil || ack.Seq != seq {
+			t.Fatalf("ack %+v err=%v", ack, err)
+		}
+	}
+
+	snap := s.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d poles", len(snap))
+	}
+	p := snap[0]
+	if p.Location != "Palm Walk" || p.Reports != 3 || p.LastCount != 6 || p.TotalCount != 12 || p.PeakCount != 6 {
+		t.Errorf("aggregates: %+v", p)
+	}
+	if s.CampusCount() != 6 {
+		t.Errorf("campus count = %d", s.CampusCount())
+	}
+}
+
+func TestCrowdingAlert(t *testing.T) {
+	s, err := Listen(Config{Addr: "127.0.0.1:0", CrowdingLimit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c := dialBackend(t, s)
+	report := wire.CountReport{PoleID: 2, Seq: 1, Count: 25}
+	if err := c.Send(wire.MsgCountReport, wire.EncodeCountReport(report)); err != nil {
+		t.Fatal(err)
+	}
+	// Ack then alert.
+	typ, _, err := c.Recv()
+	if err != nil || typ != wire.MsgAck {
+		t.Fatalf("expected ack: type=%d err=%v", typ, err)
+	}
+	typ, body, err := c.Recv()
+	if err != nil || typ != wire.MsgAlert {
+		t.Fatalf("expected alert: type=%d err=%v", typ, err)
+	}
+	alert, err := wire.DecodeAlert(body)
+	if err != nil || alert.Kind != wire.AlertCrowding {
+		t.Fatalf("alert %+v err=%v", alert, err)
+	}
+	if len(s.Alerts()) != 1 {
+		t.Errorf("server recorded %d alerts", len(s.Alerts()))
+	}
+}
+
+func TestOverheatAlert(t *testing.T) {
+	s, err := Listen(Config{Addr: "127.0.0.1:0", OverheatLimit: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c := dialBackend(t, s)
+	tm := wire.Telemetry{PoleID: 3, Timestamp: time.Now(), PoleTemp: 57.8, Ambient: 46}
+	if err := c.Send(wire.MsgTelemetry, wire.EncodeTelemetry(tm)); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := c.Recv()
+	if err != nil || typ != wire.MsgAlert {
+		t.Fatalf("expected alert: type=%d err=%v", typ, err)
+	}
+	alert, err := wire.DecodeAlert(body)
+	if err != nil || alert.Kind != wire.AlertOverheat {
+		t.Fatalf("alert %+v err=%v", alert, err)
+	}
+	snap := s.Snapshot()
+	if len(snap) != 1 || snap[0].MaxTemp < 57 {
+		t.Errorf("telemetry aggregates: %+v", snap)
+	}
+}
+
+func TestMultiplePoles(t *testing.T) {
+	s, err := Listen(Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	for id := uint32(1); id <= 3; id++ {
+		c := dialBackend(t, s)
+		if err := c.Send(wire.MsgHello, wire.EncodeHello(wire.Hello{PoleID: id, Location: "loc"})); err != nil {
+			t.Fatal(err)
+		}
+		report := wire.CountReport{PoleID: id, Seq: 1, Count: id * 10}
+		if err := c.Send(wire.MsgCountReport, wire.EncodeCountReport(report)); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := c.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := s.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("got %d poles", len(snap))
+	}
+	// Sorted by pole id.
+	for i, p := range snap {
+		if p.PoleID != uint32(i+1) {
+			t.Errorf("snapshot[%d].PoleID = %d", i, p.PoleID)
+		}
+	}
+	if s.CampusCount() != 60 {
+		t.Errorf("campus count = %d, want 60", s.CampusCount())
+	}
+}
+
+func TestCloseUnblocksHandlers(t *testing.T) {
+	s, err := Listen(Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Connection idle; Close must not hang waiting for it.
+	done := make(chan struct{})
+	go func() {
+		s.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung with an idle connection open")
+	}
+}
+
+func TestMalformedMessageDropsConnection(t *testing.T) {
+	s, err := Listen(Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c := dialBackend(t, s)
+	if err := c.Send(wire.MsgType(99), []byte("junk")); err != nil {
+		t.Fatal(err)
+	}
+	// The server drops the connection; the next read fails.
+	if _, _, err := c.Recv(); err == nil {
+		t.Error("expected dropped connection after malformed message")
+	}
+}

@@ -1,0 +1,329 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hawccc/internal/geom"
+)
+
+// blob generates n points normally distributed around center.
+func blob(rng *rand.Rand, center geom.Point3, std float64, n int) geom.Cloud {
+	c := make(geom.Cloud, n)
+	for i := range c {
+		c[i] = geom.P(
+			center.X+rng.NormFloat64()*std,
+			center.Y+rng.NormFloat64()*std,
+			center.Z+rng.NormFloat64()*std,
+		)
+	}
+	return c
+}
+
+// twoBlobScene builds two well-separated dense blobs plus sparse noise.
+func twoBlobScene(rng *rand.Rand) (cloud geom.Cloud, blobA, blobB int) {
+	a := blob(rng, geom.P(0, 0, 0), 0.05, 60)
+	b := blob(rng, geom.P(5, 0, 0), 0.05, 60)
+	cloud = append(cloud, a...)
+	cloud = append(cloud, b...)
+	for i := 0; i < 5; i++ { // far-flung noise points
+		cloud = append(cloud, geom.P(rng.Float64()*100+20, 50, 10))
+	}
+	return cloud, len(a), len(b)
+}
+
+func TestDBSCANTwoBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cloud, _, _ := twoBlobScene(rng)
+	res := DBSCAN(cloud, 0.3, 5)
+	if res.NumClusters != 2 {
+		t.Fatalf("NumClusters = %d, want 2", res.NumClusters)
+	}
+	if res.NoiseCount() != 5 {
+		t.Errorf("NoiseCount = %d, want 5", res.NoiseCount())
+	}
+	// All points of one blob must carry the same label.
+	first := res.Labels[0]
+	for i := 1; i < 60; i++ {
+		if res.Labels[i] != first {
+			t.Fatalf("blob A split: point %d has label %d, want %d", i, res.Labels[i], first)
+		}
+	}
+}
+
+func TestDBSCANEdgeCases(t *testing.T) {
+	if res := DBSCAN(nil, 0.5, 5); res.NumClusters != 0 || len(res.Labels) != 0 {
+		t.Error("empty cloud should yield empty result")
+	}
+	res := DBSCAN(geom.Cloud{geom.P(0, 0, 0)}, 0.5, 2)
+	if res.NumClusters != 0 || res.Labels[0] != Noise {
+		t.Error("single point below minPts should be noise")
+	}
+	res = DBSCAN(geom.Cloud{geom.P(0, 0, 0)}, 0.5, 1)
+	if res.NumClusters != 1 || res.Labels[0] != 0 {
+		t.Error("single point with minPts=1 should form a cluster")
+	}
+	if res := DBSCAN(geom.Cloud{geom.P(0, 0, 0)}, 0, 1); res.NumClusters != 0 {
+		t.Error("eps=0 should cluster nothing")
+	}
+	if res := DBSCAN(geom.Cloud{geom.P(0, 0, 0)}, 1, 0); res.NumClusters != 0 {
+		t.Error("minPts=0 should cluster nothing")
+	}
+}
+
+func TestDBSCANBorderPoints(t *testing.T) {
+	// A line of points spaced 0.9 apart with eps=1, minPts=3: ends are
+	// border points of the single chain cluster.
+	var cloud geom.Cloud
+	for i := 0; i < 10; i++ {
+		cloud = append(cloud, geom.P(float64(i)*0.9, 0, 0))
+	}
+	res := DBSCAN(cloud, 1.0, 3)
+	if res.NumClusters != 1 {
+		t.Fatalf("chain should form one cluster, got %d", res.NumClusters)
+	}
+	for i, l := range res.Labels {
+		if l != 0 {
+			t.Errorf("point %d label = %d, want 0", i, l)
+		}
+	}
+}
+
+func TestDBSCANLabelsPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(100)
+		cloud := blob(rng, geom.P(0, 0, 0), 1.0, n)
+		res := DBSCAN(cloud, 0.2+rng.Float64(), 1+rng.Intn(6))
+		// Every label must be Noise or in [0, NumClusters); every cluster
+		// id below NumClusters must be used.
+		used := make(map[int]bool)
+		for _, l := range res.Labels {
+			if l == Noise {
+				continue
+			}
+			if l < 0 || l >= res.NumClusters {
+				return false
+			}
+			used[l] = true
+		}
+		return len(used) == res.NumClusters
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClustersMaterialization(t *testing.T) {
+	cloud := geom.Cloud{geom.P(0, 0, 0), geom.P(0.1, 0, 0), geom.P(9, 9, 9)}
+	res := DBSCAN(cloud, 0.5, 2)
+	clusters := res.Clusters(cloud)
+	if len(clusters) != 1 {
+		t.Fatalf("clusters = %d, want 1", len(clusters))
+	}
+	if len(clusters[0]) != 2 {
+		t.Errorf("cluster size = %d, want 2", len(clusters[0]))
+	}
+}
+
+func TestClustersPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Result{Labels: []int{0}}.Clusters(geom.Cloud{})
+}
+
+func TestOptimalEpsilonSeparatesScales(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Dense blobs: intra-cluster 4-NN distances ≈ 0.02-0.08; separation 5 m.
+	cloud, _, _ := twoBlobScene(rng)
+	cfg := DefaultAdaptiveConfig()
+	eps := OptimalEpsilon(cloud, cfg)
+	if eps <= 0 || eps > 1.0 {
+		t.Errorf("ε = %v, want within (0, 1] for dense blobs", eps)
+	}
+	// Adaptive clustering with that ε must find the two blobs.
+	res := Adaptive(cloud, cfg)
+	if res.NumClusters != 2 {
+		t.Errorf("Adaptive found %d clusters, want 2 (ε=%v)", res.NumClusters, res.Epsilon)
+	}
+}
+
+func TestOptimalEpsilonFallbacks(t *testing.T) {
+	cfg := DefaultAdaptiveConfig()
+	if eps := OptimalEpsilon(nil, cfg); eps != cfg.FallbackEps {
+		t.Errorf("empty cloud ε = %v, want fallback", eps)
+	}
+	tiny := geom.Cloud{geom.P(0, 0, 0), geom.P(1, 1, 1)}
+	if eps := OptimalEpsilon(tiny, cfg); eps != cfg.FallbackEps {
+		t.Errorf("tiny cloud ε = %v, want fallback", eps)
+	}
+	bad := cfg
+	bad.K = 0
+	if eps := OptimalEpsilon(blob(rand.New(rand.NewSource(1)), geom.Point3{}, 1, 50), bad); eps != cfg.FallbackEps {
+		t.Errorf("K=0 ε = %v, want fallback", eps)
+	}
+}
+
+func TestOptimalEpsilonClamped(t *testing.T) {
+	// Uniformly scattered sparse points produce huge k-NN distances; MaxEps
+	// must clamp the elbow value.
+	rng := rand.New(rand.NewSource(9))
+	var cloud geom.Cloud
+	for i := 0; i < 30; i++ {
+		cloud = append(cloud, geom.P(rng.Float64()*500, rng.Float64()*500, rng.Float64()*500))
+	}
+	cfg := DefaultAdaptiveConfig()
+	eps := OptimalEpsilon(cloud, cfg)
+	if eps > cfg.MaxEps {
+		t.Errorf("ε = %v exceeds MaxEps %v", eps, cfg.MaxEps)
+	}
+}
+
+func TestHierarchicalConnectedComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cloud, _, _ := twoBlobScene(rng)
+	res := Hierarchical(cloud, 0.5)
+	// Two blobs plus 5 isolated noise points = 7 components (hierarchical
+	// has no noise concept: singletons are their own clusters — this is
+	// exactly why it over-counts in Table IV).
+	if res.NumClusters != 7 {
+		t.Errorf("NumClusters = %d, want 7", res.NumClusters)
+	}
+	if res.NoiseCount() != 0 {
+		t.Error("single-linkage cut should label everything")
+	}
+}
+
+func TestHierarchicalDegenerate(t *testing.T) {
+	if res := Hierarchical(nil, 1); res.NumClusters != 0 {
+		t.Error("empty cloud should have no clusters")
+	}
+	if res := Hierarchical(geom.Cloud{geom.P(0, 0, 0)}, 0); res.Labels[0] != Noise {
+		t.Error("cut=0 should label noise")
+	}
+}
+
+func TestHierarchicalKExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := blob(rng, geom.P(0, 0, 0), 0.05, 20)
+	b := blob(rng, geom.P(3, 0, 0), 0.05, 20)
+	c := blob(rng, geom.P(0, 3, 0), 0.05, 20)
+	cloud := append(append(a, b...), c...)
+	res := HierarchicalK(cloud, 3)
+	if res.NumClusters != 3 {
+		t.Fatalf("NumClusters = %d, want 3", res.NumClusters)
+	}
+	// Each blob must be uniform.
+	for blobIdx := 0; blobIdx < 3; blobIdx++ {
+		first := res.Labels[blobIdx*20]
+		for i := 0; i < 20; i++ {
+			if res.Labels[blobIdx*20+i] != first {
+				t.Fatalf("blob %d split", blobIdx)
+			}
+		}
+	}
+	if res := HierarchicalK(cloud, 100); res.NumClusters != len(cloud) {
+		t.Errorf("k>n should give n singletons, got %d", res.NumClusters)
+	}
+	if res := HierarchicalK(nil, 3); res.NumClusters != 0 {
+		t.Error("empty HierarchicalK should be empty")
+	}
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := blob(rng, geom.P(0, 0, 0), 0.1, 50)
+	b := blob(rng, geom.P(10, 0, 0), 0.1, 50)
+	cloud := append(a.Clone(), b...)
+	res := KMeans(cloud, 2, 20, rng)
+	if res.NumClusters != 2 {
+		t.Fatalf("NumClusters = %d", res.NumClusters)
+	}
+	// Blob A all same label, blob B all the other.
+	la, lb := res.Labels[0], res.Labels[50]
+	if la == lb {
+		t.Fatal("blobs merged")
+	}
+	for i := 0; i < 50; i++ {
+		if res.Labels[i] != la || res.Labels[50+i] != lb {
+			t.Fatal("blob assignment not uniform")
+		}
+	}
+}
+
+func TestKMeansDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if res := KMeans(nil, 3, 10, rng); res.NumClusters != 0 {
+		t.Error("empty kmeans")
+	}
+	// k > n clamps to n.
+	cloud := geom.Cloud{geom.P(0, 0, 0), geom.P(1, 1, 1)}
+	res := KMeans(cloud, 5, 10, rng)
+	if res.NumClusters != 2 {
+		t.Errorf("k>n should clamp, got %d", res.NumClusters)
+	}
+	// Identical points: must terminate and produce valid labels.
+	dup := geom.Cloud{geom.P(1, 1, 1), geom.P(1, 1, 1), geom.P(1, 1, 1)}
+	res = KMeans(dup, 2, 10, rng)
+	for _, l := range res.Labels {
+		if l < 0 || l >= res.NumClusters {
+			t.Error("invalid label for duplicate points")
+		}
+	}
+}
+
+func TestGMMSeparatesBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	a := blob(rng, geom.P(0, 0, 0), 0.1, 60)
+	b := blob(rng, geom.P(8, 0, 0), 0.1, 60)
+	cloud := append(a.Clone(), b...)
+	res := GMM(cloud, 2, 30, rng)
+	la, lb := res.Labels[0], res.Labels[60]
+	if la == lb {
+		t.Fatal("GMM merged well-separated blobs")
+	}
+	misassigned := 0
+	for i := 0; i < 60; i++ {
+		if res.Labels[i] != la {
+			misassigned++
+		}
+		if res.Labels[60+i] != lb {
+			misassigned++
+		}
+	}
+	if misassigned > 3 {
+		t.Errorf("GMM misassigned %d/120 points", misassigned)
+	}
+}
+
+func TestGMMDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if res := GMM(nil, 2, 5, rng); res.NumClusters != 0 {
+		t.Error("empty GMM")
+	}
+	dup := geom.Cloud{geom.P(1, 1, 1), geom.P(1, 1, 1)}
+	res := GMM(dup, 2, 5, rng)
+	for _, l := range res.Labels {
+		if l < 0 {
+			t.Error("GMM labeled noise on duplicates")
+		}
+	}
+}
+
+func TestFastFloor(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want int64
+	}{
+		{1.5, 1}, {-1.5, -2}, {0, 0}, {-0.0001, -1}, {2, 2}, {-3, -3},
+	}
+	for _, tt := range tests {
+		if got := fastFloor(tt.in); got != tt.want {
+			t.Errorf("fastFloor(%v) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+
+	"hawccc/internal/geom"
+)
+
+// GMM fits a k-component Gaussian mixture with diagonal covariances via
+// expectation-maximization and assigns each point to its most likely
+// component. Like k-means it is a parametric baseline from Section IV:
+// it imposes ellipsoidal clusters, which suits neither the banded LiDAR
+// returns on a body nor arbitrary-shaped background structure.
+func GMM(cloud geom.Cloud, k, maxIter int, rng *rand.Rand) Result {
+	n := len(cloud)
+	labels := make([]int, n)
+	if n == 0 || k < 1 {
+		for i := range labels {
+			labels[i] = Noise
+		}
+		return Result{Labels: labels}
+	}
+	if k > n {
+		k = n
+	}
+
+	// Initialize means with k-means++ seeding and unit-ish variances from
+	// the data spread.
+	means := seedPlusPlus(cloud, k, rng)
+	spread := cloud.Bounds().Size()
+	baseVar := math.Max(0.01, (spread.X*spread.X+spread.Y*spread.Y+spread.Z*spread.Z)/(9*float64(k)))
+	vars := make([]geom.Point3, k)
+	weights := make([]float64, k)
+	for c := range vars {
+		vars[c] = geom.P(baseVar, baseVar, baseVar)
+		weights[c] = 1 / float64(k)
+	}
+
+	resp := make([][]float64, n)
+	for i := range resp {
+		resp[i] = make([]float64, k)
+	}
+
+	const varFloor = 1e-6
+	for iter := 0; iter < maxIter; iter++ {
+		// E-step: responsibilities via log-sum-exp for stability.
+		for i, p := range cloud {
+			var maxLog float64 = math.Inf(-1)
+			logs := resp[i]
+			for c := 0; c < k; c++ {
+				logs[c] = math.Log(weights[c]+1e-300) + logGaussDiag(p, means[c], vars[c])
+				if logs[c] > maxLog {
+					maxLog = logs[c]
+				}
+			}
+			var sum float64
+			for c := 0; c < k; c++ {
+				logs[c] = math.Exp(logs[c] - maxLog)
+				sum += logs[c]
+			}
+			for c := 0; c < k; c++ {
+				logs[c] /= sum
+			}
+		}
+		// M-step.
+		for c := 0; c < k; c++ {
+			var nk float64
+			var mean geom.Point3
+			for i, p := range cloud {
+				r := resp[i][c]
+				nk += r
+				mean = mean.Add(p.Scale(r))
+			}
+			if nk < 1e-10 {
+				means[c] = cloud[rng.Intn(n)]
+				vars[c] = geom.P(baseVar, baseVar, baseVar)
+				weights[c] = 1e-6
+				continue
+			}
+			mean = mean.Scale(1 / nk)
+			var v geom.Point3
+			for i, p := range cloud {
+				r := resp[i][c]
+				d := p.Sub(mean)
+				v.X += r * d.X * d.X
+				v.Y += r * d.Y * d.Y
+				v.Z += r * d.Z * d.Z
+			}
+			v = v.Scale(1 / nk)
+			v.X = math.Max(v.X, varFloor)
+			v.Y = math.Max(v.Y, varFloor)
+			v.Z = math.Max(v.Z, varFloor)
+			means[c], vars[c], weights[c] = mean, v, nk/float64(n)
+		}
+	}
+
+	for i := range cloud {
+		best, bestR := 0, resp[i][0]
+		for c := 1; c < k; c++ {
+			if resp[i][c] > bestR {
+				best, bestR = c, resp[i][c]
+			}
+		}
+		labels[i] = best
+	}
+	return Result{Labels: labels, NumClusters: k}
+}
+
+// logGaussDiag returns the log density of p under a diagonal-covariance
+// Gaussian with the given mean and per-axis variances.
+func logGaussDiag(p, mean, variance geom.Point3) float64 {
+	const log2pi = 1.8378770664093453 // ln(2π)
+	d := p.Sub(mean)
+	return -0.5 * (3*log2pi +
+		math.Log(variance.X) + d.X*d.X/variance.X +
+		math.Log(variance.Y) + d.Y*d.Y/variance.Y +
+		math.Log(variance.Z) + d.Z*d.Z/variance.Z)
+}

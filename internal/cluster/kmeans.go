@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+
+	"hawccc/internal/geom"
+)
+
+// KMeans clusters the cloud into k clusters with Lloyd's algorithm and
+// k-means++ seeding. It is one of the parametric baselines Section IV
+// rejects: it assumes convex, similarly-sized clusters, which pedestrian
+// point clouds are not.
+//
+// rng drives the seeding; pass a deterministic source for reproducible
+// experiments. maxIter bounds Lloyd iterations (20 is plenty at this scale).
+func KMeans(cloud geom.Cloud, k int, maxIter int, rng *rand.Rand) Result {
+	n := len(cloud)
+	labels := make([]int, n)
+	if n == 0 || k < 1 {
+		for i := range labels {
+			labels[i] = Noise
+		}
+		return Result{Labels: labels}
+	}
+	if k > n {
+		k = n
+	}
+
+	centers := seedPlusPlus(cloud, k, rng)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		// Assign.
+		for i, p := range cloud {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centers {
+				if d := p.Dist2(ctr); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Update.
+		sums := make([]geom.Point3, k)
+		counts := make([]int, k)
+		for i, p := range cloud {
+			sums[labels[i]] = sums[labels[i]].Add(p)
+			counts[labels[i]]++
+		}
+		for c := range centers {
+			if counts[c] > 0 {
+				centers[c] = sums[c].Scale(1 / float64(counts[c]))
+			} else {
+				// Re-seed an empty cluster at a random point.
+				centers[c] = cloud[rng.Intn(n)]
+			}
+		}
+	}
+	return Result{Labels: labels, NumClusters: k}
+}
+
+// seedPlusPlus picks k initial centers with the k-means++ D² weighting.
+func seedPlusPlus(cloud geom.Cloud, k int, rng *rand.Rand) []geom.Point3 {
+	n := len(cloud)
+	centers := make([]geom.Point3, 0, k)
+	centers = append(centers, cloud[rng.Intn(n)])
+	d2 := make([]float64, n)
+	for len(centers) < k {
+		var total float64
+		last := centers[len(centers)-1]
+		for i, p := range cloud {
+			d := p.Dist2(last)
+			if len(centers) == 1 || d < d2[i] {
+				d2[i] = d
+			}
+			total += d2[i]
+		}
+		if total == 0 {
+			// All remaining points coincide with a center; duplicate one.
+			centers = append(centers, cloud[rng.Intn(n)])
+			continue
+		}
+		target := rng.Float64() * total
+		var acc float64
+		chosen := n - 1
+		for i, w := range d2 {
+			acc += w
+			if acc >= target {
+				chosen = i
+				break
+			}
+		}
+		centers = append(centers, cloud[chosen])
+	}
+	return centers
+}

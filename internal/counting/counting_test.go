@@ -1,0 +1,178 @@
+package counting
+
+import (
+	"testing"
+
+	"hawccc/internal/dataset"
+	"hawccc/internal/geom"
+	"hawccc/internal/models"
+)
+
+// heightStub classifies clusters by vertical extent: a cheap, training-free
+// stand-in for HAWC that is right often enough to exercise the pipeline.
+type heightStub struct{}
+
+var _ models.Classifier = heightStub{}
+
+func (heightStub) Name() string { return "HeightStub" }
+
+func (heightStub) PredictHuman(cloud geom.Cloud) bool {
+	extent := cloud.MaxZ() - cloud.MinZ()
+	return extent > 1.1 && extent < 2.3
+}
+
+func TestPipelineCountsSimpleFrames(t *testing.T) {
+	g := dataset.NewGenerator(1)
+	frames := g.CrowdFrames(6, 1, 3, 1)
+	p := New(heightStub{})
+	for i, f := range frames {
+		r := p.Count(f.Cloud)
+		if r.Clusters == 0 {
+			t.Errorf("frame %d: no clusters found", i)
+		}
+		// The stub is imperfect; counts must at least be in a sane band.
+		if r.Count < 0 || r.Count > f.Count+3 {
+			t.Errorf("frame %d: count %d vs truth %d", i, r.Count, f.Count)
+		}
+		if r.Timing.Total() <= 0 {
+			t.Errorf("frame %d: no timing recorded", i)
+		}
+	}
+}
+
+func TestPipelineNamesAndVariants(t *testing.T) {
+	p := New(heightStub{})
+	if p.Name() != "HeightStub-CC" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if p.Clusterer.Name() != "adaptive" {
+		t.Errorf("default clusterer = %q", p.Clusterer.Name())
+	}
+	fixed := FixedEpsClusterer{Eps: 0.5}
+	if fixed.Name() != "fixed-eps(0.5)" {
+		t.Errorf("fixed name = %q", fixed.Name())
+	}
+	h := HierarchicalClusterer{}
+	if h.Name() != "hierarchical" {
+		t.Errorf("hier name = %q", h.Name())
+	}
+}
+
+func TestClustererVariantsRun(t *testing.T) {
+	g := dataset.NewGenerator(2)
+	frames := g.CrowdFrames(2, 2, 2, 1)
+	clusterers := []Clusterer{
+		NewAdaptiveClusterer(),
+		FixedEpsClusterer{Eps: 0.3},
+		FixedEpsClusterer{Eps: 0.3, MinPts: 4},
+		HierarchicalClusterer{},
+		HierarchicalClusterer{CutDistance: 0.3},
+	}
+	for _, c := range clusterers {
+		p := New(heightStub{})
+		p.Clusterer = c
+		for _, f := range frames {
+			r := p.Count(f.Cloud)
+			if r.Count < 0 {
+				t.Errorf("%s: negative count", c.Name())
+			}
+		}
+	}
+}
+
+func TestHierarchicalOvercounts(t *testing.T) {
+	// The Table IV pathology: sub-body-scale single-linkage splits people
+	// into many clusters, drastically over-counting relative to adaptive.
+	g := dataset.NewGenerator(3)
+	frames := g.CrowdFrames(4, 3, 3, 0)
+
+	adaptive := New(acceptAll{})
+	hier := New(acceptAll{})
+	hier.Clusterer = HierarchicalClusterer{CutDistance: 0.08}
+
+	var adaptiveTotal, hierTotal int
+	for _, f := range frames {
+		adaptiveTotal += adaptive.Count(f.Cloud).Count
+		hierTotal += hier.Count(f.Cloud).Count
+	}
+	if hierTotal <= adaptiveTotal {
+		t.Errorf("hierarchical (%d) should over-count vs adaptive (%d)", hierTotal, adaptiveTotal)
+	}
+}
+
+// acceptAll classifies everything as human, isolating clustering behavior.
+type acceptAll struct{}
+
+var _ models.Classifier = acceptAll{}
+
+func (acceptAll) Name() string                 { return "AcceptAll" }
+func (acceptAll) PredictHuman(geom.Cloud) bool { return true }
+
+func TestEvaluate(t *testing.T) {
+	g := dataset.NewGenerator(4)
+	frames := g.CrowdFrames(5, 1, 3, 1)
+	p := New(heightStub{})
+	ev, err := Evaluate(p, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Predicted) != 5 || len(ev.Truth) != 5 {
+		t.Fatalf("evaluation sizes wrong: %d/%d", len(ev.Predicted), len(ev.Truth))
+	}
+	if ev.MSE < ev.MAE-1e-9 {
+		t.Errorf("MSE %v < MAE %v", ev.MSE, ev.MAE)
+	}
+	if ev.MeanLatency <= 0 {
+		t.Error("no latency recorded")
+	}
+	if _, err := Evaluate(p, nil); err == nil {
+		t.Error("empty frame set accepted")
+	}
+}
+
+func TestCountPanicsWithoutClassifier(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p := &Pipeline{Clusterer: NewAdaptiveClusterer()}
+	p.Count(geom.Cloud{geom.P(20, 0, -1)})
+}
+
+func TestMinClusterPointsFiltersSmallClusters(t *testing.T) {
+	// Two points near each other form a cluster below the minimum; the
+	// pipeline must skip it.
+	cloud := geom.Cloud{
+		geom.P(20, 0, -1), geom.P(20.05, 0, -1), geom.P(20, 0.05, -1),
+		geom.P(20.05, 0.05, -1), geom.P(20.02, 0.02, -1.05),
+	}
+	p := New(acceptAll{})
+	p.MinClusterPoints = 100
+	r := p.Count(cloud)
+	if r.Clusters != 0 || r.Count != 0 {
+		t.Errorf("small cluster not filtered: %+v", r)
+	}
+}
+
+func TestParametricClusterersRun(t *testing.T) {
+	g := dataset.NewGenerator(6)
+	frames := g.CrowdFrames(2, 2, 3, 1)
+	for _, c := range []Clusterer{
+		KMeansClusterer{Seed: 1},
+		KMeansClusterer{PointsPerCluster: 80, Seed: 1},
+		GMMClusterer{Seed: 1},
+	} {
+		p := New(acceptAll{})
+		p.Clusterer = c
+		for _, f := range frames {
+			r := p.Count(f.Cloud)
+			if r.Count < 0 {
+				t.Errorf("%s produced negative count", c.Name())
+			}
+		}
+		if c.Name() == "" {
+			t.Error("clusterer must have a name")
+		}
+	}
+}

@@ -1,0 +1,426 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"hawccc/internal/cluster"
+	"hawccc/internal/counting"
+	"hawccc/internal/dataset"
+	"hawccc/internal/geom"
+	"hawccc/internal/ground"
+	"hawccc/internal/kdtree"
+	"hawccc/internal/metrics"
+	"hawccc/internal/models"
+	"hawccc/internal/projection"
+	"hawccc/internal/telemetry"
+)
+
+// Figure4Result reproduces Figure 4: (a) the sorted k-NN distance curve of
+// one training capture with its elbow, and (b) the distribution of optimal
+// ε across the training set.
+type Figure4Result struct {
+	// Curve is the ascending 4-NN distance curve of the sample capture.
+	Curve []float64
+	// ElbowIndex and ElbowEps locate the knee on Curve.
+	ElbowIndex int
+	ElbowEps   float64
+	// EpsHistogram bins the per-capture optimal ε over the training set.
+	EpsHistogram geom.Histogram
+	// EpsMin, EpsMax, EpsMode summarize the observed range (the paper
+	// reports 0.04 … 9.06 with 0.08 predominating).
+	EpsMin, EpsMax, EpsMode float64
+}
+
+// Figure4 computes the adaptive-clustering diagnostics over the counting
+// frames (each ingested frame is one "capture").
+func Figure4(l *Lab) Figure4Result {
+	frames := l.Frames()
+	cfg := cluster.DefaultAdaptiveConfig()
+	var res Figure4Result
+
+	var allEps []float64
+	for i, f := range frames {
+		cloud := ingest(f.Cloud)
+		if len(cloud) < cfg.K+2 {
+			continue
+		}
+		eps := cluster.OptimalEpsilon(cloud, cfg)
+		allEps = append(allEps, eps)
+		if i == 0 {
+			res.Curve = knnCurve(cloud, cfg.K)
+			res.ElbowEps = eps
+			for j, d := range res.Curve {
+				if d >= eps {
+					res.ElbowIndex = j
+					break
+				}
+			}
+		}
+	}
+	sort.Float64s(allEps)
+	if len(allEps) > 0 {
+		res.EpsMin, res.EpsMax = allEps[0], allEps[len(allEps)-1]
+		res.EpsHistogram = geom.NewHistogram(allEps, 0, res.EpsMax*1.01, 20)
+		// Mode = densest bin center.
+		best := 0
+		for i, c := range res.EpsHistogram.Counts {
+			if c > res.EpsHistogram.Counts[best] {
+				best = i
+			}
+		}
+		res.EpsMode = res.EpsHistogram.Min + (float64(best)+0.5)*res.EpsHistogram.BinWidth()
+	}
+	return res
+}
+
+func knnCurve(cloud geom.Cloud, k int) []float64 {
+	tree := kdtree.New(cloud)
+	out := make([]float64, 0, len(cloud))
+	for _, p := range cloud {
+		nn := tree.KNN(p, k+1)
+		d2 := nn[len(nn)-1].Dist2
+		out = append(out, sqrt(d2))
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Figure6Result reproduces Figure 6: per-axis coordinate histograms of the
+// Human vs Object training data, exhibiting the distinct distributions
+// that justify noise-controlled up-sampling.
+type Figure6Result struct {
+	Human, Object [3]geom.Histogram // x, y, z
+}
+
+// Figure6 computes the histograms over the classification training set.
+func Figure6(l *Lab) Figure6Result {
+	var human, object geom.Cloud
+	for _, s := range l.Split().Train {
+		if s.Human {
+			human = append(human, s.Cloud...)
+		} else {
+			object = append(object, s.Cloud...)
+		}
+	}
+	var res Figure6Result
+	ranges := [3][2]float64{{12, 35}, {-2.5, 2.5}, {-3, 0}}
+	for axis := 0; axis < 3; axis++ {
+		res.Human[axis] = geom.NewHistogram(geom.AxisValues(human, axis), ranges[axis][0], ranges[axis][1], 30)
+		res.Object[axis] = geom.NewHistogram(geom.AxisValues(object, axis), ranges[axis][0], ranges[axis][1], 30)
+	}
+	return res
+}
+
+// Figure8aResult is the per-epoch test-accuracy curve of one model.
+type Figure8aResult struct {
+	Model string
+	Acc   []float64 // Acc[e] = test accuracy after epoch e
+}
+
+// Figure8a retraces the training curves of HAWC, PointNet, and the
+// AutoEncoder by re-training each with a per-epoch evaluation callback on
+// a bounded test subset.
+func Figure8a(l *Lab) []Figure8aResult {
+	split := l.Split()
+	test := split.Test
+	if len(test) > l.Cfg.CurveEvalSamples {
+		test = test[:l.Cfg.CurveEvalSamples]
+	}
+
+	var out []Figure8aResult
+	{
+		l.logf("Figure 8a: HAWC curve...")
+		h := models.NewHAWC()
+		r := Figure8aResult{Model: "HAWC"}
+		cfg := models.TrainConfig{Epochs: l.Cfg.HAWCEpochs, Seed: l.Cfg.Seed + 3}
+		cfg.Progress = func(int) { r.Acc = append(r.Acc, models.Evaluate(h, test).Accuracy()) }
+		mustTrain(h.Train(split.Train, cfg))
+		out = append(out, r)
+	}
+	{
+		l.logf("Figure 8a: PointNet curve...")
+		p := models.NewPointNet()
+		r := Figure8aResult{Model: "PointNet"}
+		cfg := models.TrainConfig{Epochs: l.Cfg.PointNetEpochs, Seed: l.Cfg.Seed + 4}
+		cfg.Progress = func(int) { r.Acc = append(r.Acc, models.Evaluate(p, test).Accuracy()) }
+		mustTrain(p.Train(split.Train, cfg))
+		out = append(out, r)
+	}
+	{
+		l.logf("Figure 8a: AutoEncoder curve...")
+		a := models.NewAutoEncoder()
+		r := Figure8aResult{Model: "AutoEncoder"}
+		cfg := models.TrainConfig{Epochs: l.Cfg.AEEpochs, Seed: l.Cfg.Seed + 5}
+		cfg.Progress = func(int) { r.Acc = append(r.Acc, models.Evaluate(a, test).Accuracy()) }
+		mustTrain(a.Train(split.Train, cfg))
+		out = append(out, r)
+	}
+	return out
+}
+
+// Figure8bResult is one model's accuracy across training-set fractions.
+type Figure8bResult struct {
+	Model     string
+	Fractions []float64
+	Acc       []float64
+}
+
+// Figure8bFractions are the training-data fractions evaluated (the paper
+// sweeps 100% down to 0.1%).
+var Figure8bFractions = []float64{1.0, 0.1, 0.01, 0.001}
+
+// Figure8b measures robustness to limited training data: each model is
+// retrained on shrinking class-balanced subsets.
+func Figure8b(l *Lab) []Figure8bResult {
+	split := l.Split()
+	rng := rand.New(rand.NewSource(l.Cfg.Seed + 7))
+
+	train := func(model string, frac float64, sub []dataset.Sample) float64 {
+		// The 100% fraction is exactly the lab's cached training run (same
+		// data, seed, and budget), so reuse it instead of retraining.
+		switch model {
+		case "HAWC":
+			if frac >= 1 {
+				return models.Evaluate(l.HAWC(), split.Test).Accuracy()
+			}
+			h := models.NewHAWC()
+			mustTrain(h.Train(sub, models.TrainConfig{Epochs: l.Cfg.HAWCEpochs, Seed: l.Cfg.Seed + 3}))
+			return models.Evaluate(h, split.Test).Accuracy()
+		case "PointNet":
+			if frac >= 1 {
+				return models.Evaluate(l.PointNet(), split.Test).Accuracy()
+			}
+			p := models.NewPointNet()
+			mustTrain(p.Train(sub, models.TrainConfig{Epochs: l.Cfg.PointNetEpochs, Seed: l.Cfg.Seed + 4}))
+			return models.Evaluate(p, split.Test).Accuracy()
+		default:
+			if frac >= 1 {
+				return models.Evaluate(l.AutoEncoder(), split.Test).Accuracy()
+			}
+			a := models.NewAutoEncoder()
+			mustTrain(a.Train(sub, models.TrainConfig{Epochs: l.Cfg.AEEpochs, Seed: l.Cfg.Seed + 5}))
+			return models.Evaluate(a, split.Test).Accuracy()
+		}
+	}
+
+	var out []Figure8bResult
+	for _, model := range []string{"HAWC", "PointNet", "AutoEncoder"} {
+		r := Figure8bResult{Model: model, Fractions: Figure8bFractions}
+		for _, frac := range Figure8bFractions {
+			l.logf("Figure 8b: %s at %.1f%% of training data...", model, frac*100)
+			sub := dataset.Subset(rng, split.Train, frac)
+			r.Acc = append(r.Acc, train(model, frac, sub))
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Figure9Result is one projection method's detection and counting
+// performance.
+type Figure9Result struct {
+	Projection string
+	Acc        float64
+	MAE, MSE   float64
+}
+
+// Figure9 reproduces the projection ablation: HAWC retrained with each of
+// HAP, TV, BEV, RV, DA; detection accuracy on the test split and counting
+// MAE/MSE through the full HAWC-CC pipeline.
+func Figure9(l *Lab) []Figure9Result {
+	split := l.Split()
+	frames := l.Frames()
+	var out []Figure9Result
+	for _, name := range []string{"HAP", "TV", "BEV", "RV", "DA"} {
+		l.logf("Figure 9: training HAWC with %s projection...", name)
+		proj, ok := projection.ByName(name)
+		if !ok {
+			panic("experiments: unknown projection " + name)
+		}
+		var clf *models.HAWC
+		if name == "HAP" {
+			clf = l.HAWC() // reuse the lab's trained model
+		} else {
+			clf = models.NewHAWC()
+			clf.Projector = proj
+			mustTrain(clf.Train(split.Train, models.TrainConfig{
+				Epochs: l.Cfg.HAWCEpochs, Seed: l.Cfg.Seed + 3,
+			}))
+		}
+		acc := models.Evaluate(clf, split.Test).Accuracy()
+		p := counting.New(clf)
+		ev, err := counting.Evaluate(p, frames)
+		mustTrain(err)
+		out = append(out, Figure9Result{Projection: name, Acc: acc, MAE: ev.MAE, MSE: ev.MSE})
+	}
+	return out
+}
+
+// Figure10Result reproduces the pole-temperature analysis.
+type Figure10Result struct {
+	Readings []telemetry.Reading
+	Stats    telemetry.Stats
+	DailyMax []float64
+}
+
+// Figure10 simulates the summer monitoring window and summarizes it the
+// way Section VII-D does.
+func Figure10() Figure10Result {
+	readings := telemetry.Simulate(telemetry.SummerConfig())
+	return Figure10Result{
+		Readings: readings,
+		Stats:    telemetry.Summarize(readings, 50),
+		DailyMax: telemetry.DailyMax(readings),
+	}
+}
+
+// Figure11Result describes the point clouds of one density level.
+type Figure11Result struct {
+	Pedestrians int
+	Points      int
+	// OffsetHistX/Y bin the per-person x/y offsets from the area center.
+	OffsetHistX, OffsetHistY geom.Histogram
+}
+
+// Figure11 visualizes (statistically) the synthetic density levels of the
+// scalability study: cloud sizes and offset distributions for 20, 100,
+// and 250 pedestrians.
+func Figure11(l *Lab) []Figure11Result {
+	split := l.Split()
+	var humanPool, objectPool []dataset.Sample
+	for _, s := range split.Train {
+		if s.Human {
+			humanPool = append(humanPool, s)
+		} else {
+			objectPool = append(objectPool, s)
+		}
+	}
+	rng := rand.New(rand.NewSource(l.Cfg.Seed + 8))
+	var out []Figure11Result
+	for _, n := range []int{20, 100, 250} {
+		f := dataset.HighDensityFrame(rng, humanPool, objectPool, n)
+		const centerX = 23.5
+		xs := geom.AxisValues(f.Cloud, 0)
+		for i := range xs {
+			xs[i] -= centerX
+		}
+		ys := geom.AxisValues(f.Cloud, 1)
+		out = append(out, Figure11Result{
+			Pedestrians: n,
+			Points:      len(f.Cloud),
+			OffsetHistX: geom.NewHistogram(xs, -6, 6, 24),
+			OffsetHistY: geom.NewHistogram(ys, -6, 6, 24),
+		})
+	}
+	return out
+}
+
+// FormatHistogramASCII renders a histogram as a horizontal bar chart for
+// terminal reports.
+func FormatHistogramASCII(h geom.Histogram, width int) string {
+	maxC := 0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC == 0 {
+		return "(empty)\n"
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		lo := h.Min + float64(i)*h.BinWidth()
+		bar := strings.Repeat("#", c*width/maxC)
+		fmt.Fprintf(&b, "%8.2f | %-*s %d\n", lo, width, bar, c)
+	}
+	return b.String()
+}
+
+// CountingAccuracy re-exports the metric for report rendering.
+func CountingAccuracy(pred, truth []float64) float64 {
+	return metrics.CountingAccuracy(pred, truth)
+}
+
+func ingest(cloud geom.Cloud) geom.Cloud {
+	return ground.Ingest(cloud, ground.DefaultROI())
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}
+
+// Figure8Result bundles Figure 8a and 8b from a single training sweep:
+// the 100%-fraction training run doubles as the source of the per-epoch
+// accuracy curve, so each model trains len(fractions) times instead of
+// len(fractions)+1.
+type Figure8Result struct {
+	Curves    []Figure8aResult
+	Fractions []Figure8bResult
+}
+
+// Figure8 runs the combined training-curve and data-efficiency experiment
+// with the given training fractions (the paper sweeps 100% → 0.1%).
+func Figure8(l *Lab, fractions []float64) Figure8Result {
+	split := l.Split()
+	test := split.Test
+	if len(test) > l.Cfg.CurveEvalSamples {
+		test = test[:l.Cfg.CurveEvalSamples]
+	}
+	rng := rand.New(rand.NewSource(l.Cfg.Seed + 7))
+
+	var res Figure8Result
+	type spec struct {
+		name   string
+		epochs int
+		build  func() interface {
+			Train([]dataset.Sample, models.TrainConfig) error
+		}
+	}
+	specs := []spec{
+		{"HAWC", l.Cfg.HAWCEpochs, func() interface {
+			Train([]dataset.Sample, models.TrainConfig) error
+		} {
+			return models.NewHAWC()
+		}},
+		{"PointNet", l.Cfg.PointNetEpochs, func() interface {
+			Train([]dataset.Sample, models.TrainConfig) error
+		} {
+			return models.NewPointNet()
+		}},
+		{"AutoEncoder", l.Cfg.AEEpochs, func() interface {
+			Train([]dataset.Sample, models.TrainConfig) error
+		} {
+			return models.NewAutoEncoder()
+		}},
+	}
+
+	for _, sp := range specs {
+		curve := Figure8aResult{Model: sp.name}
+		frac := Figure8bResult{Model: sp.name, Fractions: fractions}
+		for _, f := range fractions {
+			l.logf("Figure 8: %s at %.1f%% of training data...", sp.name, f*100)
+			sub := dataset.Subset(rng, split.Train, f)
+			m := sp.build()
+			cfg := models.TrainConfig{Epochs: sp.epochs, Seed: l.Cfg.Seed + 3}
+			if f >= 1 {
+				// The full-fraction run records the Figure 8a curve.
+				clf := m.(models.Classifier)
+				cfg.Progress = func(int) {
+					curve.Acc = append(curve.Acc, models.Evaluate(clf, test).Accuracy())
+				}
+			}
+			mustTrain(m.Train(sub, cfg))
+			frac.Acc = append(frac.Acc, models.Evaluate(m.(models.Classifier), split.Test).Accuracy())
+		}
+		res.Curves = append(res.Curves, curve)
+		res.Fractions = append(res.Fractions, frac)
+	}
+	return res
+}

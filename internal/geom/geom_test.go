@@ -1,0 +1,186 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point3{1, 2, 3}
+	q := Point3{4, -5, 6}
+
+	if got := p.Add(q); got != (Point3{5, -3, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point3{-3, 7, -3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point3{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 1*4+2*-5+3*6 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestDistMatchesDist2(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		// Constrain magnitudes to avoid overflow-driven false negatives.
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 1e6)
+		}
+		p := Point3{clamp(ax), clamp(ay), clamp(az)}
+		q := Point3{clamp(bx), clamp(by), clamp(bz)}
+		d := p.Dist(q)
+		return math.Abs(d*d-p.Dist2(q)) <= 1e-6*(1+p.Dist2(q))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoordPanicsOnBadAxis(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for axis 3")
+		}
+	}()
+	Point3{}.Coord(3)
+}
+
+func TestCentroid(t *testing.T) {
+	tests := []struct {
+		name  string
+		cloud Cloud
+		want  Point3
+	}{
+		{"empty", nil, Point3{}},
+		{"single", Cloud{{1, 2, 3}}, Point3{1, 2, 3}},
+		{"symmetric", Cloud{{-1, 0, 0}, {1, 0, 0}, {0, -2, 4}, {0, 2, -4}}, Point3{0, 0, 0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := tt.cloud.Centroid()
+			if !almostEqual(got.X, tt.want.X) || !almostEqual(got.Y, tt.want.Y) || !almostEqual(got.Z, tt.want.Z) {
+				t.Errorf("Centroid() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := Cloud{{1, 1, 1}}
+	d := c.Clone()
+	d[0] = Point3{9, 9, 9}
+	if c[0] != (Point3{1, 1, 1}) {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	c := Cloud{{1, 1, 1}, {2, 2, 2}}
+	c.Translate(Point3{1, -1, 0})
+	if c[0] != (Point3{2, 0, 1}) || c[1] != (Point3{3, 1, 2}) {
+		t.Errorf("Translate result %v", c)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	c := Cloud{{1, 5, -2}, {-3, 2, 7}, {0, 0, 0}}
+	b := c.Bounds()
+	if b.Min != (Point3{-3, 0, -2}) || b.Max != (Point3{1, 5, 7}) {
+		t.Errorf("Bounds = %+v", b)
+	}
+	if Cloud(nil).Bounds().IsEmpty() != true {
+		t.Error("empty cloud should produce empty box")
+	}
+}
+
+func TestBoxContainsAndExtend(t *testing.T) {
+	b := EmptyBox()
+	if !b.IsEmpty() {
+		t.Fatal("EmptyBox not empty")
+	}
+	b = b.Extend(Point3{1, 1, 1})
+	if b.IsEmpty() || !b.Contains(Point3{1, 1, 1}) {
+		t.Fatal("Extend failed to create degenerate box")
+	}
+	b = b.Extend(Point3{-1, 2, 0})
+	if !b.Contains(Point3{0, 1.5, 0.5}) {
+		t.Error("box should contain interior point")
+	}
+	if b.Contains(Point3{2, 0, 0}) {
+		t.Error("box should not contain exterior point")
+	}
+}
+
+func TestBoxUnion(t *testing.T) {
+	a := Box{Min: Point3{0, 0, 0}, Max: Point3{1, 1, 1}}
+	b := Box{Min: Point3{2, 2, 2}, Max: Point3{3, 3, 3}}
+	u := a.Union(b)
+	if u.Min != (Point3{0, 0, 0}) || u.Max != (Point3{3, 3, 3}) {
+		t.Errorf("Union = %+v", u)
+	}
+	if got := EmptyBox().Union(a); got != a {
+		t.Errorf("empty union a = %+v", got)
+	}
+	if got := a.Union(EmptyBox()); got != a {
+		t.Errorf("a union empty = %+v", got)
+	}
+}
+
+func TestBoxSizeAndCenter(t *testing.T) {
+	b := Box{Min: Point3{0, -2, 1}, Max: Point3{4, 2, 3}}
+	if b.Size() != (Point3{4, 4, 2}) {
+		t.Errorf("Size = %v", b.Size())
+	}
+	if b.Center() != (Point3{2, 0, 2}) {
+		t.Errorf("Center = %v", b.Center())
+	}
+	if EmptyBox().Size() != (Point3{}) {
+		t.Error("empty box size should be zero")
+	}
+}
+
+func TestBoxDist2ToPoint(t *testing.T) {
+	b := Box{Min: Point3{0, 0, 0}, Max: Point3{1, 1, 1}}
+	tests := []struct {
+		p    Point3
+		want float64
+	}{
+		{Point3{0.5, 0.5, 0.5}, 0}, // inside
+		{Point3{2, 0.5, 0.5}, 1},   // off one face
+		{Point3{2, 2, 0.5}, 2},     // off an edge
+		{Point3{2, 2, 2}, 3},       // off a corner
+		{Point3{-1, 0.5, 0.5}, 1},  // negative side
+		{Point3{1, 1, 1}, 0},       // on the boundary
+	}
+	for _, tt := range tests {
+		if got := b.Dist2ToPoint(tt.p); !almostEqual(got, tt.want) {
+			t.Errorf("Dist2ToPoint(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestFilterAndMinMaxZ(t *testing.T) {
+	c := Cloud{{0, 0, -3}, {0, 0, -1}, {0, 0, 2}}
+	kept := c.Filter(func(p Point3) bool { return p.Z >= -2.6 })
+	if len(kept) != 2 {
+		t.Fatalf("Filter kept %d points, want 2", len(kept))
+	}
+	if got := c.MinZ(); got != -3 {
+		t.Errorf("MinZ = %v", got)
+	}
+	if got := c.MaxZ(); got != 2 {
+		t.Errorf("MaxZ = %v", got)
+	}
+	if !math.IsInf(Cloud(nil).MinZ(), 1) || !math.IsInf(Cloud(nil).MaxZ(), -1) {
+		t.Error("empty cloud min/max should be ±Inf")
+	}
+}

@@ -1,0 +1,111 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// AxisValues extracts the axis-th coordinate of every point in the cloud.
+func AxisValues(c Cloud, axis int) []float64 {
+	out := make([]float64, len(c))
+	for i, p := range c {
+		out[i] = p.Coord(axis)
+	}
+	return out
+}
+
+// Histogram is a fixed-width binning of scalar values, used to reproduce
+// the paper's Figure 6 coordinate histograms.
+type Histogram struct {
+	Min, Max float64 // value range covered by the bins
+	Counts   []int   // Counts[i] covers [Min + i*w, Min + (i+1)*w)
+}
+
+// BinWidth returns the width of each bin.
+func (h Histogram) BinWidth() float64 {
+	if len(h.Counts) == 0 {
+		return 0
+	}
+	return (h.Max - h.Min) / float64(len(h.Counts))
+}
+
+// Total returns the total number of binned values.
+func (h Histogram) Total() int {
+	n := 0
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// NewHistogram bins values into bins equal-width buckets over [min, max].
+// Values outside the range are clamped into the first/last bin so the
+// histogram always accounts for every value.
+func NewHistogram(values []float64, min, max float64, bins int) Histogram {
+	h := Histogram{Min: min, Max: max, Counts: make([]int, bins)}
+	if bins == 0 || max <= min {
+		return h
+	}
+	w := (max - min) / float64(bins)
+	for _, v := range values {
+		i := int((v - min) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= bins {
+			i = bins - 1
+		}
+		h.Counts[i]++
+	}
+	return h
+}
+
+// Mean returns the arithmetic mean of values (0 for an empty slice).
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range values {
+		s += v
+	}
+	return s / float64(len(values))
+}
+
+// StdDev returns the population standard deviation of values.
+func StdDev(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	m := Mean(values)
+	var s float64
+	for _, v := range values {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(values)))
+}
+
+// Percentile returns the p-th percentile (0..100) of values using linear
+// interpolation between order statistics. It copies and sorts internally.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}

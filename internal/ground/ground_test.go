@@ -1,0 +1,78 @@
+package ground
+
+import (
+	"testing"
+
+	"hawccc/internal/geom"
+)
+
+func TestROIContains(t *testing.T) {
+	roi := DefaultROI()
+	tests := []struct {
+		name string
+		p    geom.Point3
+		want bool
+	}{
+		{"inside", geom.P(20, 0, -1.5), true},
+		{"too close", geom.P(11.9, 0, -1.5), false},
+		{"too far", geom.P(35.1, 0, -1.5), false},
+		{"off walkway", geom.P(20, 3, -1.5), false},
+		{"above sensor", geom.P(20, 0, 0.5), false},
+		{"below ground", geom.P(20, 0, -3.1), false},
+		{"boundary x", geom.P(12, 0, -1), true},
+		{"boundary z", geom.P(20, 0, 0), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := roi.Contains(tt.p); got != tt.want {
+				t.Errorf("Contains(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCrop(t *testing.T) {
+	roi := DefaultROI()
+	c := geom.Cloud{
+		geom.P(20, 0, -1), // kept
+		geom.P(5, 0, -1),  // too close
+		geom.P(40, 0, -1), // too far
+		geom.P(20, 4, -1), // off walkway
+	}
+	got := roi.Crop(c)
+	if len(got) != 1 || got[0] != geom.P(20, 0, -1) {
+		t.Errorf("Crop = %v", got)
+	}
+}
+
+func TestSegment(t *testing.T) {
+	c := geom.Cloud{
+		geom.P(20, 0, -2.7), // ground noise, removed
+		geom.P(20, 0, -2.6), // exactly at threshold, kept
+		geom.P(20, 0, -1.0), // torso height, kept
+	}
+	got := Segment(c, DefaultZMin)
+	if len(got) != 2 {
+		t.Fatalf("Segment kept %d points, want 2", len(got))
+	}
+	for _, p := range got {
+		if p.Z < DefaultZMin {
+			t.Errorf("kept below-threshold point %v", p)
+		}
+	}
+}
+
+func TestIngestChain(t *testing.T) {
+	c := geom.Cloud{
+		geom.P(20, 0, -2.8), // in ROI but ground noise
+		geom.P(20, 0, -1.2), // kept
+		geom.P(8, 0, -1.2),  // outside ROI
+	}
+	got := Ingest(c, DefaultROI())
+	if len(got) != 1 || got[0] != geom.P(20, 0, -1.2) {
+		t.Errorf("Ingest = %v", got)
+	}
+	if got := Ingest(nil, DefaultROI()); len(got) != 0 {
+		t.Error("empty ingest should be empty")
+	}
+}

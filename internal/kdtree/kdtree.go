@@ -1,0 +1,330 @@
+// Package kdtree implements a static 3-dimensional k-d tree over LiDAR
+// point clouds. HAWC-CC uses it in three places: the adaptive-clustering
+// k-nearest-neighbor distance curve (Section IV), DBSCAN's ε-range queries,
+// and the height-aware projection's per-point neighborhood height variance
+// (Section V).
+//
+// The tree is built once over an immutable cloud; queries are read-only and
+// safe for concurrent use.
+package kdtree
+
+import (
+	"sort"
+
+	"hawccc/internal/geom"
+)
+
+// Tree is a balanced, statically built 3D k-d tree. The zero value is an
+// empty tree for which every query returns no results; use New to build
+// one over a cloud.
+type Tree struct {
+	pts  geom.Cloud // points reordered into tree layout
+	idx  []int      // idx[i] is the original cloud index of pts[i]
+	axis []int8     // split axis per node, -1 for leaf slots
+}
+
+// New builds a k-d tree over cloud. The cloud is copied; later mutation of
+// the caller's slice does not affect the tree.
+func New(cloud geom.Cloud) *Tree {
+	t := &Tree{
+		pts:  cloud.Clone(),
+		idx:  make([]int, len(cloud)),
+		axis: make([]int8, len(cloud)),
+	}
+	for i := range t.idx {
+		t.idx[i] = i
+	}
+	t.build(0, len(t.pts), 0)
+	return t
+}
+
+// Len returns the number of points in the tree.
+func (t *Tree) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.pts)
+}
+
+// build recursively arranges pts[lo:hi] into k-d order: the median on the
+// widest-spread axis goes to the middle, smaller values left, larger right.
+func (t *Tree) build(lo, hi, depth int) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	if n == 1 {
+		t.axis[lo] = -1
+		return
+	}
+	ax := t.widestAxis(lo, hi)
+	mid := lo + n/2
+	t.selectMedian(lo, hi, mid, ax)
+	t.axis[mid] = int8(ax)
+	t.build(lo, mid, depth+1)
+	t.build(mid+1, hi, depth+1)
+}
+
+// widestAxis returns the axis with the largest coordinate spread in
+// pts[lo:hi]. Splitting on the widest axis keeps cells close to cubical,
+// which matters for the radius queries DBSCAN issues.
+func (t *Tree) widestAxis(lo, hi int) int {
+	b := geom.EmptyBox()
+	for i := lo; i < hi; i++ {
+		b = b.Extend(t.pts[i])
+	}
+	size := b.Size()
+	ax := 0
+	best := size.X
+	if size.Y > best {
+		ax, best = 1, size.Y
+	}
+	if size.Z > best {
+		ax = 2
+	}
+	return ax
+}
+
+// selectMedian partially sorts pts[lo:hi] so that the element at position
+// mid is the one that would be there under a full sort by the given axis
+// (quickselect with median-of-three pivoting).
+func (t *Tree) selectMedian(lo, hi, mid, ax int) {
+	for hi-lo > 1 {
+		p := t.medianOfThree(lo, hi, ax)
+		i, j := lo, hi-1
+		for i <= j {
+			for t.pts[i].Coord(ax) < p {
+				i++
+			}
+			for t.pts[j].Coord(ax) > p {
+				j--
+			}
+			if i <= j {
+				t.swap(i, j)
+				i++
+				j--
+			}
+		}
+		switch {
+		case mid <= j:
+			hi = j + 1
+		case mid >= i:
+			lo = i
+		default:
+			return
+		}
+	}
+}
+
+func (t *Tree) medianOfThree(lo, hi, ax int) float64 {
+	a := t.pts[lo].Coord(ax)
+	b := t.pts[lo+(hi-lo)/2].Coord(ax)
+	c := t.pts[hi-1].Coord(ax)
+	// Return the middle of a, b, c.
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+		if a > b {
+			b = a
+		}
+	}
+	return b
+}
+
+func (t *Tree) swap(i, j int) {
+	t.pts[i], t.pts[j] = t.pts[j], t.pts[i]
+	t.idx[i], t.idx[j] = t.idx[j], t.idx[i]
+}
+
+// Neighbor is a query result: the original cloud index of the point and its
+// squared distance from the query point.
+type Neighbor struct {
+	Index int
+	Dist2 float64
+}
+
+// KNN returns the k nearest neighbors of q in ascending distance order.
+// If the tree holds fewer than k points, all points are returned. The query
+// point itself is included if it is in the tree; callers that want strict
+// neighbors of an indexed point typically ask for k+1 and drop the first.
+func (t *Tree) KNN(q geom.Point3, k int) []Neighbor {
+	if t == nil || k <= 0 || len(t.pts) == 0 {
+		return nil
+	}
+	if k > len(t.pts) {
+		k = len(t.pts)
+	}
+	h := neighborHeap{max: k}
+	t.knn(0, len(t.pts), q, &h)
+	res := h.items
+	sort.Slice(res, func(i, j int) bool { return res[i].Dist2 < res[j].Dist2 })
+	return res
+}
+
+func (t *Tree) knn(lo, hi int, q geom.Point3, h *neighborHeap) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	if n == 1 {
+		h.offer(Neighbor{t.idx[lo], q.Dist2(t.pts[lo])})
+		return
+	}
+	mid := lo + n/2
+	ax := int(t.axis[mid])
+	h.offer(Neighbor{t.idx[mid], q.Dist2(t.pts[mid])})
+	delta := q.Coord(ax) - t.pts[mid].Coord(ax)
+	// Search the near side first, then the far side only if the splitting
+	// plane is closer than the current k-th best distance.
+	if delta < 0 {
+		t.knn(lo, mid, q, h)
+		if !h.full() || delta*delta < h.worst() {
+			t.knn(mid+1, hi, q, h)
+		}
+	} else {
+		t.knn(mid+1, hi, q, h)
+		if !h.full() || delta*delta < h.worst() {
+			t.knn(lo, mid, q, h)
+		}
+	}
+}
+
+// Radius returns the indices of all points within radius r of q
+// (inclusive). The result order is unspecified.
+func (t *Tree) Radius(q geom.Point3, r float64) []int {
+	if t == nil || len(t.pts) == 0 || r < 0 {
+		return nil
+	}
+	var out []int
+	t.radius(0, len(t.pts), q, r*r, &out)
+	return out
+}
+
+// RadiusCount returns the number of points within radius r of q without
+// allocating the result slice; DBSCAN's core-point test only needs counts.
+func (t *Tree) RadiusCount(q geom.Point3, r float64) int {
+	if t == nil || len(t.pts) == 0 || r < 0 {
+		return 0
+	}
+	return t.radiusCount(0, len(t.pts), q, r*r)
+}
+
+func (t *Tree) radius(lo, hi int, q geom.Point3, r2 float64, out *[]int) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	if n == 1 {
+		if q.Dist2(t.pts[lo]) <= r2 {
+			*out = append(*out, t.idx[lo])
+		}
+		return
+	}
+	mid := lo + n/2
+	ax := int(t.axis[mid])
+	if q.Dist2(t.pts[mid]) <= r2 {
+		*out = append(*out, t.idx[mid])
+	}
+	delta := q.Coord(ax) - t.pts[mid].Coord(ax)
+	if delta < 0 {
+		t.radius(lo, mid, q, r2, out)
+		if delta*delta <= r2 {
+			t.radius(mid+1, hi, q, r2, out)
+		}
+	} else {
+		t.radius(mid+1, hi, q, r2, out)
+		if delta*delta <= r2 {
+			t.radius(lo, mid, q, r2, out)
+		}
+	}
+}
+
+func (t *Tree) radiusCount(lo, hi int, q geom.Point3, r2 float64) int {
+	n := hi - lo
+	if n <= 0 {
+		return 0
+	}
+	if n == 1 {
+		if q.Dist2(t.pts[lo]) <= r2 {
+			return 1
+		}
+		return 0
+	}
+	mid := lo + n/2
+	ax := int(t.axis[mid])
+	count := 0
+	if q.Dist2(t.pts[mid]) <= r2 {
+		count++
+	}
+	delta := q.Coord(ax) - t.pts[mid].Coord(ax)
+	if delta < 0 {
+		count += t.radiusCount(lo, mid, q, r2)
+		if delta*delta <= r2 {
+			count += t.radiusCount(mid+1, hi, q, r2)
+		}
+	} else {
+		count += t.radiusCount(mid+1, hi, q, r2)
+		if delta*delta <= r2 {
+			count += t.radiusCount(lo, mid, q, r2)
+		}
+	}
+	return count
+}
+
+// neighborHeap is a bounded max-heap keyed on Dist2; it keeps the `max`
+// smallest candidates seen so far.
+type neighborHeap struct {
+	items []Neighbor
+	max   int
+}
+
+func (h *neighborHeap) full() bool { return len(h.items) >= h.max }
+
+// worst returns the largest retained distance; callers must ensure the heap
+// is non-empty (full() implies non-empty since max >= 1).
+func (h *neighborHeap) worst() float64 { return h.items[0].Dist2 }
+
+func (h *neighborHeap) offer(n Neighbor) {
+	if len(h.items) < h.max {
+		h.items = append(h.items, n)
+		h.up(len(h.items) - 1)
+		return
+	}
+	if n.Dist2 >= h.items[0].Dist2 {
+		return
+	}
+	h.items[0] = n
+	h.down(0)
+}
+
+func (h *neighborHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].Dist2 >= h.items[i].Dist2 {
+			return
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *neighborHeap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && h.items[l].Dist2 > h.items[largest].Dist2 {
+			largest = l
+		}
+		if r < n && h.items[r].Dist2 > h.items[largest].Dist2 {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h.items[i], h.items[largest] = h.items[largest], h.items[i]
+		i = largest
+	}
+}

@@ -1,0 +1,187 @@
+package kdtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hawccc/internal/geom"
+)
+
+func randomCloud(rng *rand.Rand, n int) geom.Cloud {
+	c := make(geom.Cloud, n)
+	for i := range c {
+		c[i] = geom.Point3{
+			X: rng.Float64()*40 - 5,
+			Y: rng.Float64()*10 - 5,
+			Z: rng.Float64()*3 - 3,
+		}
+	}
+	return c
+}
+
+// bruteKNN is the reference implementation the tree must agree with.
+func bruteKNN(c geom.Cloud, q geom.Point3, k int) []Neighbor {
+	ns := make([]Neighbor, len(c))
+	for i, p := range c {
+		ns[i] = Neighbor{i, q.Dist2(p)}
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i].Dist2 < ns[j].Dist2 })
+	if k > len(ns) {
+		k = len(ns)
+	}
+	return ns[:k]
+}
+
+func bruteRadius(c geom.Cloud, q geom.Point3, r float64) []int {
+	var out []int
+	for i, p := range c {
+		if q.Dist2(p) <= r*r {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(200)
+		c := randomCloud(rng, n)
+		tree := New(c)
+		for q := 0; q < 5; q++ {
+			query := geom.Point3{X: rng.Float64() * 40, Y: rng.Float64()*10 - 5, Z: -rng.Float64() * 3}
+			k := 1 + rng.Intn(10)
+			got := tree.KNN(query, k)
+			want := bruteKNN(c, query, k)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: got %d neighbors, want %d", trial, len(got), len(want))
+			}
+			for i := range got {
+				// Distances must match exactly (same arithmetic); indices may
+				// differ on ties, so compare distances.
+				if got[i].Dist2 != want[i].Dist2 {
+					t.Fatalf("trial %d neighbor %d: dist2 %v, want %v", trial, i, got[i].Dist2, want[i].Dist2)
+				}
+			}
+		}
+	}
+}
+
+func TestRadiusMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		c := randomCloud(rng, 1+rng.Intn(150))
+		tree := New(c)
+		query := c[rng.Intn(len(c))]
+		r := rng.Float64() * 2
+		got := tree.Radius(query, r)
+		want := bruteRadius(c, query, r)
+		sort.Ints(got)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: radius returned %d, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: index %d = %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+		if n := tree.RadiusCount(query, r); n != len(want) {
+			t.Fatalf("trial %d: RadiusCount = %d, want %d", trial, n, len(want))
+		}
+	}
+}
+
+func TestKNNProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomCloud(r, 1+r.Intn(80))
+		tree := New(c)
+		q := geom.Point3{X: r.Float64() * 30, Y: r.Float64()*6 - 3, Z: -r.Float64() * 3}
+		k := 1 + r.Intn(8)
+		res := tree.KNN(q, k)
+		// Results must be sorted ascending and no unreported point may be
+		// closer than the worst reported one.
+		for i := 1; i < len(res); i++ {
+			if res[i].Dist2 < res[i-1].Dist2 {
+				return false
+			}
+		}
+		if len(res) == 0 {
+			return len(c) == 0
+		}
+		worst := res[len(res)-1].Dist2
+		reported := make(map[int]bool, len(res))
+		for _, n := range res {
+			reported[n.Index] = true
+		}
+		for i, p := range c {
+			if !reported[i] && q.Dist2(p) < worst {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	var nilTree *Tree
+	if nilTree.Len() != 0 || nilTree.KNN(geom.Point3{}, 3) != nil || nilTree.Radius(geom.Point3{}, 1) != nil {
+		t.Error("nil tree queries should be empty")
+	}
+	empty := New(nil)
+	if empty.Len() != 0 {
+		t.Error("empty tree Len != 0")
+	}
+	if res := empty.KNN(geom.Point3{}, 5); len(res) != 0 {
+		t.Error("empty tree KNN should be empty")
+	}
+
+	single := New(geom.Cloud{geom.P(1, 2, 3)})
+	res := single.KNN(geom.P(1, 2, 3), 5)
+	if len(res) != 1 || res[0].Dist2 != 0 {
+		t.Errorf("single-point KNN = %v", res)
+	}
+	if got := single.Radius(geom.P(1, 2, 3), 0); len(got) != 1 {
+		t.Error("zero-radius query should include exact match")
+	}
+	if got := single.Radius(geom.P(0, 0, 0), -1); got != nil {
+		t.Error("negative radius should return nil")
+	}
+	if got := single.KNN(geom.Point3{}, 0); got != nil {
+		t.Error("k=0 should return nil")
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	c := geom.Cloud{geom.P(1, 1, 1), geom.P(1, 1, 1), geom.P(1, 1, 1), geom.P(2, 2, 2)}
+	tree := New(c)
+	res := tree.KNN(geom.P(1, 1, 1), 3)
+	if len(res) != 3 {
+		t.Fatalf("got %d results, want 3", len(res))
+	}
+	for _, n := range res {
+		if n.Dist2 != 0 {
+			t.Errorf("expected zero distance for duplicate, got %v", n.Dist2)
+		}
+	}
+	if n := tree.RadiusCount(geom.P(1, 1, 1), 0.5); n != 3 {
+		t.Errorf("RadiusCount = %d, want 3", n)
+	}
+}
+
+func TestTreeImmutableFromCaller(t *testing.T) {
+	c := geom.Cloud{geom.P(0, 0, 0), geom.P(1, 0, 0), geom.P(5, 0, 0)}
+	tree := New(c)
+	c[0] = geom.P(100, 100, 100) // mutate caller slice
+	res := tree.KNN(geom.P(0, 0, 0), 1)
+	if res[0].Dist2 != 0 {
+		t.Error("tree must copy input cloud at construction")
+	}
+}

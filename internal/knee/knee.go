@@ -1,0 +1,51 @@
+// Package knee locates the "elbow" of a monotonically non-decreasing curve.
+// Adaptive clustering (paper Section IV) sorts every point's k-th
+// nearest-neighbor distance in ascending order and takes the distance at
+// the elbow as the per-capture DBSCAN ε: the elbow marks the transition
+// from intra-cluster distances (small, slowly growing) to noise distances
+// (large, fast growing).
+package knee
+
+import "errors"
+
+// ErrTooShort is returned when the curve has fewer than three samples, the
+// minimum for a successive-difference elbow to exist.
+var ErrTooShort = errors.New("knee: curve needs at least 3 samples")
+
+// Locate returns the index of the elbow of the sorted, non-decreasing
+// curve d, following the paper's KneeLocator criterion
+//
+//	k_elbow = argmax_i (d[i+1] - d[i]) / d[i]
+//
+// i.e. the point of maximum relative successive growth. Indices where
+// d[i] == 0 are skipped (relative growth undefined); if every usable value
+// is zero the midpoint is returned as a safe default.
+func Locate(d []float64) (int, error) {
+	if len(d) < 3 {
+		return 0, ErrTooShort
+	}
+	best, bestIdx := -1.0, -1
+	for i := 0; i+1 < len(d); i++ {
+		if d[i] <= 0 {
+			continue
+		}
+		g := (d[i+1] - d[i]) / d[i]
+		if g > best {
+			best, bestIdx = g, i
+		}
+	}
+	if bestIdx < 0 {
+		return len(d) / 2, nil
+	}
+	return bestIdx, nil
+}
+
+// Value returns the curve value at the elbow — the optimal ε in adaptive
+// clustering. For curves too short to analyze it returns fallback.
+func Value(d []float64, fallback float64) float64 {
+	i, err := Locate(d)
+	if err != nil {
+		return fallback
+	}
+	return d[i]
+}

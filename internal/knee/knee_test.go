@@ -1,0 +1,85 @@
+package knee
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestLocateSimpleElbow(t *testing.T) {
+	// Flat then a jump: elbow must sit right before the jump.
+	d := []float64{0.05, 0.05, 0.06, 0.06, 0.07, 0.5, 0.9, 1.5}
+	i, err := Locate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 4 {
+		t.Errorf("elbow index = %d, want 4", i)
+	}
+	if got := Value(d, 0.1); got != 0.07 {
+		t.Errorf("Value = %v, want 0.07", got)
+	}
+}
+
+func TestLocatePaperStyleCurve(t *testing.T) {
+	// Synthetic curve mimicking Fig. 4a: many small intra-cluster distances
+	// around 0.05-0.07 and a tail of noise distances ≥ 0.5.
+	rng := rand.New(rand.NewSource(1))
+	var d []float64
+	for i := 0; i < 300; i++ {
+		d = append(d, 0.05+0.02*rng.Float64())
+	}
+	for i := 0; i < 20; i++ {
+		d = append(d, 0.5+2*rng.Float64())
+	}
+	sort.Float64s(d)
+	eps := Value(d, 0)
+	if eps < 0.04 || eps > 0.1 {
+		t.Errorf("ε = %v, want within the intra-cluster band [0.04, 0.1]", eps)
+	}
+}
+
+func TestLocateTooShort(t *testing.T) {
+	for _, d := range [][]float64{nil, {1}, {1, 2}} {
+		if _, err := Locate(d); !errors.Is(err, ErrTooShort) {
+			t.Errorf("Locate(%v) error = %v, want ErrTooShort", d, err)
+		}
+	}
+	if got := Value([]float64{1, 2}, 0.42); got != 0.42 {
+		t.Errorf("Value fallback = %v, want 0.42", got)
+	}
+}
+
+func TestLocateAllZeros(t *testing.T) {
+	d := []float64{0, 0, 0, 0}
+	i, err := Locate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 2 {
+		t.Errorf("all-zero curve elbow = %d, want midpoint 2", i)
+	}
+}
+
+func TestLocateLeadingZeros(t *testing.T) {
+	// Zero entries are skipped for relative growth; the jump after them
+	// must still be found.
+	d := []float64{0, 0, 0.01, 0.011, 0.012, 0.2}
+	i, err := Locate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 4 {
+		t.Errorf("elbow = %d, want 4 (before the 0.012→0.2 jump)", i)
+	}
+}
+
+func TestLocateMonotoneGentleCurve(t *testing.T) {
+	// A geometric curve has constant relative growth, so the first usable
+	// index wins; any valid index is acceptable but it must not error.
+	d := []float64{1, 2, 4, 8, 16}
+	if _, err := Locate(d); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package lidarsim
+
+import (
+	"math/rand"
+
+	"hawccc/internal/geom"
+)
+
+// GroundZ is the walkway elevation in the sensor frame: the LiDAR sits on
+// top of a 3 m pole, so the ground is 3 m below the origin (Section III).
+const GroundZ = -3.0
+
+// HumanParams describes one pedestrian's body geometry and placement.
+type HumanParams struct {
+	// Position is the ground location (x, y); z is ignored (feet rest on
+	// the ground plane).
+	Position geom.Point3
+	// Height is the standing height in meters.
+	Height float64
+	// ShoulderWidth is the lateral torso semi-extent driver.
+	ShoulderWidth float64
+	// Stride is the forward leg separation (walking phase), 0 = standing.
+	Stride float64
+}
+
+// RandomHumanParams samples a pedestrian with a college-population height
+// distribution (mean 1.72 m, σ 0.09 m, clamped to [1.45, 2.05]) at the
+// given ground position. The paper's limitation section notes HAWC's
+// reliance on this average-height assumption; the simulator makes the
+// assumption explicit and controllable.
+func RandomHumanParams(rng *rand.Rand, x, y float64) HumanParams {
+	h := 1.72 + rng.NormFloat64()*0.09
+	if h < 1.45 {
+		h = 1.45
+	}
+	if h > 2.05 {
+		h = 2.05
+	}
+	return HumanParams{
+		Position:      geom.P(x, y, 0),
+		Height:        h,
+		ShoulderWidth: 0.40 + rng.NormFloat64()*0.03,
+		Stride:        rng.Float64() * 0.45,
+	}
+}
+
+// NewHuman assembles a body from primitives: two legs (vertical
+// cylinders), a torso (ellipsoid), two arms (thin cylinders) and a head
+// (sphere). Proportions follow standard anthropometry so the height
+// signature HAWC keys on (Section V) is present: a ~0.1 m head bump above
+// a ~0.3 m-wide torso above ~0.09 m-wide legs.
+func NewHuman(p HumanParams) *Group {
+	h := p.Height
+	x, y := p.Position.X, p.Position.Y
+	legTop := 0.50 * h
+	torsoCenter := 0.66 * h
+	headCenter := h - 0.11
+
+	legOffset := 0.09
+	strideHalf := p.Stride / 2
+
+	shapes := []Shape{
+		// Legs: slight forward/backward split encodes walking pose.
+		VCylinder{Base: geom.P(x-strideHalf, y-legOffset, GroundZ), Radius: 0.085, Height: legTop},
+		VCylinder{Base: geom.P(x+strideHalf, y+legOffset, GroundZ), Radius: 0.085, Height: legTop},
+		// Torso.
+		Ellipsoid{
+			Center: geom.P(x, y, GroundZ+torsoCenter),
+			Semi:   geom.P(0.14, p.ShoulderWidth/2, 0.22*h),
+		},
+		// Arms.
+		VCylinder{Base: geom.P(x, y-p.ShoulderWidth/2-0.03, GroundZ+legTop), Radius: 0.05, Height: 0.36 * h},
+		VCylinder{Base: geom.P(x, y+p.ShoulderWidth/2+0.03, GroundZ+legTop), Radius: 0.05, Height: 0.36 * h},
+		// Head.
+		Sphere{Center: geom.P(x, y, GroundZ+headCenter), Radius: 0.11},
+	}
+	return NewGroup(shapes...)
+}

@@ -1,0 +1,199 @@
+package lidarsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hawccc/internal/geom"
+)
+
+// ObjectKind enumerates the non-human campus objects the simulator can
+// place: the "Object" class of the classification task and the source pool
+// for noise-controlled up-sampling (Section V).
+type ObjectKind int
+
+// Campus object kinds.
+const (
+	ObjectBush ObjectKind = iota
+	ObjectBollard
+	ObjectBench
+	ObjectTrashCan
+	ObjectBikeRack
+	ObjectSign
+	ObjectPulley // ground clutter the paper calls out as a z-noise source
+	// The remaining kinds are the hard negatives that make LiDAR-only
+	// human detection non-trivial: objects whose gross statistics (height,
+	// width, point count) overlap the pedestrian distribution, so that
+	// only fine spatial structure separates the classes.
+	ObjectSapling  // young tree: trunk + canopy at head height
+	ObjectUmbrella // patio umbrella: pole + wide canopy ~2 m up
+	ObjectScooter  // parked e-scooter: stem + deck
+	ObjectLuggage  // abandoned suitcase / parcel stack
+	numObjectKinds
+)
+
+// numStandardKinds bounds the object kinds present on the deployment
+// walkway (the paper's evaluation data). The hard human-confusable kinds
+// above it are an extension used by the robustness experiments.
+const numStandardKinds = ObjectSapling
+
+// String implements fmt.Stringer.
+func (k ObjectKind) String() string {
+	switch k {
+	case ObjectBush:
+		return "bush"
+	case ObjectBollard:
+		return "bollard"
+	case ObjectBench:
+		return "bench"
+	case ObjectTrashCan:
+		return "trashcan"
+	case ObjectBikeRack:
+		return "bikerack"
+	case ObjectSign:
+		return "sign"
+	case ObjectPulley:
+		return "pulley"
+	case ObjectSapling:
+		return "sapling"
+	case ObjectUmbrella:
+		return "umbrella"
+	case ObjectScooter:
+		return "scooter"
+	case ObjectLuggage:
+		return "luggage"
+	default:
+		return fmt.Sprintf("ObjectKind(%d)", int(k))
+	}
+}
+
+// NewObject builds a campus object of the given kind at ground position
+// (x, y). rng perturbs dimensions so no two objects are identical.
+func NewObject(kind ObjectKind, rng *rand.Rand, x, y float64) *Group {
+	j := func(base, spread float64) float64 { return base + (rng.Float64()-0.5)*spread }
+	switch kind {
+	case ObjectBush:
+		// A fuzzy mound: several overlapping spheres at low height.
+		n := 3 + rng.Intn(4)
+		shapes := make([]Shape, 0, n)
+		for i := 0; i < n; i++ {
+			shapes = append(shapes, Sphere{
+				Center: geom.P(x+j(0, 0.5), y+j(0, 0.5), GroundZ+j(0.4, 0.3)),
+				Radius: j(0.4, 0.2),
+			})
+		}
+		return NewGroup(shapes...)
+	case ObjectBollard:
+		return NewGroup(VCylinder{Base: geom.P(x, y, GroundZ), Radius: j(0.08, 0.03), Height: j(0.9, 0.2)})
+	case ObjectBench:
+		seatH := j(0.45, 0.06)
+		length := j(1.6, 0.4)
+		return NewGroup(
+			BoxShape{Box: geom.Box{
+				Min: geom.P(x-length/2, y-0.25, GroundZ+seatH-0.05),
+				Max: geom.P(x+length/2, y+0.25, GroundZ+seatH),
+			}},
+			BoxShape{Box: geom.Box{ // backrest
+				Min: geom.P(x-length/2, y+0.2, GroundZ+seatH),
+				Max: geom.P(x+length/2, y+0.25, GroundZ+seatH+0.4),
+			}},
+		)
+	case ObjectTrashCan:
+		return NewGroup(VCylinder{Base: geom.P(x, y, GroundZ), Radius: j(0.3, 0.08), Height: j(1.0, 0.15)})
+	case ObjectBikeRack:
+		// A row of thin vertical hoops approximated by narrow cylinders.
+		n := 3 + rng.Intn(3)
+		shapes := make([]Shape, 0, n)
+		for i := 0; i < n; i++ {
+			shapes = append(shapes, VCylinder{
+				Base:   geom.P(x+float64(i)*0.5, y, GroundZ),
+				Radius: 0.03,
+				Height: j(0.8, 0.1),
+			})
+		}
+		return NewGroup(shapes...)
+	case ObjectSign:
+		return NewGroup(
+			VCylinder{Base: geom.P(x, y, GroundZ), Radius: 0.04, Height: 2.1},
+			BoxShape{Box: geom.Box{
+				Min: geom.P(x-0.02, y-0.35, GroundZ+1.5),
+				Max: geom.P(x+0.02, y+0.35, GroundZ+2.1),
+			}},
+		)
+	case ObjectPulley:
+		// Low ground clutter generating returns just above the walkway —
+		// exactly the z-noise the ground filter targets (Section III).
+		return NewGroup(BoxShape{Box: geom.Box{
+			Min: geom.P(x-0.3, y-0.3, GroundZ),
+			Max: geom.P(x+0.3, y+0.3, GroundZ+j(0.3, 0.1)),
+		}})
+	case ObjectSapling:
+		// Trunk plus a canopy of overlapping spheres at head height: the
+		// same overall height and footprint as a pedestrian, but a fuzzy
+		// high-σz blob where a person has a compact head over shoulders.
+		height := j(1.8, 0.5)
+		shapes := []Shape{
+			VCylinder{Base: geom.P(x, y, GroundZ), Radius: j(0.05, 0.02), Height: height * 0.6},
+		}
+		n := 3 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			shapes = append(shapes, Sphere{
+				Center: geom.P(x+j(0, 0.3), y+j(0, 0.3), GroundZ+height*0.75+j(0, 0.3)),
+				Radius: j(0.28, 0.12),
+			})
+		}
+		return NewGroup(shapes...)
+	case ObjectUmbrella:
+		// Pole with a wide canopy disk (flattened ellipsoid) near 2 m.
+		height := j(2.1, 0.3)
+		return NewGroup(
+			VCylinder{Base: geom.P(x, y, GroundZ), Radius: 0.03, Height: height},
+			Ellipsoid{
+				Center: geom.P(x, y, GroundZ+height),
+				Semi:   geom.P(j(0.9, 0.3), j(0.9, 0.3), 0.12),
+			},
+		)
+	case ObjectScooter:
+		// Vertical stem with handlebar plus a low deck.
+		return NewGroup(
+			VCylinder{Base: geom.P(x, y, GroundZ), Radius: 0.03, Height: j(1.1, 0.15)},
+			BoxShape{Box: geom.Box{
+				Min: geom.P(x-0.35, y-0.08, GroundZ+0.08),
+				Max: geom.P(x+0.35, y+0.08, GroundZ+0.18),
+			}},
+			BoxShape{Box: geom.Box{ // handlebar
+				Min: geom.P(x-0.05, y-0.25, GroundZ+1.0),
+				Max: geom.P(x+0.05, y+0.25, GroundZ+1.1),
+			}},
+		)
+	case ObjectLuggage:
+		// A suitcase-sized box, sometimes stacked two high.
+		h := j(0.7, 0.2)
+		shapes := []Shape{BoxShape{Box: geom.Box{
+			Min: geom.P(x-0.2, y-0.15, GroundZ),
+			Max: geom.P(x+0.2, y+0.15, GroundZ+h),
+		}}}
+		if rng.Float64() < 0.4 {
+			shapes = append(shapes, BoxShape{Box: geom.Box{
+				Min: geom.P(x-0.18, y-0.13, GroundZ+h),
+				Max: geom.P(x+0.18, y+0.13, GroundZ+h+j(0.4, 0.15)),
+			}})
+		}
+		return NewGroup(shapes...)
+	default:
+		panic(fmt.Sprintf("lidarsim: unknown object kind %d", int(kind)))
+	}
+}
+
+// RandomObjectKind picks a standard campus object kind uniformly at
+// random — the object population of the paper's deployment data.
+func RandomObjectKind(rng *rand.Rand) ObjectKind {
+	return ObjectKind(rng.Intn(int(numStandardKinds)))
+}
+
+// RandomObjectKindHard picks from the full kind set including the
+// human-confusable extension objects (saplings, umbrellas, scooters,
+// luggage), used by the beyond-the-paper robustness experiments.
+func RandomObjectKindHard(rng *rand.Rand) ObjectKind {
+	return ObjectKind(rng.Intn(int(numObjectKinds)))
+}

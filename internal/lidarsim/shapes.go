@@ -1,0 +1,256 @@
+// Package lidarsim simulates a pole-mounted 32-channel spinning LiDAR
+// scanning a campus walkway. It substitutes for the paper's Ouster OS0
+// hardware and campus data collection: parametric human bodies and campus
+// objects are placed in a scene and scanned by ray casting with range
+// noise, distance-dependent dropout, and ground returns, producing point
+// clouds with the same qualitative structure (channel banding, density
+// decay with distance, ground noise up to 0.4 m) the paper's pipeline is
+// designed around.
+//
+// Coordinate frame: the sensor is the origin at the top of a 3 m pole;
+// x runs down the walkway, y across it, z up; the ground plane is z = -3.
+package lidarsim
+
+import (
+	"math"
+
+	"hawccc/internal/geom"
+)
+
+// Shape is anything a LiDAR ray can hit.
+type Shape interface {
+	// IntersectRay returns the smallest t > 0 such that origin + t·dir lies
+	// on the shape's surface, and whether such t exists. dir need not be
+	// normalized; t is in units of |dir|.
+	IntersectRay(origin, dir geom.Point3) (float64, bool)
+	// Bounds returns an axis-aligned box enclosing the shape, used for
+	// broad-phase ray rejection.
+	Bounds() geom.Box
+}
+
+// Sphere is a solid sphere.
+type Sphere struct {
+	Center geom.Point3
+	Radius float64
+}
+
+var _ Shape = Sphere{}
+
+// IntersectRay solves |o + t·d − c|² = r² for the smallest positive t.
+func (s Sphere) IntersectRay(origin, dir geom.Point3) (float64, bool) {
+	oc := origin.Sub(s.Center)
+	a := dir.Dot(dir)
+	if a == 0 {
+		return 0, false
+	}
+	b := 2 * oc.Dot(dir)
+	c := oc.Dot(oc) - s.Radius*s.Radius
+	disc := b*b - 4*a*c
+	if disc < 0 {
+		return 0, false
+	}
+	sq := math.Sqrt(disc)
+	if t := (-b - sq) / (2 * a); t > 1e-9 {
+		return t, true
+	}
+	if t := (-b + sq) / (2 * a); t > 1e-9 {
+		return t, true
+	}
+	return 0, false
+}
+
+// Bounds implements Shape.
+func (s Sphere) Bounds() geom.Box {
+	r := geom.P(s.Radius, s.Radius, s.Radius)
+	return geom.Box{Min: s.Center.Sub(r), Max: s.Center.Add(r)}
+}
+
+// Ellipsoid is an axis-aligned ellipsoid with per-axis semi-axes.
+type Ellipsoid struct {
+	Center geom.Point3
+	Semi   geom.Point3 // semi-axis lengths along x, y, z (all > 0)
+}
+
+var _ Shape = Ellipsoid{}
+
+// IntersectRay scales space so the ellipsoid becomes the unit sphere,
+// intersects there, and reports t in the original parameterization (valid
+// because the scaling is linear in t).
+func (e Ellipsoid) IntersectRay(origin, dir geom.Point3) (float64, bool) {
+	o := origin.Sub(e.Center)
+	o = geom.P(o.X/e.Semi.X, o.Y/e.Semi.Y, o.Z/e.Semi.Z)
+	d := geom.P(dir.X/e.Semi.X, dir.Y/e.Semi.Y, dir.Z/e.Semi.Z)
+	return Sphere{Radius: 1}.IntersectRay(o, d)
+}
+
+// Bounds implements Shape.
+func (e Ellipsoid) Bounds() geom.Box {
+	return geom.Box{Min: e.Center.Sub(e.Semi), Max: e.Center.Add(e.Semi)}
+}
+
+// VCylinder is a finite vertical (z-axis-aligned) cylinder — legs, poles,
+// trash cans, tree trunks.
+type VCylinder struct {
+	Base   geom.Point3 // center of the bottom disk
+	Radius float64
+	Height float64
+}
+
+var _ Shape = VCylinder{}
+
+// IntersectRay intersects with the infinite cylinder then clips to the
+// height range; cap disks are ignored (top-down LiDAR rays at walkway
+// distances graze the side surface, and cap hits are visually identical
+// to side hits at these resolutions).
+func (v VCylinder) IntersectRay(origin, dir geom.Point3) (float64, bool) {
+	ox, oy := origin.X-v.Base.X, origin.Y-v.Base.Y
+	a := dir.X*dir.X + dir.Y*dir.Y
+	if a == 0 {
+		return 0, false // vertical ray: side surface unreachable
+	}
+	b := 2 * (ox*dir.X + oy*dir.Y)
+	c := ox*ox + oy*oy - v.Radius*v.Radius
+	disc := b*b - 4*a*c
+	if disc < 0 {
+		return 0, false
+	}
+	sq := math.Sqrt(disc)
+	for _, t := range [2]float64{(-b - sq) / (2 * a), (-b + sq) / (2 * a)} {
+		if t <= 1e-9 {
+			continue
+		}
+		z := origin.Z + t*dir.Z
+		if z >= v.Base.Z && z <= v.Base.Z+v.Height {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// Bounds implements Shape.
+func (v VCylinder) Bounds() geom.Box {
+	return geom.Box{
+		Min: geom.P(v.Base.X-v.Radius, v.Base.Y-v.Radius, v.Base.Z),
+		Max: geom.P(v.Base.X+v.Radius, v.Base.Y+v.Radius, v.Base.Z+v.Height),
+	}
+}
+
+// BoxShape is an axis-aligned solid box — benches, walls, parcels.
+type BoxShape struct {
+	Box geom.Box
+}
+
+var _ Shape = BoxShape{}
+
+// IntersectRay uses the slab method.
+func (b BoxShape) IntersectRay(origin, dir geom.Point3) (float64, bool) {
+	tmin, tmax := math.Inf(-1), math.Inf(1)
+	for axis := 0; axis < 3; axis++ {
+		o, d := origin.Coord(axis), dir.Coord(axis)
+		lo, hi := b.Box.Min.Coord(axis), b.Box.Max.Coord(axis)
+		if d == 0 {
+			if o < lo || o > hi {
+				return 0, false
+			}
+			continue
+		}
+		t1, t2 := (lo-o)/d, (hi-o)/d
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		tmin = math.Max(tmin, t1)
+		tmax = math.Min(tmax, t2)
+		if tmin > tmax {
+			return 0, false
+		}
+	}
+	if tmin > 1e-9 {
+		return tmin, true
+	}
+	if tmax > 1e-9 {
+		return tmax, true // ray starts inside
+	}
+	return 0, false
+}
+
+// Bounds implements Shape.
+func (b BoxShape) Bounds() geom.Box { return b.Box }
+
+// Group composes shapes into one object (e.g. a human body of several
+// primitives). Its intersection is the nearest hit of any member.
+type Group struct {
+	Shapes []Shape
+
+	bounds geom.Box
+	sealed bool
+}
+
+var _ Shape = (*Group)(nil)
+
+// NewGroup builds a group and precomputes its bounds.
+func NewGroup(shapes ...Shape) *Group {
+	g := &Group{Shapes: shapes}
+	b := geom.EmptyBox()
+	for _, s := range shapes {
+		b = b.Union(s.Bounds())
+	}
+	g.bounds = b
+	g.sealed = true
+	return g
+}
+
+// IntersectRay implements Shape; a cheap bounds check rejects rays that
+// miss the whole group.
+func (g *Group) IntersectRay(origin, dir geom.Point3) (float64, bool) {
+	if g.sealed && !rayHitsBox(origin, dir, g.bounds) {
+		return 0, false
+	}
+	best := math.Inf(1)
+	hit := false
+	for _, s := range g.Shapes {
+		if t, ok := s.IntersectRay(origin, dir); ok && t < best {
+			best, hit = t, true
+		}
+	}
+	if !hit {
+		return 0, false
+	}
+	return best, true
+}
+
+// Bounds implements Shape.
+func (g *Group) Bounds() geom.Box {
+	if g.sealed {
+		return g.bounds
+	}
+	b := geom.EmptyBox()
+	for _, s := range g.Shapes {
+		b = b.Union(s.Bounds())
+	}
+	return b
+}
+
+// rayHitsBox is the slab test without the hit-parameter bookkeeping.
+func rayHitsBox(origin, dir geom.Point3, box geom.Box) bool {
+	tmin, tmax := 0.0, math.Inf(1)
+	for axis := 0; axis < 3; axis++ {
+		o, d := origin.Coord(axis), dir.Coord(axis)
+		lo, hi := box.Min.Coord(axis), box.Max.Coord(axis)
+		if d == 0 {
+			if o < lo || o > hi {
+				return false
+			}
+			continue
+		}
+		t1, t2 := (lo-o)/d, (hi-o)/d
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		tmin = math.Max(tmin, t1)
+		tmax = math.Min(tmax, t2)
+		if tmin > tmax {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionPerfect(t *testing.T) {
+	var c Confusion
+	for i := 0; i < 10; i++ {
+		c.Add(true, true)
+		c.Add(false, false)
+	}
+	if c.Accuracy() != 1 || c.Precision() != 1 || c.Recall() != 1 || c.F1() != 1 {
+		t.Errorf("perfect classifier metrics: %s", c)
+	}
+	if c.Total() != 20 {
+		t.Errorf("Total = %d", c.Total())
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	// OC-SVM in the paper predicts "human" for everything: accuracy equals
+	// the human base rate, recall 1, precision = base rate.
+	var c Confusion
+	for i := 0; i < 50; i++ {
+		c.Add(true, true) // humans, predicted human
+	}
+	for i := 0; i < 50; i++ {
+		c.Add(true, false) // objects, still predicted human
+	}
+	if got := c.Accuracy(); got != 0.5 {
+		t.Errorf("Accuracy = %v, want 0.5", got)
+	}
+	if got := c.Recall(); got != 1 {
+		t.Errorf("Recall = %v, want 1", got)
+	}
+	if got := c.Precision(); got != 0.5 {
+		t.Errorf("Precision = %v, want 0.5", got)
+	}
+}
+
+func TestConfusionEmpty(t *testing.T) {
+	var c Confusion
+	if c.Accuracy() != 0 || c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Error("empty confusion should give zero metrics, not NaN")
+	}
+	if !strings.Contains(c.String(), "acc=") {
+		t.Error("String should include acc")
+	}
+}
+
+func TestMAE(t *testing.T) {
+	tests := []struct {
+		name        string
+		pred, truth []float64
+		want        float64
+	}{
+		{"exact", []float64{1, 2, 3}, []float64{1, 2, 3}, 0},
+		{"off by one", []float64{2, 3, 4}, []float64{1, 2, 3}, 1},
+		{"mixed signs", []float64{0, 4}, []float64{2, 2}, 2},
+		{"empty", nil, nil, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := MAE(tt.pred, tt.truth); got != tt.want {
+				t.Errorf("MAE = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMSEIsRMSE(t *testing.T) {
+	pred := []float64{3, 0}
+	truth := []float64{0, 0}
+	// RMSE = sqrt((9+0)/2)
+	want := math.Sqrt(4.5)
+	if got := MSE(pred, truth); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MSE = %v, want %v", got, want)
+	}
+	if got := MeanSquaredError(pred, truth); got != 4.5 {
+		t.Errorf("MeanSquaredError = %v, want 4.5", got)
+	}
+}
+
+func TestMSEAtLeastMAE(t *testing.T) {
+	// RMSE >= MAE always (Jensen); this is the relationship visible in the
+	// paper's tables.
+	f := func(a, b, c, d float64) bool {
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 1000)
+		}
+		pred := []float64{clamp(a), clamp(b)}
+		truth := []float64{clamp(c), clamp(d)}
+		return MSE(pred, truth) >= MAE(pred, truth)-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	MAE([]float64{1}, []float64{1, 2})
+}
+
+func TestCountingAccuracy(t *testing.T) {
+	// 250-person scenes with MAE 5.9 → 97.64% accuracy (paper Table VI).
+	pred := []float64{244.1, 255.9}
+	truth := []float64{250, 250}
+	got := CountingAccuracy(pred, truth)
+	if math.Abs(got-0.9764) > 1e-6 {
+		t.Errorf("CountingAccuracy = %v, want 0.9764", got)
+	}
+	if CountingAccuracy([]float64{5}, []float64{0}) != 0 {
+		t.Error("zero-truth accuracy should be 0")
+	}
+	// Wildly wrong predictions clamp at 0 rather than going negative.
+	if CountingAccuracy([]float64{100}, []float64{1}) != 0 {
+		t.Error("accuracy should clamp at 0")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 || math.Abs(std-2) > 1e-12 {
+		t.Errorf("MeanStd = %v ± %v, want 5 ± 2", mean, std)
+	}
+	mean, std = MeanStd(nil)
+	if mean != 0 || std != 0 {
+		t.Error("empty MeanStd should be zeros")
+	}
+}

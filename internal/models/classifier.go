@@ -1,0 +1,83 @@
+// Package models assembles the four human/object classifiers the paper
+// evaluates (Section VII-B) from the substrate packages: HAWC (the paper's
+// contribution — height-aware projection + lightweight CNN), PointNet
+// (direct 3D point-set network), a feature-space AutoEncoder, and OC-SVM.
+// All implement Classifier so the counting frameworks (internal/counting)
+// can swap them.
+package models
+
+import (
+	"math/rand"
+
+	"hawccc/internal/dataset"
+	"hawccc/internal/geom"
+	"hawccc/internal/metrics"
+)
+
+// Classifier labels one clustered point cloud as human or object.
+type Classifier interface {
+	// Name identifies the model in reports.
+	Name() string
+	// PredictHuman classifies a cluster.
+	PredictHuman(cloud geom.Cloud) bool
+}
+
+// TrainConfig parameterizes model training. Zero values select each
+// model's paper defaults.
+type TrainConfig struct {
+	// Epochs is the number of passes over the training set.
+	Epochs int
+	// BatchSize is the minibatch size (paper: HAWC 32, PointNet 64,
+	// AutoEncoder 512).
+	BatchSize int
+	// LearningRate for Adam (paper: 0.001 for all CNN models).
+	LearningRate float64
+	// Seed drives weight init, shuffling, and up-sampling noise.
+	Seed int64
+	// Progress, if non-nil, is called after each epoch; callers close
+	// over the model to trace accuracy curves (Figure 8a).
+	Progress func(epoch int)
+}
+
+func (c TrainConfig) withDefaults(epochs, batch int, lr float64) TrainConfig {
+	if c.Epochs == 0 {
+		c.Epochs = epochs
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = batch
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = lr
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Evaluate runs the classifier over labeled samples and returns the
+// confusion matrix ("Human" is the positive class).
+func Evaluate(c Classifier, samples []dataset.Sample) metrics.Confusion {
+	var conf metrics.Confusion
+	for _, s := range samples {
+		conf.Add(c.PredictHuman(s.Cloud), s.Human)
+	}
+	return conf
+}
+
+// splitByClass partitions samples into clouds by label.
+func splitByClass(samples []dataset.Sample) (humans, objects []geom.Cloud) {
+	for _, s := range samples {
+		if s.Human {
+			humans = append(humans, s.Cloud)
+		} else {
+			objects = append(objects, s.Cloud)
+		}
+	}
+	return humans, objects
+}
+
+// shuffledIndices returns a permutation of [0, n).
+func shuffledIndices(rng *rand.Rand, n int) []int {
+	return rng.Perm(n)
+}

@@ -1,0 +1,227 @@
+package models
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"hawccc/internal/dataset"
+	"hawccc/internal/geom"
+	"hawccc/internal/nn"
+	"hawccc/internal/projection"
+	"hawccc/internal/quant"
+	"hawccc/internal/tensor"
+	"hawccc/internal/upsample"
+)
+
+// HAWC is the Height-Aware Human Classifier (Section V): noise-controlled
+// up-sampling to a fixed size, height-aware projection into a D×D×7 image,
+// and a lightweight CNN (three 3×3 conv layers with batch norm and ReLU,
+// then two fully connected layers).
+type HAWC struct {
+	// Projector converts clouds to images; defaults to HAP. Swapped for
+	// the Figure 9 projection ablation.
+	Projector projection.Projector
+	// GaussianSigma, when > 0, replaces object-pool up-sampling with
+	// Gaussian-noise up-sampling of that σ (Table III ablation).
+	GaussianSigma float64
+
+	target int // N′max
+	d      int // image side
+	pool   *upsample.Pool
+	net    *nn.Sequential
+	qnet   *quant.Model
+	rng    *rand.Rand
+}
+
+var _ Classifier = (*HAWC)(nil)
+
+// NewHAWC builds an untrained HAWC with the paper's defaults.
+func NewHAWC() *HAWC { return &HAWC{Projector: projection.HAP{}} }
+
+// Name implements Classifier.
+func (h *HAWC) Name() string {
+	if h.qnet != nil {
+		return "HAWC-int8"
+	}
+	return "HAWC"
+}
+
+// Target returns N′max (0 before training).
+func (h *HAWC) Target() int { return h.target }
+
+// Network exposes the underlying CNN (nil before training) for device
+// cost modeling and inspection.
+func (h *HAWC) Network() *nn.Sequential { return h.net }
+
+// QuantNetwork exposes the int8 graph (nil unless quantized).
+func (h *HAWC) QuantNetwork() *quant.Model { return h.qnet }
+
+// buildNet constructs the CNN for side d and c input channels. The layer
+// widths give ≈56k trainable parameters at D=10/C=7, matching the paper's
+// "lightweight CNN ... 62,114 parameters" scale.
+func buildHAWCNet(d, c int, rng *rand.Rand) *nn.Sequential {
+	half := d / 2
+	return (&nn.Sequential{}).Add(
+		nn.NewConv2D(3, 3, c, 8, rng),
+		nn.NewBatchNorm(8),
+		nn.NewReLU(),
+		nn.NewConv2D(3, 3, 8, 16, rng),
+		nn.NewBatchNorm(16),
+		nn.NewReLU(),
+		nn.NewMaxPool2D(),
+		nn.NewConv2D(3, 3, 16, 16, rng),
+		nn.NewBatchNorm(16),
+		nn.NewReLU(),
+		nn.NewFlatten(),
+		nn.NewDense(half*half*16, 128, rng),
+		nn.NewReLU(),
+		nn.NewDense(128, 2, rng),
+	)
+}
+
+// prepare up-samples, frames, and projects one cloud into a flat image
+// vector: pad to N′max, place the candidate in the classifier viewport
+// (cluster-centered, ±ViewportWindow), project.
+func (h *HAWC) prepare(cloud geom.Cloud) []float32 {
+	var up geom.Cloud
+	if h.GaussianSigma > 0 || h.pool == nil || h.pool.Len() == 0 {
+		sigma := h.GaussianSigma
+		if sigma == 0 {
+			sigma = 3
+		}
+		up = upsample.Gaussian(h.rng, cloud, sigma, h.target)
+	} else {
+		up = upsample.FromPool(h.rng, cloud, h.pool, h.target)
+	}
+	framed := projection.Viewport(up, cloud.Centroid(), projection.ViewportWindow)
+	return h.Projector.Project(framed).Data
+}
+
+// Train fits HAWC on cluster samples. Defaults follow Section VII-A:
+// Adam, lr 0.001, batch 32.
+func (h *HAWC) Train(samples []dataset.Sample, cfg TrainConfig) error {
+	if len(samples) == 0 {
+		return errors.New("models: no training samples")
+	}
+	cfg = cfg.withDefaults(30, 32, 0.001)
+	h.rng = rand.New(rand.NewSource(cfg.Seed))
+	if h.Projector == nil {
+		h.Projector = projection.HAP{}
+	}
+
+	h.target = upsample.TargetSize(dataset.MaxPoints(samples))
+	h.d = upsample.Side(h.target)
+	_, objects := splitByClass(samples)
+	h.pool = upsample.NewPool(objects)
+
+	c := h.Projector.Channels()
+	h.net = buildHAWCNet(h.d, c, h.rng)
+
+	labels := make([]int, len(samples))
+	for i, s := range samples {
+		if s.Human {
+			labels[i] = 1
+		}
+	}
+	// Up-sampling noise is redrawn every epoch — a natural augmentation
+	// that keeps the classifier from memorizing specific noise draws.
+	prepareAll := func() [][]float32 {
+		images := make([][]float32, len(samples))
+		for i, s := range samples {
+			images[i] = h.prepare(s.Cloud)
+		}
+		return images
+	}
+
+	opt := nn.NewAdam(cfg.LearningRate)
+	trainImages(h.net, opt, prepareAll, labels, h.d, c, cfg, h.rng)
+	return nil
+}
+
+// trainImages runs the shared minibatch loop over flat image vectors,
+// re-materializing the images each epoch (fresh up-sampling noise) and
+// decaying the learning rate at 50% and 80% of the schedule.
+func trainImages(net *nn.Sequential, opt *nn.Adam, prepareAll func() [][]float32, labels []int, d, c int, cfg TrainConfig, rng *rand.Rand) {
+	n := len(labels)
+	imgLen := d * d * c
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if epoch == cfg.Epochs/2 || epoch == cfg.Epochs*4/5 {
+			opt.LR *= 0.3
+		}
+		images := prepareAll()
+		perm := shuffledIndices(rng, n)
+		for start := 0; start < n; start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			b := end - start
+			x := tensor.New(b, d, d, c)
+			y := make([]int, b)
+			for bi := 0; bi < b; bi++ {
+				idx := perm[start+bi]
+				copy(x.Data[bi*imgLen:(bi+1)*imgLen], images[idx])
+				y[bi] = labels[idx]
+			}
+			out := net.Forward(x, true)
+			_, grad := nn.SoftmaxCrossEntropy(out, y)
+			net.Backward(grad)
+			opt.Step(net.Params())
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(epoch)
+		}
+	}
+}
+
+// PredictHuman implements Classifier.
+func (h *HAWC) PredictHuman(cloud geom.Cloud) bool {
+	if h.net == nil {
+		panic("models: HAWC not trained")
+	}
+	img := h.prepare(cloud)
+	x := tensor.FromSlice(img, 1, h.d, h.d, h.Projector.Channels())
+	var out *tensor.Tensor
+	if h.qnet != nil {
+		out = h.qnet.Forward(x)
+	} else {
+		out = h.net.Forward(x, false)
+	}
+	return nn.Argmax(out)[0] == 1
+}
+
+// Quantize returns a copy of h that runs int8 inference, calibrated on the
+// given samples (the paper uses 100 random training samples, Section VI).
+func (h *HAWC) Quantize(calib []dataset.Sample) (*HAWC, error) {
+	if h.net == nil {
+		return nil, errors.New("models: quantizing untrained HAWC")
+	}
+	if len(calib) == 0 {
+		return nil, errors.New("models: empty calibration set")
+	}
+	c := h.Projector.Channels()
+	tensors := make([]*tensor.Tensor, 0, len(calib))
+	for _, s := range calib {
+		img := h.prepare(s.Cloud)
+		tensors = append(tensors, tensor.FromSlice(img, 1, h.d, h.d, c))
+	}
+	qm, err := quant.Quantize(h.net, tensors)
+	if err != nil {
+		return nil, fmt.Errorf("models: quantize HAWC: %w", err)
+	}
+	out := *h
+	out.qnet = qm
+	out.rng = rand.New(rand.NewSource(1)) // independent stream for inference padding
+	return &out, nil
+}
+
+// PoolClouds exposes the object captures in the up-sampling pool (empty
+// before training). Used by tooling that needs calibration material from
+// a loaded model.
+func (h *HAWC) PoolClouds() []geom.Cloud {
+	if h.pool == nil {
+		return nil
+	}
+	return h.pool.Clouds()
+}

@@ -1,0 +1,251 @@
+package models
+
+import (
+	"math/rand"
+	"testing"
+
+	"hawccc/internal/dataset"
+	"hawccc/internal/projection"
+)
+
+// smallSplit builds a small classification dataset shared by the tests.
+// Training here uses few samples and epochs: the goal is exercising the
+// code paths, not paper-grade accuracy (the experiments package does that).
+func smallSplit(t *testing.T) dataset.Split {
+	t.Helper()
+	g := dataset.NewGenerator(11)
+	samples := g.Classification(200)
+	return dataset.TrainTestSplit(rand.New(rand.NewSource(5)), samples, 0.8)
+}
+
+func TestHAWCTrainPredict(t *testing.T) {
+	split := smallSplit(t)
+	h := NewHAWC()
+	if err := h.Train(split.Train, TrainConfig{Epochs: 10, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if h.Target() == 0 || h.Network() == nil {
+		t.Fatal("training did not initialize the model")
+	}
+	conf := Evaluate(h, split.Test)
+	// Loose bound: must clearly beat coin flipping on a small budget.
+	if conf.Accuracy() < 0.6 {
+		t.Errorf("HAWC tiny-train accuracy %.3f < 0.6", conf.Accuracy())
+	}
+	if h.Name() != "HAWC" {
+		t.Errorf("Name = %q", h.Name())
+	}
+}
+
+func TestHAWCProgressCallback(t *testing.T) {
+	split := smallSplit(t)
+	h := NewHAWC()
+	var epochs []int
+	cfg := TrainConfig{Epochs: 3, Seed: 2, Progress: func(e int) { epochs = append(epochs, e) }}
+	if err := h.Train(split.Train, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) != 3 || epochs[2] != 2 {
+		t.Errorf("progress calls: %v", epochs)
+	}
+}
+
+func TestHAWCQuantizeAgreesWithFloat(t *testing.T) {
+	split := smallSplit(t)
+	h := NewHAWC()
+	if err := h.Train(split.Train, TrainConfig{Epochs: 10, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	hq, err := h.Quantize(split.Train[:20])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hq.Name() != "HAWC-int8" {
+		t.Errorf("quantized name = %q", hq.Name())
+	}
+	if hq.QuantNetwork() == nil {
+		t.Fatal("no quant network")
+	}
+	agree := 0
+	for _, s := range split.Test {
+		if h.PredictHuman(s.Cloud) == hq.PredictHuman(s.Cloud) {
+			agree++
+		}
+	}
+	if agree < len(split.Test)*6/10 {
+		t.Errorf("int8 agrees on %d/%d", agree, len(split.Test))
+	}
+}
+
+func TestHAWCGaussianVariant(t *testing.T) {
+	split := smallSplit(t)
+	h := NewHAWC()
+	h.GaussianSigma = 3
+	if err := h.Train(split.Train, TrainConfig{Epochs: 2, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Must classify without pool access.
+	_ = h.PredictHuman(split.Test[0].Cloud)
+}
+
+func TestHAWCProjectionVariants(t *testing.T) {
+	split := smallSplit(t)
+	for _, name := range []string{"BEV", "RV", "DA", "TV"} {
+		proj, ok := projection.ByName(name)
+		if !ok {
+			t.Fatalf("projector %q missing", name)
+		}
+		h := NewHAWC()
+		h.Projector = proj
+		if err := h.Train(split.Train, TrainConfig{Epochs: 2, Seed: 2}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		_ = h.PredictHuman(split.Test[0].Cloud)
+	}
+}
+
+func TestHAWCErrors(t *testing.T) {
+	h := NewHAWC()
+	if err := h.Train(nil, TrainConfig{}); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if _, err := h.Quantize(nil); err == nil {
+		t.Error("quantize before training accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("predict before training should panic")
+		}
+	}()
+	h.PredictHuman(nil)
+}
+
+func TestPointNetTrainPredict(t *testing.T) {
+	split := smallSplit(t)
+	p := NewPointNet()
+	if err := p.Train(split.Train, TrainConfig{Epochs: 3, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Target() == 0 || p.Network() == nil {
+		t.Fatal("training did not initialize")
+	}
+	conf := Evaluate(p, split.Test)
+	// PointNet converges slowly on the raw sensor-frame input; with a
+	// 3-epoch budget just require it produces a working classifier.
+	if conf.Accuracy() < 0.35 {
+		t.Errorf("PointNet tiny-train accuracy %.3f", conf.Accuracy())
+	}
+	pq, err := p.Quantize(split.Train[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pq.Name() != "PointNet-int8" || pq.QuantNetwork() == nil {
+		t.Error("quantized PointNet malformed")
+	}
+	_ = pq.PredictHuman(split.Test[0].Cloud)
+}
+
+func TestPointNetErrors(t *testing.T) {
+	p := NewPointNet()
+	if err := p.Train(nil, TrainConfig{}); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if _, err := p.Quantize(nil); err == nil {
+		t.Error("quantize before training accepted")
+	}
+}
+
+func TestAutoEncoderTrainPredict(t *testing.T) {
+	split := smallSplit(t)
+	a := NewAutoEncoder()
+	if err := a.Train(split.Train, TrainConfig{Epochs: 20, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Threshold() <= 0 {
+		t.Error("threshold not fitted")
+	}
+	conf := Evaluate(a, split.Test)
+	// Raw-feature AE is the paper's weak baseline; just require it runs
+	// and recalls most humans (threshold covers 97% of training humans).
+	if conf.Recall() < 0.5 {
+		t.Errorf("AE recall %.3f suspiciously low", conf.Recall())
+	}
+	aq, err := a.Quantize(split.Train[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aq.Name() != "AutoEncoder-int8" {
+		t.Errorf("name %q", aq.Name())
+	}
+	_ = aq.PredictHuman(split.Test[0].Cloud)
+}
+
+func TestAutoEncoderNormalizedVariant(t *testing.T) {
+	split := smallSplit(t)
+	a := NewAutoEncoder()
+	a.Normalize = true
+	if err := a.Train(split.Train, TrainConfig{Epochs: 10, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	_ = a.PredictHuman(split.Test[0].Cloud)
+}
+
+func TestAutoEncoderErrors(t *testing.T) {
+	a := NewAutoEncoder()
+	if err := a.Train(nil, TrainConfig{}); err == nil {
+		t.Error("empty training set accepted")
+	}
+	// Object-only training set has no human manifold to learn.
+	g := dataset.NewGenerator(12)
+	objs := g.Objects(5)
+	if err := a.Train(objs, TrainConfig{Epochs: 1}); err == nil {
+		t.Error("object-only training set accepted")
+	}
+}
+
+func TestOCSVMWeakByDefault(t *testing.T) {
+	// The paper-faithful OC-SVM-CC (features from up-sampled clusters) is
+	// a near-chance classifier (Table I: 48.6%); at experiment scale it
+	// hovers around 0.5. Here we only require the mechanics work and the
+	// model stays clearly below the CNN tier.
+	split := smallSplit(t)
+	o := NewOCSVM()
+	if err := o.Train(split.Train, TrainConfig{Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	conf := Evaluate(o, split.Test)
+	if conf.Accuracy() > 0.9 {
+		t.Errorf("OC-SVM accuracy %.3f suspiciously high for the degenerate baseline", conf.Accuracy())
+	}
+	if o.NumSupportVectors() == 0 {
+		t.Error("no support vectors")
+	}
+	if o.FeatureDim() == 0 {
+		t.Error("feature dim")
+	}
+}
+
+func TestOCSVMErrors(t *testing.T) {
+	o := NewOCSVM()
+	if err := o.Train(nil, TrainConfig{}); err == nil {
+		t.Error("empty training set accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("predict before training should panic")
+		}
+	}()
+	o.PredictHuman(nil)
+}
+
+func TestEvaluateHelper(t *testing.T) {
+	split := smallSplit(t)
+	o := NewOCSVM()
+	if err := o.Train(split.Train, TrainConfig{Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	conf := Evaluate(o, split.Test)
+	if conf.Total() != len(split.Test) {
+		t.Errorf("evaluated %d, want %d", conf.Total(), len(split.Test))
+	}
+}

@@ -1,0 +1,142 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hawccc/internal/tensor"
+)
+
+// Conv2D is a stride-1, same-padding 2D convolution over channel-last
+// images: input [N, H, W, Cin] → output [N, H, W, Cout], kernel
+// [KH, KW, Cin, Cout]. HAWC's network uses 3×3 kernels with stride 1
+// (Section V), so those are the only hyperparameters this layer supports.
+type Conv2D struct {
+	KH, KW    int
+	Cin, Cout int
+	W, B      *Param
+
+	x *tensor.Tensor
+}
+
+var _ Layer = (*Conv2D)(nil)
+
+// NewConv2D builds a convolution with He initialization.
+func NewConv2D(kh, kw, cin, cout int, rng *rand.Rand) *Conv2D {
+	c := &Conv2D{
+		KH: kh, KW: kw, Cin: cin, Cout: cout,
+		W: newParam("conv.w", kh, kw, cin, cout),
+		B: newParam("conv.b", cout),
+	}
+	c.W.Value.HeInit(rng, kh*kw*cin)
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("Conv2D(%dx%d,%d→%d)", c.KH, c.KW, c.Cin, c.Cout)
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(3) != c.Cin {
+		panic(fmt.Sprintf("nn: Conv2D input %v, want [N, H, W, %d]", x.Shape, c.Cin))
+	}
+	c.x = x
+	n, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	out := tensor.New(n, h, w, c.Cout)
+	ph, pw := c.KH/2, c.KW/2
+	wd, bd := c.W.Value.Data, c.B.Value.Data
+
+	for ni := 0; ni < n; ni++ {
+		inBase := ni * h * w * c.Cin
+		outBase := ni * h * w * c.Cout
+		for y := 0; y < h; y++ {
+			for xx := 0; xx < w; xx++ {
+				oi := out.Data[outBase+(y*w+xx)*c.Cout:]
+				oi = oi[:c.Cout]
+				copy(oi, bd)
+				for ky := 0; ky < c.KH; ky++ {
+					iy := y + ky - ph
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < c.KW; kx++ {
+						ix := xx + kx - pw
+						if ix < 0 || ix >= w {
+							continue
+						}
+						in := x.Data[inBase+(iy*w+ix)*c.Cin:]
+						wBase := (ky*c.KW + kx) * c.Cin * c.Cout
+						for ci := 0; ci < c.Cin; ci++ {
+							xv := in[ci]
+							if xv == 0 {
+								continue
+							}
+							wk := wd[wBase+ci*c.Cout : wBase+(ci+1)*c.Cout]
+							for co := range oi {
+								oi[co] += xv * wk[co]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := c.x
+	n, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	dx := tensor.New(n, h, w, c.Cin)
+	ph, pw := c.KH/2, c.KW/2
+	wd := c.W.Value.Data
+	dwd, dbd := c.W.Grad.Data, c.B.Grad.Data
+
+	for ni := 0; ni < n; ni++ {
+		inBase := ni * h * w * c.Cin
+		outBase := ni * h * w * c.Cout
+		for y := 0; y < h; y++ {
+			for xx := 0; xx < w; xx++ {
+				gi := grad.Data[outBase+(y*w+xx)*c.Cout:]
+				gi = gi[:c.Cout]
+				for co, gv := range gi {
+					dbd[co] += gv
+				}
+				for ky := 0; ky < c.KH; ky++ {
+					iy := y + ky - ph
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < c.KW; kx++ {
+						ix := xx + kx - pw
+						if ix < 0 || ix >= w {
+							continue
+						}
+						inOff := inBase + (iy*w+ix)*c.Cin
+						in := x.Data[inOff : inOff+c.Cin]
+						dIn := dx.Data[inOff : inOff+c.Cin]
+						wBase := (ky*c.KW + kx) * c.Cin * c.Cout
+						for ci := 0; ci < c.Cin; ci++ {
+							wk := wd[wBase+ci*c.Cout : wBase+(ci+1)*c.Cout]
+							dwk := dwd[wBase+ci*c.Cout : wBase+(ci+1)*c.Cout]
+							xv := in[ci]
+							var acc float32
+							for co, gv := range gi {
+								dwk[co] += xv * gv
+								acc += wk[co] * gv
+							}
+							dIn[ci] += acc
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}

@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"math"
+
+	"hawccc/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients and then
+// zeroes the gradients.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	vel map[*Param]*tensor.Tensor
+}
+
+var _ Optimizer = (*SGD)(nil)
+
+// NewSGD builds an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: make(map[*Param]*tensor.Tensor)}
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) {
+	lr := float32(s.LR)
+	mom := float32(s.Momentum)
+	for _, p := range params {
+		if mom == 0 {
+			p.Value.AddScaled(p.Grad, -lr)
+		} else {
+			v, ok := s.vel[p]
+			if !ok {
+				v = tensor.New(p.Value.Shape...)
+				s.vel[p] = v
+			}
+			for i := range v.Data {
+				v.Data[i] = mom*v.Data[i] - lr*p.Grad.Data[i]
+				p.Value.Data[i] += v.Data[i]
+			}
+		}
+		p.Grad.Zero()
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba). The paper trains HAWC with
+// Adam at lr 0.001 (Section VII-A).
+type Adam struct {
+	LR           float64
+	Beta1, Beta2 float64
+	Eps          float64
+
+	t int
+	m map[*Param]*tensor.Tensor
+	v map[*Param]*tensor.Tensor
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// NewAdam builds an Adam optimizer with the standard β/ε defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param]*tensor.Tensor),
+		v: make(map[*Param]*tensor.Tensor),
+	}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	b1c := 1 - math.Pow(a.Beta1, float64(a.t))
+	b2c := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = tensor.New(p.Value.Shape...)
+			a.m[p] = m
+			a.v[p] = tensor.New(p.Value.Shape...)
+		}
+		v := a.v[p]
+		b1, b2 := float32(a.Beta1), float32(a.Beta2)
+		for i, g := range p.Grad.Data {
+			m.Data[i] = b1*m.Data[i] + (1-b1)*g
+			v.Data[i] = b2*v.Data[i] + (1-b2)*g*g
+			mHat := float64(m.Data[i]) / b1c
+			vHat := float64(v.Data[i]) / b2c
+			p.Value.Data[i] -= float32(a.LR * mHat / (math.Sqrt(vHat) + a.Eps))
+		}
+		p.Grad.Zero()
+	}
+}

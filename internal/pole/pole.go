@@ -1,0 +1,223 @@
+// Package pole implements the smart blue light pole node (Figures 1–2):
+// a capture loop that scans the walkway with the LiDAR simulator, runs the
+// HAWC-CC counting pipeline on the edge, and streams count reports and
+// compartment telemetry to the campus backend over the private network —
+// raw point clouds never leave the pole, which is the privacy property the
+// system is built around.
+package pole
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"hawccc/internal/counting"
+	"hawccc/internal/dataset"
+	"hawccc/internal/telemetry"
+	"hawccc/internal/wire"
+)
+
+// FrameSource yields raw LiDAR frames; the production implementation
+// wraps the sensor, tests and demos wrap dataset generators.
+type FrameSource interface {
+	// NextFrame returns the next captured frame. It returns io.EOF when
+	// the source is exhausted.
+	NextFrame() (dataset.Frame, error)
+}
+
+// SliceSource replays a fixed set of frames.
+type SliceSource struct {
+	Frames []dataset.Frame
+	next   int
+}
+
+var _ FrameSource = (*SliceSource)(nil)
+
+// NextFrame implements FrameSource.
+func (s *SliceSource) NextFrame() (dataset.Frame, error) {
+	if s.next >= len(s.Frames) {
+		return dataset.Frame{}, io.EOF
+	}
+	f := s.Frames[s.next]
+	s.next++
+	return f, nil
+}
+
+// Config parameterizes a pole node.
+type Config struct {
+	// PoleID identifies this pole on the campus network.
+	PoleID uint32
+	// Location is the human-readable walkway name.
+	Location string
+	// BackendAddr is the campus backend's TCP address.
+	BackendAddr string
+	// Pipeline is the counting framework run on each frame.
+	Pipeline *counting.Pipeline
+	// Source yields frames to process.
+	Source FrameSource
+	// FrameInterval paces the capture loop (0 = process as fast as
+	// possible, used by tests and batch replays).
+	FrameInterval time.Duration
+	// Telemetry, when non-nil, is streamed alongside count reports (one
+	// reading per frame).
+	Telemetry []telemetry.Reading
+	// Logf, if non-nil, receives diagnostic output.
+	Logf func(format string, args ...any)
+}
+
+// Node is a running pole.
+type Node struct {
+	cfg  Config
+	conn net.Conn
+	wc   *wire.Conn
+
+	mu     sync.Mutex
+	alerts []wire.Alert
+	acked  uint64
+	sent   uint64
+}
+
+// Dial connects the pole to the backend and performs the hello handshake.
+func Dial(cfg Config) (*Node, error) {
+	if cfg.Pipeline == nil {
+		return nil, errors.New("pole: config needs a pipeline")
+	}
+	if cfg.Source == nil {
+		return nil, errors.New("pole: config needs a frame source")
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	conn, err := net.Dial("tcp", cfg.BackendAddr)
+	if err != nil {
+		return nil, fmt.Errorf("pole: dial backend: %w", err)
+	}
+	n := &Node{cfg: cfg, conn: conn, wc: wire.NewConn(conn)}
+	hello := wire.Hello{PoleID: cfg.PoleID, Location: cfg.Location}
+	if err := n.wc.Send(wire.MsgHello, wire.EncodeHello(hello)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("pole: hello: %w", err)
+	}
+	return n, nil
+}
+
+// Run processes frames until the source is exhausted or ctx is canceled,
+// then closes the connection. It returns the number of frames processed.
+func (n *Node) Run(ctx context.Context) (int, error) {
+	defer n.conn.Close()
+	// Cancel unblocks network I/O by closing the connection.
+	stop := context.AfterFunc(ctx, func() { n.conn.Close() })
+	defer stop()
+
+	processed := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return processed, err
+		}
+		frame, err := n.cfg.Source.NextFrame()
+		if errors.Is(err, io.EOF) {
+			return processed, nil
+		}
+		if err != nil {
+			return processed, fmt.Errorf("pole: frame source: %w", err)
+		}
+
+		start := time.Now()
+		result := n.cfg.Pipeline.Count(frame.Cloud)
+		latency := time.Since(start)
+
+		n.mu.Lock()
+		n.sent++
+		seq := n.sent
+		n.mu.Unlock()
+		report := wire.CountReport{
+			PoleID:    n.cfg.PoleID,
+			Seq:       seq,
+			Timestamp: time.Now().UTC(),
+			Count:     uint32(result.Count),
+			Clusters:  uint32(result.Clusters),
+			LatencyUS: uint32(latency.Microseconds()),
+		}
+		if err := n.wc.Send(wire.MsgCountReport, wire.EncodeCountReport(report)); err != nil {
+			return processed, fmt.Errorf("pole: send report: %w", err)
+		}
+		if err := n.awaitAck(seq); err != nil {
+			return processed, err
+		}
+
+		if processed < len(n.cfg.Telemetry) {
+			r := n.cfg.Telemetry[processed]
+			tm := wire.Telemetry{
+				PoleID:    n.cfg.PoleID,
+				Timestamp: r.At,
+				PoleTemp:  r.Pole,
+				Ambient:   r.Weather,
+			}
+			if err := n.wc.Send(wire.MsgTelemetry, wire.EncodeTelemetry(tm)); err != nil {
+				return processed, fmt.Errorf("pole: send telemetry: %w", err)
+			}
+		}
+
+		processed++
+		if n.cfg.FrameInterval > 0 {
+			select {
+			case <-ctx.Done():
+				return processed, ctx.Err()
+			case <-time.After(n.cfg.FrameInterval):
+			}
+		}
+	}
+}
+
+// awaitAck reads frames until the ack for seq arrives, collecting any
+// alerts delivered in between.
+func (n *Node) awaitAck(seq uint64) error {
+	for {
+		t, body, err := n.wc.Recv()
+		if err != nil {
+			return fmt.Errorf("pole: awaiting ack: %w", err)
+		}
+		switch t {
+		case wire.MsgAck:
+			ack, err := wire.DecodeAck(body)
+			if err != nil {
+				return err
+			}
+			n.mu.Lock()
+			n.acked = ack.Seq
+			n.mu.Unlock()
+			if ack.Seq == seq {
+				return nil
+			}
+		case wire.MsgAlert:
+			alert, err := wire.DecodeAlert(body)
+			if err != nil {
+				return err
+			}
+			n.mu.Lock()
+			n.alerts = append(n.alerts, alert)
+			n.mu.Unlock()
+			n.cfg.Logf("pole %d: received alert: %s", n.cfg.PoleID, alert.Message)
+		default:
+			return fmt.Errorf("pole: unexpected message type %d", t)
+		}
+	}
+}
+
+// Alerts returns the alerts this pole has received.
+func (n *Node) Alerts() []wire.Alert {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]wire.Alert(nil), n.alerts...)
+}
+
+// Acked returns the highest acknowledged report sequence.
+func (n *Node) Acked() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.acked
+}

@@ -1,0 +1,207 @@
+package pole
+
+import (
+	"context"
+	"io"
+	"testing"
+	"time"
+
+	"hawccc/internal/backend"
+	"hawccc/internal/counting"
+	"hawccc/internal/dataset"
+	"hawccc/internal/geom"
+	"hawccc/internal/models"
+	"hawccc/internal/telemetry"
+)
+
+// tallStub is a training-free classifier for pipeline tests.
+type tallStub struct{}
+
+var _ models.Classifier = tallStub{}
+
+func (tallStub) Name() string { return "TallStub" }
+func (tallStub) PredictHuman(c geom.Cloud) bool {
+	extent := c.MaxZ() - c.MinZ()
+	return extent > 1.1 && extent < 2.3
+}
+
+func testConfig(t *testing.T, addr string, frames []dataset.Frame) Config {
+	t.Helper()
+	return Config{
+		PoleID:      1,
+		Location:    "Palm Walk",
+		BackendAddr: addr,
+		Pipeline:    counting.New(tallStub{}),
+		Source:      &SliceSource{Frames: frames},
+	}
+}
+
+func TestPoleStreamsReports(t *testing.T) {
+	srv, err := backend.Listen(backend.Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	g := dataset.NewGenerator(1)
+	frames := g.CrowdFrames(4, 1, 3, 1)
+	node, err := Dial(testConfig(t, srv.Addr(), frames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := node.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("processed %d frames, want 4", n)
+	}
+	if node.Acked() != 4 {
+		t.Errorf("acked %d, want 4", node.Acked())
+	}
+	snap := srv.Snapshot()
+	if len(snap) != 1 || snap[0].Reports != 4 || snap[0].Location != "Palm Walk" {
+		t.Errorf("backend aggregates: %+v", snap)
+	}
+}
+
+func TestPoleReceivesCrowdingAlert(t *testing.T) {
+	srv, err := backend.Listen(backend.Config{Addr: "127.0.0.1:0", CrowdingLimit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	g := dataset.NewGenerator(2)
+	frames := g.CrowdFrames(3, 2, 4, 0)
+	node, err := Dial(testConfig(t, srv.Addr(), frames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(node.Alerts()) == 0 {
+		t.Error("pole should have received crowding alerts")
+	}
+}
+
+func TestPoleStreamsTelemetry(t *testing.T) {
+	srv, err := backend.Listen(backend.Config{Addr: "127.0.0.1:0", OverheatLimit: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	g := dataset.NewGenerator(3)
+	frames := g.CrowdFrames(2, 1, 2, 0)
+	cfg := testConfig(t, srv.Addr(), frames)
+	cfg.Telemetry = []telemetry.Reading{
+		{At: time.Now(), Weather: 44, Pole: 57.8}, // above rated
+		{At: time.Now(), Weather: 30, Pole: 35},
+	}
+	node, err := Dial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap := srv.Snapshot()
+	if len(snap) != 1 || snap[0].MaxTemp < 57 {
+		t.Errorf("backend telemetry: %+v", snap)
+	}
+	alerts := srv.Alerts()
+	if len(alerts) == 0 {
+		t.Error("expected overheat alert")
+	}
+}
+
+func TestPoleContextCancel(t *testing.T) {
+	srv, err := backend.Listen(backend.Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	g := dataset.NewGenerator(4)
+	frames := g.CrowdFrames(3, 1, 1, 0)
+	cfg := testConfig(t, srv.Addr(), frames)
+	cfg.FrameInterval = time.Hour // would block forever without cancel
+	node, err := Dial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	n, err := node.Run(ctx)
+	if err == nil {
+		t.Error("expected context error")
+	}
+	if n == 0 {
+		t.Error("should process at least one frame before cancel")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("cancel did not unblock promptly")
+	}
+}
+
+func TestDialValidation(t *testing.T) {
+	if _, err := Dial(Config{Source: &SliceSource{}}); err == nil {
+		t.Error("missing pipeline accepted")
+	}
+	if _, err := Dial(Config{Pipeline: counting.New(tallStub{})}); err == nil {
+		t.Error("missing source accepted")
+	}
+	cfg := Config{
+		Pipeline:    counting.New(tallStub{}),
+		Source:      &SliceSource{},
+		BackendAddr: "127.0.0.1:1", // nothing listening
+	}
+	if _, err := Dial(cfg); err == nil {
+		t.Error("unreachable backend accepted")
+	}
+}
+
+func TestSliceSourceEOF(t *testing.T) {
+	s := &SliceSource{Frames: []dataset.Frame{{Count: 1}}}
+	if _, err := s.NextFrame(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.NextFrame(); err != io.EOF {
+		t.Errorf("exhausted source error = %v, want io.EOF", err)
+	}
+}
+
+func TestMultiplePolesOneBackend(t *testing.T) {
+	srv, err := backend.Listen(backend.Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	g := dataset.NewGenerator(5)
+	done := make(chan error, 3)
+	for id := uint32(1); id <= 3; id++ {
+		frames := g.CrowdFrames(2, 1, 2, 0)
+		cfg := testConfig(t, srv.Addr(), frames)
+		cfg.PoleID = id
+		node, err := Dial(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			_, err := node.Run(context.Background())
+			done <- err
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(srv.Snapshot()); got != 3 {
+		t.Errorf("backend sees %d poles, want 3", got)
+	}
+}

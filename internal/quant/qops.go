@@ -1,0 +1,315 @@
+package quant
+
+import (
+	"fmt"
+)
+
+// QOp is one stage of a quantized inference graph.
+type QOp interface {
+	Name() string
+	Apply(x *QTensor) *QTensor
+	// WeightBytes is the int8 parameter footprint, for model-size reports.
+	WeightBytes() int
+}
+
+// QConv2D is a stride-1, same-padding int8 convolution with optional fused
+// ReLU. Accumulation is int32; requantization uses a fixed-point
+// multiplier.
+type QConv2D struct {
+	KH, KW, Cin, Cout int
+	W                 []int8  // [KH, KW, Cin, Cout]
+	Bias              []int32 // accumulator scale
+	InScale           float64
+	InZero            int32
+	OutScale          float64
+	OutZero           int32
+	Mult              Multiplier
+	FusedReLU         bool
+}
+
+var _ QOp = (*QConv2D)(nil)
+
+// Name implements QOp.
+func (c *QConv2D) Name() string {
+	return fmt.Sprintf("QConv2D(%dx%d,%d→%d)", c.KH, c.KW, c.Cin, c.Cout)
+}
+
+// WeightBytes implements QOp.
+func (c *QConv2D) WeightBytes() int { return len(c.W) + 4*len(c.Bias) }
+
+// Apply implements QOp.
+func (c *QConv2D) Apply(x *QTensor) *QTensor {
+	n, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	out := NewQTensor(c.OutScale, c.OutZero, n, h, w, c.Cout)
+	ph, pw := c.KH/2, c.KW/2
+	lo := int32(-128)
+	if c.FusedReLU && c.OutZero > lo {
+		lo = c.OutZero
+	}
+	for ni := 0; ni < n; ni++ {
+		inBase := ni * h * w * c.Cin
+		outBase := ni * h * w * c.Cout
+		for y := 0; y < h; y++ {
+			for xx := 0; xx < w; xx++ {
+				acc := make([]int32, c.Cout)
+				copy(acc, c.Bias)
+				for ky := 0; ky < c.KH; ky++ {
+					iy := y + ky - ph
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < c.KW; kx++ {
+						ix := xx + kx - pw
+						if ix < 0 || ix >= w {
+							continue
+						}
+						in := x.Data[inBase+(iy*w+ix)*c.Cin:]
+						wBase := (ky*c.KW + kx) * c.Cin * c.Cout
+						for ci := 0; ci < c.Cin; ci++ {
+							xv := int32(in[ci]) - c.InZero
+							if xv == 0 {
+								continue
+							}
+							wk := c.W[wBase+ci*c.Cout : wBase+(ci+1)*c.Cout]
+							for co := range acc {
+								acc[co] += xv * int32(wk[co])
+							}
+						}
+					}
+				}
+				o := out.Data[outBase+(y*w+xx)*c.Cout:]
+				for co := 0; co < c.Cout; co++ {
+					v := c.Mult.Apply(acc[co]) + c.OutZero
+					if v < lo {
+						v = lo
+					}
+					if v > 127 {
+						v = 127
+					}
+					o[co] = int8(v)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// QDense is an int8 fully connected layer with optional fused ReLU.
+type QDense struct {
+	In, Out   int
+	W         []int8 // [In, Out]
+	Bias      []int32
+	InScale   float64
+	InZero    int32
+	OutScale  float64
+	OutZero   int32
+	Mult      Multiplier
+	FusedReLU bool
+}
+
+var _ QOp = (*QDense)(nil)
+
+// Name implements QOp.
+func (d *QDense) Name() string { return fmt.Sprintf("QDense(%d→%d)", d.In, d.Out) }
+
+// WeightBytes implements QOp.
+func (d *QDense) WeightBytes() int { return len(d.W) + 4*len(d.Bias) }
+
+// Apply implements QOp.
+func (d *QDense) Apply(x *QTensor) *QTensor {
+	n := x.Dim(0)
+	out := NewQTensor(d.OutScale, d.OutZero, n, d.Out)
+	lo := int32(-128)
+	if d.FusedReLU && d.OutZero > lo {
+		lo = d.OutZero
+	}
+	for i := 0; i < n; i++ {
+		xi := x.Data[i*d.In : (i+1)*d.In]
+		acc := make([]int32, d.Out)
+		copy(acc, d.Bias)
+		for k, xq := range xi {
+			xv := int32(xq) - d.InZero
+			if xv == 0 {
+				continue
+			}
+			wk := d.W[k*d.Out : (k+1)*d.Out]
+			for j := range acc {
+				acc[j] += xv * int32(wk[j])
+			}
+		}
+		o := out.Data[i*d.Out : (i+1)*d.Out]
+		for j, a := range acc {
+			v := d.Mult.Apply(a) + d.OutZero
+			if v < lo {
+				v = lo
+			}
+			if v > 127 {
+				v = 127
+			}
+			o[j] = int8(v)
+		}
+	}
+	return out
+}
+
+// QMaxPool2D is 2×2/2 max pooling on int8 (order-preserving, so the max of
+// quantized values is the quantized max).
+type QMaxPool2D struct{}
+
+var _ QOp = QMaxPool2D{}
+
+// Name implements QOp.
+func (QMaxPool2D) Name() string { return "QMaxPool2D" }
+
+// WeightBytes implements QOp.
+func (QMaxPool2D) WeightBytes() int { return 0 }
+
+// Apply implements QOp.
+func (QMaxPool2D) Apply(x *QTensor) *QTensor {
+	n, h, w, c := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh, ow := h/2, w/2
+	out := NewQTensor(x.Scale, x.Zero, n, oh, ow, c)
+	idx := func(ni, y, xx, ci int) int { return ((ni*h+y)*w+xx)*c + ci }
+	o := 0
+	for ni := 0; ni < n; ni++ {
+		for y := 0; y < oh; y++ {
+			for xx := 0; xx < ow; xx++ {
+				for ci := 0; ci < c; ci++ {
+					bv := x.Data[idx(ni, 2*y, 2*xx, ci)]
+					for dy := 0; dy < 2; dy++ {
+						for dx := 0; dx < 2; dx++ {
+							if v := x.Data[idx(ni, 2*y+dy, 2*xx+dx, ci)]; v > bv {
+								bv = v
+							}
+						}
+					}
+					out.Data[o] = bv
+					o++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// QMaxOverPoints reduces [N, P, F] → [N, F] by int8 max.
+type QMaxOverPoints struct{}
+
+var _ QOp = QMaxOverPoints{}
+
+// Name implements QOp.
+func (QMaxOverPoints) Name() string { return "QMaxOverPoints" }
+
+// WeightBytes implements QOp.
+func (QMaxOverPoints) WeightBytes() int { return 0 }
+
+// Apply implements QOp.
+func (QMaxOverPoints) Apply(x *QTensor) *QTensor {
+	n, p, f := x.Dim(0), x.Dim(1), x.Dim(2)
+	out := NewQTensor(x.Scale, x.Zero, n, f)
+	for ni := 0; ni < n; ni++ {
+		for fi := 0; fi < f; fi++ {
+			bv := x.Data[(ni*p)*f+fi]
+			for pi := 1; pi < p; pi++ {
+				if v := x.Data[(ni*p+pi)*f+fi]; v > bv {
+					bv = v
+				}
+			}
+			out.Data[ni*f+fi] = bv
+		}
+	}
+	return out
+}
+
+// QReshape reinterprets the non-batch dimensions.
+type QReshape struct {
+	Dims []int // empty = flatten
+}
+
+var _ QOp = QReshape{}
+
+// Name implements QOp.
+func (r QReshape) Name() string {
+	if len(r.Dims) == 0 {
+		return "QFlatten"
+	}
+	return fmt.Sprintf("QReshape%v", r.Dims)
+}
+
+// WeightBytes implements QOp.
+func (QReshape) WeightBytes() int { return 0 }
+
+// Apply implements QOp.
+func (r QReshape) Apply(x *QTensor) *QTensor {
+	n := x.Dim(0)
+	var shape []int
+	if len(r.Dims) == 0 {
+		shape = []int{n, x.NumElems() / n}
+	} else {
+		shape = append([]int{n}, r.Dims...)
+	}
+	return &QTensor{Shape: shape, Data: x.Data, Scale: x.Scale, Zero: x.Zero}
+}
+
+// QReLU clamps to the zero point (used only when a ReLU could not be fused
+// into the preceding layer).
+type QReLU struct{}
+
+var _ QOp = QReLU{}
+
+// Name implements QOp.
+func (QReLU) Name() string { return "QReLU" }
+
+// WeightBytes implements QOp.
+func (QReLU) WeightBytes() int { return 0 }
+
+// Apply implements QOp.
+func (QReLU) Apply(x *QTensor) *QTensor {
+	out := NewQTensor(x.Scale, x.Zero, x.Shape...)
+	z := int8(clampInt8(x.Zero))
+	for i, v := range x.Data {
+		if v < z {
+			v = z
+		}
+		out.Data[i] = v
+	}
+	return out
+}
+
+// QGroup regroups [B, F] → [B/P, P, F] on int8 data.
+type QGroup struct {
+	P int
+}
+
+var _ QOp = QGroup{}
+
+// Name implements QOp.
+func (g QGroup) Name() string { return fmt.Sprintf("QGroup(%d)", g.P) }
+
+// WeightBytes implements QOp.
+func (QGroup) WeightBytes() int { return 0 }
+
+// Apply implements QOp.
+func (g QGroup) Apply(x *QTensor) *QTensor {
+	b, f := x.Dim(0), x.Dim(1)
+	if b%g.P != 0 {
+		panic(fmt.Sprintf("quant: QGroup(%d) batch %d not divisible", g.P, b))
+	}
+	return &QTensor{Shape: []int{b / g.P, g.P, f}, Data: x.Data, Scale: x.Scale, Zero: x.Zero}
+}
+
+// QUngroup flattens [N, P, F] → [N·P, F] on int8 data.
+type QUngroup struct{}
+
+var _ QOp = QUngroup{}
+
+// Name implements QOp.
+func (QUngroup) Name() string { return "QUngroup" }
+
+// WeightBytes implements QOp.
+func (QUngroup) WeightBytes() int { return 0 }
+
+// Apply implements QOp.
+func (QUngroup) Apply(x *QTensor) *QTensor {
+	return &QTensor{Shape: []int{x.Dim(0) * x.Dim(1), x.Dim(2)}, Data: x.Data, Scale: x.Scale, Zero: x.Zero}
+}

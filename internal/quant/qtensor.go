@@ -1,0 +1,210 @@
+// Package quant implements post-training 8-bit quantization for models
+// built with internal/nn, mirroring the TensorFlow Lite converter workflow
+// the paper uses for edge deployment (Section VI): batch-norm layers are
+// folded into the preceding convolution or dense layer, activation ranges
+// are calibrated on a sample of training data, and inference then runs
+// with int8 weights/activations and int32 accumulators using fixed-point
+// requantization multipliers.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"hawccc/internal/tensor"
+)
+
+// QTensor is an int8 tensor with affine quantization parameters:
+// real = Scale · (q − Zero).
+type QTensor struct {
+	Shape []int
+	Data  []int8
+	Scale float64
+	Zero  int32
+}
+
+// NewQTensor allocates a zeroed QTensor.
+func NewQTensor(scale float64, zero int32, shape ...int) *QTensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return &QTensor{
+		Shape: append([]int(nil), shape...),
+		Data:  make([]int8, n),
+		Scale: scale,
+		Zero:  zero,
+	}
+}
+
+// Dim returns the size of dimension i.
+func (q *QTensor) Dim(i int) int { return q.Shape[i] }
+
+// NumElems returns the element count.
+func (q *QTensor) NumElems() int { return len(q.Data) }
+
+// Range is a calibrated activation range.
+type Range struct {
+	Min, Max float64
+}
+
+// Update widens the range to include every element of t.
+func (r *Range) Update(t *tensor.Tensor) {
+	for _, v := range t.Data {
+		f := float64(v)
+		if f < r.Min {
+			r.Min = f
+		}
+		if f > r.Max {
+			r.Max = f
+		}
+	}
+}
+
+// EmptyRange returns a range that any Update will replace.
+func EmptyRange() Range {
+	return Range{Min: math.Inf(1), Max: math.Inf(-1)}
+}
+
+// Params derives the affine quantization (scale, zero point) covering the
+// range, following the TFLite asymmetric int8 scheme: zero must be exactly
+// representable, and the range is nudged to include 0.
+func (r Range) Params() (scale float64, zero int32) {
+	lo, hi := r.Min, r.Max
+	if math.IsInf(lo, 1) || math.IsInf(hi, -1) {
+		return 1, 0 // nothing calibrated
+	}
+	// The real value 0 must be representable (zero padding, ReLU cut).
+	if lo > 0 {
+		lo = 0
+	}
+	if hi < 0 {
+		hi = 0
+	}
+	if hi == lo {
+		return 1, 0
+	}
+	scale = (hi - lo) / 255
+	z := math.Round(-128 - lo/scale)
+	if z < -128 {
+		z = -128
+	}
+	if z > 127 {
+		z = 127
+	}
+	return scale, int32(z)
+}
+
+// QuantizeActivations converts a float tensor to int8 with the given
+// affine parameters.
+func QuantizeActivations(t *tensor.Tensor, scale float64, zero int32) *QTensor {
+	q := NewQTensor(scale, zero, t.Shape...)
+	inv := 1 / scale
+	for i, v := range t.Data {
+		q.Data[i] = clampInt8(int32(math.Round(float64(v)*inv)) + zero)
+	}
+	return q
+}
+
+// Dequantize converts back to float32.
+func (q *QTensor) Dequantize() *tensor.Tensor {
+	t := tensor.New(q.Shape...)
+	for i, v := range q.Data {
+		t.Data[i] = float32(q.Scale * float64(int32(v)-q.Zero))
+	}
+	return t
+}
+
+// QuantizeWeights converts weights to symmetric int8 (zero point 0),
+// returning the int8 data and the scale.
+func QuantizeWeights(w *tensor.Tensor) ([]int8, float64) {
+	absMax := float64(w.AbsMax())
+	if absMax == 0 {
+		absMax = 1
+	}
+	scale := absMax / 127
+	out := make([]int8, len(w.Data))
+	inv := 1 / scale
+	for i, v := range w.Data {
+		out[i] = clampInt8(int32(math.Round(float64(v) * inv)))
+	}
+	return out, scale
+}
+
+// QuantizeBias converts a float bias to int32 at scale sIn·sW (the
+// accumulator scale).
+func QuantizeBias(b *tensor.Tensor, accScale float64) []int32 {
+	out := make([]int32, len(b.Data))
+	for i, v := range b.Data {
+		out[i] = int32(math.Round(float64(v) / accScale))
+	}
+	return out
+}
+
+func clampInt8(v int32) int8 {
+	if v < -128 {
+		return -128
+	}
+	if v > 127 {
+		return 127
+	}
+	return int8(v)
+}
+
+// Multiplier is a fixed-point representation of a positive real multiplier
+// m < 1: m ≈ M · 2^(−31−Shift) with M in [2^30, 2^31).
+type Multiplier struct {
+	M     int32
+	Shift int
+}
+
+// NewMultiplier decomposes m. It panics for non-positive m; m ≥ 1 is
+// supported via negative Shift.
+func NewMultiplier(m float64) Multiplier {
+	if m <= 0 {
+		panic(fmt.Sprintf("quant: non-positive multiplier %v", m))
+	}
+	shift := 0
+	for m < 0.5 {
+		m *= 2
+		shift++
+	}
+	for m >= 1 {
+		m /= 2
+		shift--
+	}
+	q := int64(math.Round(m * (1 << 31)))
+	if q == 1<<31 { // rounding overflow
+		q /= 2
+		shift--
+	}
+	return Multiplier{M: int32(q), Shift: shift}
+}
+
+// Apply computes round(acc · m) in pure integer arithmetic.
+func (mu Multiplier) Apply(acc int32) int32 {
+	prod := int64(acc) * int64(mu.M) // fits in int64
+	// Round-half-away-from-zero shift by 31 + Shift.
+	totalShift := uint(31 + mu.Shift)
+	if mu.Shift < -31 {
+		panic("quant: multiplier shift out of range")
+	}
+	var rounded int64
+	if totalShift == 0 {
+		rounded = prod
+	} else {
+		half := int64(1) << (totalShift - 1)
+		if prod >= 0 {
+			rounded = (prod + half) >> totalShift
+		} else {
+			rounded = -((-prod + half) >> totalShift)
+		}
+	}
+	if rounded > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	if rounded < math.MinInt32 {
+		return math.MinInt32
+	}
+	return int32(rounded)
+}

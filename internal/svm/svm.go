@@ -1,0 +1,214 @@
+// Package svm implements the one-class ν-SVM of Schölkopf et al. ("Support
+// vector method for novelty detection", NeurIPS 1999), the classifier
+// behind the OC-SVM-CC baseline (Section VII-A). The dual problem
+//
+//	min ½ Σᵢⱼ αᵢαⱼK(xᵢ,xⱼ)   s.t. 0 ≤ αᵢ ≤ 1/(νn), Σᵢαᵢ = 1
+//
+// is solved with pairwise coordinate descent (SMO-style updates that
+// preserve the equality constraint), using an RBF kernel
+// K(x, y) = exp(−γ‖x−y‖²). The decision function is
+// f(x) = Σᵢ αᵢK(xᵢ, x) − ρ, positive inside the learned support region.
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config parameterizes OC-SVM training. The paper sets both the training
+// error upper bound and support-vector lower bound (ν) to 0.01 and
+// γ = 1/numFeatures (Section VII-A).
+type Config struct {
+	// Nu is the ν parameter: an upper bound on the fraction of outliers
+	// and lower bound on the fraction of support vectors.
+	Nu float64
+	// Gamma is the RBF kernel coefficient; if 0, 1/dim is used.
+	Gamma float64
+	// MaxPasses bounds optimization sweeps over all pairs.
+	MaxPasses int
+	// Tol is the convergence tolerance on objective improvement.
+	Tol float64
+	// Seed drives pair selection.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's OC-SVM settings.
+func DefaultConfig() Config {
+	return Config{Nu: 0.01, Gamma: 0, MaxPasses: 40, Tol: 1e-7, Seed: 1}
+}
+
+// OneClass is a trained one-class SVM.
+type OneClass struct {
+	SupportVectors [][]float64
+	Alphas         []float64
+	Rho            float64
+	Gamma          float64
+}
+
+// Train fits a one-class SVM on the (single-class) training vectors.
+func Train(xs [][]float64, cfg Config) (*OneClass, error) {
+	n := len(xs)
+	if n == 0 {
+		return nil, errors.New("svm: no training data")
+	}
+	dim := len(xs[0])
+	for i, x := range xs {
+		if len(x) != dim {
+			return nil, fmt.Errorf("svm: vector %d has dim %d, want %d", i, len(x), dim)
+		}
+	}
+	if cfg.Nu <= 0 || cfg.Nu > 1 {
+		return nil, fmt.Errorf("svm: ν = %v outside (0, 1]", cfg.Nu)
+	}
+	gamma := cfg.Gamma
+	if gamma == 0 {
+		gamma = 1 / float64(dim)
+	}
+	if cfg.MaxPasses <= 0 {
+		cfg.MaxPasses = 40
+	}
+
+	c := 1 / (cfg.Nu * float64(n)) // box constraint
+	if c < 1.0/float64(n) {
+		// Σα = 1 with α ≤ C < 1/n is infeasible; clamp like libsvm does.
+		c = 1.0 / float64(n)
+	}
+
+	// Kernel matrix (n ≤ a few thousand for our feature datasets).
+	k := make([][]float64, n)
+	for i := range k {
+		k[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		k[i][i] = 1
+		for j := i + 1; j < n; j++ {
+			v := rbf(xs[i], xs[j], gamma)
+			k[i][j], k[j][i] = v, v
+		}
+	}
+
+	alpha := make([]float64, n)
+	// Feasible start: the first ⌊νn⌋ points at the box bound, remainder on
+	// one point (libsvm's initialization).
+	remaining := 1.0
+	for i := 0; i < n && remaining > 0; i++ {
+		a := math.Min(c, remaining)
+		alpha[i] = a
+		remaining -= a
+	}
+
+	// g[i] = Σ_j α_j K(i, j); maintained incrementally.
+	g := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if alpha[j] != 0 {
+				g[i] += alpha[j] * k[i][j]
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for pass := 0; pass < cfg.MaxPasses; pass++ {
+		var improved float64
+		perm := rng.Perm(n)
+		for pi := 0; pi < n; pi++ {
+			i := perm[pi]
+			j := perm[(pi+1)%n]
+			if i == j {
+				continue
+			}
+			s := alpha[i] + alpha[j]
+			eta := k[i][i] + k[j][j] - 2*k[i][j]
+			if eta < 1e-12 {
+				continue
+			}
+			// Unconstrained optimum for α_i with α_j = s − α_i; using
+			// maintained gradients: c_i = g[i] − α_i·K_ii − α_j·K_ij and
+			// symmetric for j.
+			ci := g[i] - alpha[i]*k[i][i] - alpha[j]*k[i][j]
+			cj := g[j] - alpha[i]*k[i][j] - alpha[j]*k[j][j]
+			ai := (s*(k[j][j]-k[i][j]) + cj - ci) / eta
+			lo := math.Max(0, s-c)
+			hi := math.Min(c, s)
+			if ai < lo {
+				ai = lo
+			}
+			if ai > hi {
+				ai = hi
+			}
+			aj := s - ai
+			di, dj := ai-alpha[i], aj-alpha[j]
+			if math.Abs(di) < 1e-14 {
+				continue
+			}
+			alpha[i], alpha[j] = ai, aj
+			for t := 0; t < n; t++ {
+				g[t] += di*k[i][t] + dj*k[j][t]
+			}
+			improved += math.Abs(di)
+		}
+		if improved < cfg.Tol {
+			break
+		}
+	}
+
+	// ρ: average of f₀(x_i) = g[i] over margin support vectors
+	// (0 < α < C); if none, over all support vectors.
+	var rho float64
+	count := 0
+	const eps = 1e-9
+	for i := 0; i < n; i++ {
+		if alpha[i] > eps && alpha[i] < c-eps {
+			rho += g[i]
+			count++
+		}
+	}
+	if count == 0 {
+		for i := 0; i < n; i++ {
+			if alpha[i] > eps {
+				rho += g[i]
+				count++
+			}
+		}
+	}
+	if count > 0 {
+		rho /= float64(count)
+	}
+
+	// Retain only support vectors.
+	model := &OneClass{Gamma: gamma, Rho: rho}
+	for i := 0; i < n; i++ {
+		if alpha[i] > eps {
+			model.SupportVectors = append(model.SupportVectors, append([]float64(nil), xs[i]...))
+			model.Alphas = append(model.Alphas, alpha[i])
+		}
+	}
+	return model, nil
+}
+
+// Decision returns f(x) = Σ αᵢK(xᵢ, x) − ρ; positive means x lies inside
+// the learned support of the training distribution.
+func (m *OneClass) Decision(x []float64) float64 {
+	var s float64
+	for i, sv := range m.SupportVectors {
+		s += m.Alphas[i] * rbf(sv, x, m.Gamma)
+	}
+	return s - m.Rho
+}
+
+// Predict reports whether x belongs to the training class.
+func (m *OneClass) Predict(x []float64) bool { return m.Decision(x) >= 0 }
+
+// NumSupportVectors returns the support vector count.
+func (m *OneClass) NumSupportVectors() int { return len(m.SupportVectors) }
+
+func rbf(a, b []float64, gamma float64) float64 {
+	var d2 float64
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return math.Exp(-gamma * d2)
+}

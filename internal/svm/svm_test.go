@@ -1,0 +1,166 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func gaussianBlob(rng *rand.Rand, center []float64, std float64, n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		v := make([]float64, len(center))
+		for d := range v {
+			v[d] = center[d] + rng.NormFloat64()*std
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestTrainRejectsBadInput(t *testing.T) {
+	if _, err := Train(nil, DefaultConfig()); err == nil {
+		t.Error("empty training set accepted")
+	}
+	cfg := DefaultConfig()
+	cfg.Nu = 0
+	if _, err := Train([][]float64{{1}}, cfg); err == nil {
+		t.Error("ν=0 accepted")
+	}
+	cfg = DefaultConfig()
+	if _, err := Train([][]float64{{1, 2}, {1}}, cfg); err == nil {
+		t.Error("ragged vectors accepted")
+	}
+}
+
+func TestOneClassSeparation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train := gaussianBlob(rng, []float64{0, 0}, 0.5, 200)
+	cfg := DefaultConfig()
+	cfg.Nu = 0.05
+	cfg.Gamma = 0.5
+	m, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// In-distribution points mostly accepted.
+	inliers := gaussianBlob(rng, []float64{0, 0}, 0.5, 100)
+	accepted := 0
+	for _, x := range inliers {
+		if m.Predict(x) {
+			accepted++
+		}
+	}
+	if accepted < 80 {
+		t.Errorf("accepted %d/100 inliers, want ≥ 80", accepted)
+	}
+
+	// Far-away points rejected.
+	outliers := gaussianBlob(rng, []float64{10, 10}, 0.5, 100)
+	rejected := 0
+	for _, x := range outliers {
+		if !m.Predict(x) {
+			rejected++
+		}
+	}
+	if rejected < 95 {
+		t.Errorf("rejected %d/100 distant outliers", rejected)
+	}
+}
+
+func TestNuControlsTrainingRejections(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	train := gaussianBlob(rng, []float64{0, 0, 0}, 1, 300)
+	cfg := DefaultConfig()
+	cfg.Nu = 0.1
+	cfg.Gamma = 0.3
+	m, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejectedTrain := 0
+	for _, x := range train {
+		if !m.Predict(x) {
+			rejectedTrain++
+		}
+	}
+	// ν bounds the training outlier fraction (≈ ν·n = 30); allow slack for
+	// the approximate solver.
+	if rejectedTrain > 60 {
+		t.Errorf("rejected %d/300 training points with ν=0.1", rejectedTrain)
+	}
+}
+
+func TestSupportVectorFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	train := gaussianBlob(rng, []float64{0, 0}, 1, 200)
+	cfg := DefaultConfig()
+	cfg.Nu = 0.2
+	cfg.Gamma = 0.5
+	m, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ν lower-bounds the support-vector fraction: expect ≥ ~ν·n.
+	if m.NumSupportVectors() < 20 {
+		t.Errorf("only %d support vectors with ν=0.2, n=200", m.NumSupportVectors())
+	}
+}
+
+func TestGammaDefaultsToInverseDim(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	train := gaussianBlob(rng, []float64{0, 0, 0, 0}, 1, 50)
+	m, err := Train(train, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Gamma-0.25) > 1e-12 {
+		t.Errorf("gamma = %v, want 0.25", m.Gamma)
+	}
+}
+
+func TestDecisionMonotoneInDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	train := gaussianBlob(rng, []float64{0, 0}, 0.3, 150)
+	cfg := DefaultConfig()
+	cfg.Gamma = 1
+	m, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for _, r := range []float64{0, 1, 2, 4, 8} {
+		d := m.Decision([]float64{r, 0})
+		if d > prev+1e-9 {
+			t.Errorf("decision at r=%v is %v, rose above %v", r, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	m, err := Train([][]float64{{1, 1}}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Predict([]float64{1, 1}) {
+		t.Error("the single training point should be accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	train := gaussianBlob(rng, []float64{0, 0}, 1, 100)
+	m1, err := Train(train, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(train, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Rho != m2.Rho || m1.NumSupportVectors() != m2.NumSupportVectors() {
+		t.Error("same seed should give identical models")
+	}
+}

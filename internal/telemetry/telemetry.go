@@ -1,0 +1,183 @@
+// Package telemetry models the pole-compartment temperature monitoring of
+// Section VII-D (Figure 10). The paper logs a compartment sensor every 1.7
+// minutes over a Tempe, AZ summer window (June 24 – July 11, 2023) and
+// cross-references Visual Crossing weather data; we reproduce the series
+// with a diurnal desert-summer weather model plus an enclosure thermal
+// model (solar gain, thermal lag, device self-heating). The quantities
+// Figure 10 exhibits — pole ≈ +10 °C over ambient at peak, < +5 °C in the
+// cool hours, maxima near 57–58 °C against the Coral's 50 °C rated limit —
+// fall out of the model.
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// SampleInterval is the compartment sensor's logging period (Section
+// VII-D: every 1.7 minutes, ~2500 points/day — the paper rounds 847).
+const SampleInterval = 102 * time.Second
+
+// Reading is one timestamped temperature pair.
+type Reading struct {
+	At      time.Time
+	Weather float64 // ambient °C
+	Pole    float64 // compartment °C
+}
+
+// Config parameterizes the thermal simulation.
+type Config struct {
+	// Start and Days bound the simulated window.
+	Start time.Time
+	Days  int
+	// MeanLow/MeanHigh are the typical daily ambient extremes (°C).
+	MeanLow, MeanHigh float64
+	// DayVariation is the day-to-day σ of the daily extremes.
+	DayVariation float64
+	// SolarGain is the peak compartment heating above ambient from solar
+	// load on the pole (°C).
+	SolarGain float64
+	// DeviceLoad is the constant self-heating of the edge devices (°C).
+	DeviceLoad float64
+	// LagMinutes is the enclosure thermal time constant.
+	LagMinutes float64
+	// NoiseStd is the sensor noise (°C).
+	NoiseStd float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// SummerConfig reproduces the paper's window: June 24 – July 11, 2023 in
+// Tempe (18 days of Sonoran-desert summer).
+func SummerConfig() Config {
+	return Config{
+		Start:        time.Date(2023, time.June, 24, 0, 0, 0, 0, time.UTC),
+		Days:         18,
+		MeanLow:      28,
+		MeanHigh:     44,
+		DayVariation: 2.0,
+		SolarGain:    8.5,
+		DeviceLoad:   2.0,
+		LagMinutes:   45,
+		NoiseStd:     0.25,
+		Seed:         1,
+	}
+}
+
+// Simulate produces the full reading series for the configured window.
+func Simulate(cfg Config) []Reading {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	perDay := int(24 * time.Hour / SampleInterval)
+	out := make([]Reading, 0, perDay*cfg.Days)
+
+	// Per-day extremes wander around the seasonal means.
+	lows := make([]float64, cfg.Days+1)
+	highs := make([]float64, cfg.Days+1)
+	for d := range lows {
+		lows[d] = cfg.MeanLow + rng.NormFloat64()*cfg.DayVariation
+		highs[d] = cfg.MeanHigh + rng.NormFloat64()*cfg.DayVariation
+	}
+
+	pole := cfg.MeanLow + cfg.DeviceLoad // start pre-dawn, near ambient
+	alpha := 1 - math.Exp(-SampleInterval.Minutes()/cfg.LagMinutes)
+
+	for d := 0; d < cfg.Days; d++ {
+		for i := 0; i < perDay; i++ {
+			at := cfg.Start.Add(time.Duration(d)*24*time.Hour + time.Duration(i)*SampleInterval)
+			hour := float64(i) * SampleInterval.Hours()
+
+			// Ambient: minimum ~05:00, maximum ~16:00 (desert asymmetric
+			// curve approximated by a phase-shifted cosine).
+			phase := (hour - 16) / 24 * 2 * math.Pi
+			frac := (math.Cos(phase) + 1) / 2 // 1 at 16:00, 0 at 04:00
+			weather := lows[d] + (highs[d]-lows[d])*frac + rng.NormFloat64()*0.3
+
+			// Compartment equilibrium: ambient + solar gain (daylight
+			// bell centered 13:00) + device load; the enclosure tracks it
+			// with a first-order lag.
+			solar := 0.0
+			if hour > 6 && hour < 20 {
+				solar = cfg.SolarGain * math.Pow(math.Sin((hour-6)/14*math.Pi), 2)
+			}
+			equilibrium := weather + solar + cfg.DeviceLoad
+			pole += alpha * (equilibrium - pole)
+
+			out = append(out, Reading{
+				At:      at,
+				Weather: weather,
+				Pole:    pole + rng.NormFloat64()*cfg.NoiseStd,
+			})
+		}
+	}
+	return out
+}
+
+// Stats summarizes a series the way Section VII-D reports it.
+type Stats struct {
+	Min, Max, Mean float64
+	// PeakDelta is the mean pole−weather difference during the hottest
+	// hours (13:00–17:00); CoolDelta the same during 00:00–06:00.
+	PeakDelta, CoolDelta float64
+	// HoursAboveRated is the total time the pole exceeded ratedLimit.
+	HoursAboveRated float64
+}
+
+// Summarize computes the Figure 10 statistics; ratedLimit is the device's
+// maximum rated operating temperature (50 °C for the Coral Dev Board).
+func Summarize(readings []Reading, ratedLimit float64) Stats {
+	if len(readings) == 0 {
+		return Stats{}
+	}
+	s := Stats{Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	var peakSum, coolSum float64
+	var peakN, coolN int
+	for _, r := range readings {
+		if r.Pole < s.Min {
+			s.Min = r.Pole
+		}
+		if r.Pole > s.Max {
+			s.Max = r.Pole
+		}
+		sum += r.Pole
+		h := r.At.Hour()
+		switch {
+		case h >= 13 && h < 17:
+			peakSum += r.Pole - r.Weather
+			peakN++
+		case h < 6:
+			coolSum += r.Pole - r.Weather
+			coolN++
+		}
+		if r.Pole > ratedLimit {
+			s.HoursAboveRated += SampleInterval.Hours()
+		}
+	}
+	s.Mean = sum / float64(len(readings))
+	if peakN > 0 {
+		s.PeakDelta = peakSum / float64(peakN)
+	}
+	if coolN > 0 {
+		s.CoolDelta = coolSum / float64(coolN)
+	}
+	return s
+}
+
+// DailyMax returns the per-day maximum pole temperature.
+func DailyMax(readings []Reading) []float64 {
+	var out []float64
+	var day int = -1
+	for _, r := range readings {
+		d := r.At.YearDay()
+		if day != d {
+			out = append(out, r.Pole)
+			day = d
+			continue
+		}
+		if r.Pole > out[len(out)-1] {
+			out[len(out)-1] = r.Pole
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimulateSeriesShape(t *testing.T) {
+	cfg := SummerConfig()
+	readings := Simulate(cfg)
+	perDay := int(24 * time.Hour / SampleInterval)
+	if len(readings) != perDay*cfg.Days {
+		t.Fatalf("got %d readings, want %d", len(readings), perDay*cfg.Days)
+	}
+	// ~847 samples/day at 1.7-minute cadence.
+	if perDay < 800 || perDay > 900 {
+		t.Errorf("samples per day = %d", perDay)
+	}
+	// Timestamps advance by SampleInterval.
+	if got := readings[1].At.Sub(readings[0].At); got != SampleInterval {
+		t.Errorf("interval = %v", got)
+	}
+	if !readings[0].At.Equal(cfg.Start) {
+		t.Errorf("series starts at %v", readings[0].At)
+	}
+}
+
+func TestSummerStatisticsMatchPaperEnvelope(t *testing.T) {
+	readings := Simulate(SummerConfig())
+	s := Summarize(readings, 50)
+
+	// Paper (Section VII-D): max 57.81 °C, min 21.00 °C, mean 41.95 °C.
+	if s.Max < 50 || s.Max > 65 {
+		t.Errorf("max pole temp = %.1f, want within the paper's 50–65 envelope", s.Max)
+	}
+	if s.Min < 18 || s.Min > 32 {
+		t.Errorf("min pole temp = %.1f", s.Min)
+	}
+	if s.Mean < 35 || s.Mean > 48 {
+		t.Errorf("mean pole temp = %.1f", s.Mean)
+	}
+	// Pole runs ≈10 °C hotter than ambient at peak, < 5 °C when cool.
+	if s.PeakDelta < 6 || s.PeakDelta > 14 {
+		t.Errorf("peak delta = %.1f, want ≈10", s.PeakDelta)
+	}
+	if s.CoolDelta < 0 || s.CoolDelta > 5 {
+		t.Errorf("cool delta = %.1f, want < 5", s.CoolDelta)
+	}
+	// The compartment does exceed the Coral's 50 °C rating during peaks.
+	if s.HoursAboveRated <= 0 {
+		t.Error("expected some hours above the 50 °C rating")
+	}
+}
+
+func TestPoleTracksWeather(t *testing.T) {
+	readings := Simulate(SummerConfig())
+	// Afternoon pole temperature must exceed pre-dawn pole temperature on
+	// every day (diurnal cycle).
+	perDay := int(24 * time.Hour / SampleInterval)
+	for d := 0; d < 3; d++ {
+		preDawn := readings[d*perDay+perDay*4/24].Pole    // ~04:00
+		afternoon := readings[d*perDay+perDay*16/24].Pole // ~16:00
+		if afternoon <= preDawn+5 {
+			t.Errorf("day %d: afternoon %.1f not clearly above pre-dawn %.1f", d, afternoon, preDawn)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Simulate(SummerConfig())
+	b := Simulate(SummerConfig())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reading %d differs across identical seeds", i)
+		}
+	}
+	cfg := SummerConfig()
+	cfg.Seed = 2
+	c := Simulate(cfg)
+	same := true
+	for i := range a {
+		if a[i].Pole != c[i].Pole {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical series")
+	}
+}
+
+func TestDailyMax(t *testing.T) {
+	cfg := SummerConfig()
+	cfg.Days = 3
+	readings := Simulate(cfg)
+	maxes := DailyMax(readings)
+	if len(maxes) != 3 {
+		t.Fatalf("got %d daily maxima", len(maxes))
+	}
+	for d, m := range maxes {
+		if m < 40 || m > 65 {
+			t.Errorf("day %d max = %.1f", d, m)
+		}
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil, 50)
+	if s.HoursAboveRated != 0 || s.Mean != 0 {
+		t.Error("empty summary should be zero")
+	}
+}

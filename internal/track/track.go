@@ -1,0 +1,245 @@
+// Package track associates per-frame human detections into trajectories —
+// the pedestrian-behavior analytics (popular routes, walking speeds, flow
+// direction) that the paper's introduction motivates as the point of
+// campus-wide crowd counting. It is an extension on top of the counting
+// pipeline: each processed frame yields human cluster centroids, and a
+// greedy nearest-neighbor association with a gating distance links them
+// over time.
+package track
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"hawccc/internal/counting"
+	"hawccc/internal/geom"
+)
+
+// Config parameterizes the tracker.
+type Config struct {
+	// MaxAssociationDist is the gating distance (meters): a detection
+	// farther than this from every live track starts a new track. At
+	// typical walking speed (1.4 m/s) and 10 Hz frames, 0.5 m is ample.
+	MaxAssociationDist float64
+	// MaxMisses is how many consecutive frames a track may go undetected
+	// before it is closed (occlusion tolerance).
+	MaxMisses int
+	// FrameInterval converts frame indices to time for speed estimates.
+	FrameInterval time.Duration
+}
+
+// DefaultConfig returns a configuration for 10 Hz pole frames.
+func DefaultConfig() Config {
+	return Config{
+		MaxAssociationDist: 0.7,
+		MaxMisses:          3,
+		FrameInterval:      100 * time.Millisecond,
+	}
+}
+
+// Track is one pedestrian's trajectory.
+type Track struct {
+	ID int
+	// Positions are the ground-plane centroids, one per observed frame.
+	Positions []geom.Point3
+	// Frames are the frame indices of each position.
+	Frames []int
+	// misses counts consecutive unobserved frames (live tracks only).
+	misses int
+}
+
+// Length returns the path length in meters.
+func (t *Track) Length() float64 {
+	var d float64
+	for i := 1; i < len(t.Positions); i++ {
+		d += t.Positions[i].Dist(t.Positions[i-1])
+	}
+	return d
+}
+
+// Duration returns the observed time span given the frame interval.
+func (t *Track) Duration(frameInterval time.Duration) time.Duration {
+	if len(t.Frames) < 2 {
+		return 0
+	}
+	return time.Duration(t.Frames[len(t.Frames)-1]-t.Frames[0]) * frameInterval
+}
+
+// MeanSpeed returns the average speed in m/s (0 for single-observation
+// tracks).
+func (t *Track) MeanSpeed(frameInterval time.Duration) float64 {
+	d := t.Duration(frameInterval)
+	if d <= 0 {
+		return 0
+	}
+	return t.Length() / d.Seconds()
+}
+
+// Displacement returns the net movement vector from first to last
+// observation.
+func (t *Track) Displacement() geom.Point3 {
+	if len(t.Positions) < 2 {
+		return geom.Point3{}
+	}
+	return t.Positions[len(t.Positions)-1].Sub(t.Positions[0])
+}
+
+// Tracker accumulates detections frame by frame.
+type Tracker struct {
+	cfg    Config
+	nextID int
+	frame  int
+	live   []*Track
+	closed []*Track
+}
+
+// NewTracker builds a tracker.
+func NewTracker(cfg Config) *Tracker {
+	if cfg.MaxAssociationDist <= 0 {
+		cfg = DefaultConfig()
+	}
+	return &Tracker{cfg: cfg}
+}
+
+// Observe ingests the human-cluster centroids of the next frame and
+// associates them with live tracks (greedy nearest-pair within the gate).
+func (t *Tracker) Observe(centroids []geom.Point3) {
+	type pair struct {
+		track, det int
+		dist       float64
+	}
+	var pairs []pair
+	for ti, tr := range t.live {
+		last := tr.Positions[len(tr.Positions)-1]
+		for di, c := range centroids {
+			// Ground-plane distance: height differences are sensor noise.
+			dx, dy := c.X-last.X, c.Y-last.Y
+			d := math.Sqrt(dx*dx + dy*dy)
+			if d <= t.cfg.MaxAssociationDist {
+				pairs = append(pairs, pair{ti, di, d})
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].dist < pairs[j].dist })
+
+	usedTrack := make(map[int]bool)
+	usedDet := make(map[int]bool)
+	for _, p := range pairs {
+		if usedTrack[p.track] || usedDet[p.det] {
+			continue
+		}
+		usedTrack[p.track] = true
+		usedDet[p.det] = true
+		tr := t.live[p.track]
+		tr.Positions = append(tr.Positions, centroids[p.det])
+		tr.Frames = append(tr.Frames, t.frame)
+		tr.misses = 0
+	}
+
+	// Unmatched detections start new tracks.
+	for di, c := range centroids {
+		if usedDet[di] {
+			continue
+		}
+		t.nextID++
+		t.live = append(t.live, &Track{
+			ID:        t.nextID,
+			Positions: []geom.Point3{c},
+			Frames:    []int{t.frame},
+		})
+	}
+
+	// Unmatched tracks age; stale ones close.
+	var stillLive []*Track
+	for ti, tr := range t.live {
+		if !usedTrack[ti] && len(tr.Frames) > 0 && tr.Frames[len(tr.Frames)-1] != t.frame {
+			tr.misses++
+		}
+		if tr.misses > t.cfg.MaxMisses {
+			t.closed = append(t.closed, tr)
+		} else {
+			stillLive = append(stillLive, tr)
+		}
+	}
+	t.live = stillLive
+	t.frame++
+}
+
+// ObserveFrame runs the counting pipeline on a raw frame and feeds the
+// human clusters' centroids to the tracker, returning the frame's count.
+func (t *Tracker) ObserveFrame(p *counting.Pipeline, frame geom.Cloud) int {
+	centroids := HumanCentroids(p, frame)
+	t.Observe(centroids)
+	return len(centroids)
+}
+
+// HumanCentroids runs the pipeline's ingest/cluster/classify stages and
+// returns the centroids of clusters classified human.
+func HumanCentroids(p *counting.Pipeline, frame geom.Cloud) []geom.Point3 {
+	ingested := ingest(p, frame)
+	cr := p.Clusterer.Cluster(ingested)
+	var out []geom.Point3
+	for _, c := range cr.Clusters(ingested) {
+		if len(c) < p.MinClusterPoints {
+			continue
+		}
+		if p.Classifier.PredictHuman(c) {
+			out = append(out, c.Centroid())
+		}
+	}
+	return out
+}
+
+func ingest(p *counting.Pipeline, frame geom.Cloud) geom.Cloud {
+	return p.ROI.Crop(frame).Filter(func(q geom.Point3) bool { return q.Z >= -2.6 })
+}
+
+// Live returns the currently open tracks.
+func (t *Tracker) Live() []*Track { return append([]*Track(nil), t.live...) }
+
+// Closed returns the finished tracks.
+func (t *Tracker) Closed() []*Track { return append([]*Track(nil), t.closed...) }
+
+// All returns every track, live and closed.
+func (t *Tracker) All() []*Track {
+	out := append([]*Track(nil), t.closed...)
+	return append(out, t.live...)
+}
+
+// FlowStats summarizes pedestrian behavior over the tracked period.
+type FlowStats struct {
+	// Tracks is the number of distinct pedestrians observed.
+	Tracks int
+	// MeanSpeed is the average walking speed over multi-observation
+	// tracks (m/s).
+	MeanSpeed float64
+	// Inbound/Outbound count tracks by net x-direction (toward/away from
+	// the pole).
+	Inbound, Outbound int
+}
+
+// Flow computes summary statistics over all tracks.
+func (t *Tracker) Flow() FlowStats {
+	var s FlowStats
+	var speedSum float64
+	var speedN int
+	for _, tr := range t.All() {
+		s.Tracks++
+		if sp := tr.MeanSpeed(t.cfg.FrameInterval); sp > 0 {
+			speedSum += sp
+			speedN++
+		}
+		d := tr.Displacement()
+		switch {
+		case d.X < -0.2:
+			s.Inbound++
+		case d.X > 0.2:
+			s.Outbound++
+		}
+	}
+	if speedN > 0 {
+		s.MeanSpeed = speedSum / float64(speedN)
+	}
+	return s
+}

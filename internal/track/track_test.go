@@ -1,0 +1,137 @@
+package track
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"hawccc/internal/counting"
+	"hawccc/internal/geom"
+	"hawccc/internal/models"
+)
+
+func TestSingleWalkerTracked(t *testing.T) {
+	tr := NewTracker(DefaultConfig())
+	// One pedestrian walking 0.14 m per frame (1.4 m/s at 10 Hz).
+	for f := 0; f < 20; f++ {
+		tr.Observe([]geom.Point3{geom.P(20+0.14*float64(f), 0, -2)})
+	}
+	all := tr.All()
+	if len(all) != 1 {
+		t.Fatalf("got %d tracks, want 1", len(all))
+	}
+	tk := all[0]
+	if len(tk.Positions) != 20 {
+		t.Errorf("track has %d observations", len(tk.Positions))
+	}
+	speed := tk.MeanSpeed(100 * time.Millisecond)
+	if math.Abs(speed-1.4) > 0.05 {
+		t.Errorf("speed = %.3f m/s, want 1.4", speed)
+	}
+	if d := tk.Displacement(); d.X <= 0 {
+		t.Errorf("displacement %v should be outbound", d)
+	}
+}
+
+func TestTwoWalkersStaySeparate(t *testing.T) {
+	tr := NewTracker(DefaultConfig())
+	for f := 0; f < 15; f++ {
+		x := 0.14 * float64(f)
+		tr.Observe([]geom.Point3{
+			geom.P(15+x, -1, -2), // outbound
+			geom.P(30-x, 1, -2),  // inbound
+		})
+	}
+	all := tr.All()
+	if len(all) != 2 {
+		t.Fatalf("got %d tracks, want 2", len(all))
+	}
+	flow := tr.Flow()
+	if flow.Tracks != 2 || flow.Inbound != 1 || flow.Outbound != 1 {
+		t.Errorf("flow = %+v", flow)
+	}
+	if flow.MeanSpeed < 1.2 || flow.MeanSpeed > 1.6 {
+		t.Errorf("mean speed %.2f", flow.MeanSpeed)
+	}
+}
+
+func TestOcclusionTolerance(t *testing.T) {
+	cfg := DefaultConfig()
+	tr := NewTracker(cfg)
+	pos := func(f int) geom.Point3 { return geom.P(20+0.1*float64(f), 0, -2) }
+	for f := 0; f < 5; f++ {
+		tr.Observe([]geom.Point3{pos(f)})
+	}
+	// Two missed frames (within MaxMisses), then reappears close enough
+	// to re-associate (gating distance covers the gap).
+	tr.Observe(nil)
+	tr.Observe(nil)
+	for f := 7; f < 10; f++ {
+		tr.Observe([]geom.Point3{pos(f)})
+	}
+	if got := len(tr.All()); got != 1 {
+		t.Errorf("occluded walker split into %d tracks", got)
+	}
+}
+
+func TestTrackClosesAfterMisses(t *testing.T) {
+	tr := NewTracker(DefaultConfig())
+	tr.Observe([]geom.Point3{geom.P(20, 0, -2)})
+	for f := 0; f < 6; f++ {
+		tr.Observe(nil)
+	}
+	if len(tr.Live()) != 0 {
+		t.Error("stale track still live")
+	}
+	if len(tr.Closed()) != 1 {
+		t.Errorf("closed = %d", len(tr.Closed()))
+	}
+}
+
+func TestNewWalkerFarAwayStartsNewTrack(t *testing.T) {
+	tr := NewTracker(DefaultConfig())
+	tr.Observe([]geom.Point3{geom.P(15, 0, -2)})
+	tr.Observe([]geom.Point3{geom.P(15.1, 0, -2), geom.P(30, 2, -2)})
+	if got := len(tr.All()); got != 2 {
+		t.Errorf("got %d tracks, want 2", got)
+	}
+}
+
+func TestZeroConfigDefaults(t *testing.T) {
+	tr := NewTracker(Config{})
+	tr.Observe([]geom.Point3{geom.P(20, 0, -2)})
+	if len(tr.Live()) != 1 {
+		t.Error("zero config should fall back to defaults")
+	}
+}
+
+// tallStub approximates HAWC for pipeline integration without training.
+type tallStub struct{}
+
+var _ models.Classifier = tallStub{}
+
+func (tallStub) Name() string { return "TallStub" }
+func (tallStub) PredictHuman(c geom.Cloud) bool {
+	e := c.MaxZ() - c.MinZ()
+	return e > 1.1 && e < 2.3
+}
+
+func TestHumanCentroidsFromPipeline(t *testing.T) {
+	p := counting.New(tallStub{})
+	// A synthetic person-like column of points at x=20.
+	var frame geom.Cloud
+	for i := 0; i < 60; i++ {
+		frame = append(frame, geom.P(20+0.01*float64(i%5), 0.01*float64(i%7), -2.6+float64(i)*0.025))
+	}
+	cents := HumanCentroids(p, frame)
+	if len(cents) != 1 {
+		t.Fatalf("got %d centroids", len(cents))
+	}
+	if math.Abs(cents[0].X-20) > 0.2 {
+		t.Errorf("centroid at %v", cents[0])
+	}
+	tr := NewTracker(DefaultConfig())
+	if got := tr.ObserveFrame(p, frame); got != 1 {
+		t.Errorf("ObserveFrame = %d", got)
+	}
+}

@@ -1,0 +1,157 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte("hello world")
+	if err := WriteFrame(&buf, MsgHello, body); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgHello || !bytes.Equal(got, body) {
+		t.Errorf("round trip: type=%d body=%q", typ, got)
+	}
+}
+
+func TestFrameEmptyBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgAck, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgAck || len(body) != 0 {
+		t.Errorf("empty frame: type=%d len=%d", typ, len(body))
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	if err := WriteFrame(io.Discard, MsgHello, make([]byte, MaxFrameSize)); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}
+
+func TestReadFrameErrors(t *testing.T) {
+	// Truncated header → io.EOF-ish error.
+	if _, _, err := ReadFrame(strings.NewReader("\x00\x00")); err == nil {
+		t.Error("truncated header accepted")
+	}
+	// Zero size.
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 0, 1})); err == nil {
+		t.Error("zero-size frame accepted")
+	}
+	// Huge declared size.
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1})); err == nil {
+		t.Error("huge frame accepted")
+	}
+	// Truncated body.
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 5, 1, 'a'})); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+func TestCleanEOF(t *testing.T) {
+	_, _, err := ReadFrame(bytes.NewReader(nil))
+	if err != io.EOF {
+		t.Errorf("empty stream error = %v, want io.EOF", err)
+	}
+}
+
+func TestHelloCodec(t *testing.T) {
+	in := Hello{PoleID: 42, Location: "Palm Walk & University Dr"}
+	out, err := DecodeHello(EncodeHello(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip %+v != %+v", out, in)
+	}
+}
+
+func TestCountReportCodec(t *testing.T) {
+	ts := time.Date(2023, 7, 1, 12, 30, 0, 123456789, time.UTC)
+	in := CountReport{
+		PoleID: 7, Seq: 99, Timestamp: ts,
+		Count: 14, Clusters: 20, LatencyUS: 17420,
+	}
+	out, err := DecodeCountReport(EncodeCountReport(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip %+v != %+v", out, in)
+	}
+}
+
+func TestTelemetryCodec(t *testing.T) {
+	ts := time.Date(2023, 6, 24, 16, 0, 0, 0, time.UTC)
+	in := Telemetry{PoleID: 3, Timestamp: ts, PoleTemp: 57.81, Ambient: 46.2}
+	out, err := DecodeTelemetry(EncodeTelemetry(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip %+v != %+v", out, in)
+	}
+}
+
+func TestAckAlertCodecs(t *testing.T) {
+	a, err := DecodeAck(EncodeAck(Ack{Seq: 123}))
+	if err != nil || a.Seq != 123 {
+		t.Errorf("ack round trip: %+v err=%v", a, err)
+	}
+	al, err := DecodeAlert(EncodeAlert(Alert{PoleID: 1, Kind: AlertCrowding, Message: "crowd"}))
+	if err != nil || al.Kind != AlertCrowding || al.Message != "crowd" {
+		t.Errorf("alert round trip: %+v err=%v", al, err)
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	full := EncodeCountReport(CountReport{PoleID: 1, Seq: 2})
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeCountReport(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Trailing garbage rejected too.
+	if _, err := DecodeAck(append(EncodeAck(Ack{Seq: 1}), 0xFF)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// String length beyond buffer.
+	bad := EncodeHello(Hello{PoleID: 1, Location: "x"})
+	bad[4] = 0xFF // corrupt the string length
+	if _, err := DecodeHello(bad); err == nil {
+		t.Error("corrupt string length accepted")
+	}
+}
+
+func TestConnSendRecv(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	if err := c.Send(MsgTelemetry, EncodeTelemetry(Telemetry{PoleID: 9})); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgTelemetry {
+		t.Errorf("type = %d", typ)
+	}
+	tm, err := DecodeTelemetry(body)
+	if err != nil || tm.PoleID != 9 {
+		t.Errorf("telemetry %+v err=%v", tm, err)
+	}
+}
