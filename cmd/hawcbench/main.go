@@ -8,7 +8,11 @@
 //
 // Experiments: table1 table2 table3 table4 table5 table6 fig4 fig6 fig8
 // (combined 8a+8b; fig8a/fig8b run the individual variants) fig9 fig10
-// fig11, or "all". Presets: quick, standard, full.
+// fig11 parallel, or "all". Presets: quick, standard, full.
+//
+// The parallel experiment sweeps frame-level worker counts and, with
+// -parallel-out, writes the machine-readable BENCH_parallel.json consumed
+// by the CI bench-smoke job.
 package main
 
 import (
@@ -29,7 +33,8 @@ func main() {
 }
 
 func run() error {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (table1..table6, fig4, fig6, fig8a, fig8b, fig9, fig10, fig11, all)")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (table1..table6, fig4, fig6, fig8a, fig8b, fig9, fig10, fig11, parallel, all)")
+	parallelOut := flag.String("parallel-out", "", "write the parallel sweep as JSON to this path (e.g. BENCH_parallel.json)")
 	preset := flag.String("preset", "standard", "dataset/training scale: quick, standard, full")
 	seed := flag.Int64("seed", 0, "override the preset's random seed")
 	pnEpochs := flag.Int("pn-epochs", 0, "override the preset's PointNet training epochs")
@@ -189,6 +194,25 @@ func run() error {
 			fmt.Printf(" %.1f", m)
 		}
 		fmt.Println()
+	}
+	if runIt("parallel") {
+		header("Parallel — frame-pipeline throughput sweep")
+		r := experiments.ParallelBench(lab)
+		fmt.Print(experiments.FormatParallel(r))
+		if *parallelOut != "" {
+			f, err := os.Create(*parallelOut)
+			if err != nil {
+				return fmt.Errorf("parallel-out: %w", err)
+			}
+			if err := experiments.WriteParallelJSON(f, r); err != nil {
+				f.Close()
+				return fmt.Errorf("parallel-out: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("parallel-out: %w", err)
+			}
+			fmt.Printf("wrote %s\n", *parallelOut)
+		}
 	}
 	if runIt("fig11") {
 		header("Figure 11 — density level visualization")

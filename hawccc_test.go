@@ -2,6 +2,8 @@ package hawccc
 
 import (
 	"bytes"
+	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -104,5 +106,95 @@ func TestROIAndHelpers(t *testing.T) {
 	}
 	if got := CountingAccuracy([]float64{244.1, 255.9}, []float64{250, 250}); got < 0.97 || got > 0.98 {
 		t.Errorf("CountingAccuracy = %v", got)
+	}
+}
+
+// TestCountDeterministicAcrossWorkers is the public determinism contract:
+// same frame → same count whether clusters are classified sequentially or
+// on 2 or 8 workers, and parallel evaluation reproduces sequential MAE/MSE
+// exactly.
+func TestCountDeterministicAcrossWorkers(t *testing.T) {
+	c, _ := trainSmall(t)
+	frames := GenerateFrames(5, 4, 1, 4)
+	for i, f := range frames {
+		want := c.CountWith(f.Cloud, CountOptions{Parallelism: 1})
+		for _, workers := range []int{2, 8} {
+			got := c.CountWith(f.Cloud, CountOptions{Parallelism: workers})
+			if got.Count != want.Count || got.Clusters != want.Clusters {
+				t.Errorf("frame %d at %d workers: count %d/%d clusters, sequential %d/%d",
+					i, workers, got.Count, got.Clusters, want.Count, want.Clusters)
+			}
+		}
+		if got := c.CountParallel(f.Cloud); got.Count != want.Count {
+			t.Errorf("frame %d: CountParallel %d != sequential %d", i, got.Count, want.Count)
+		}
+	}
+
+	seq, err := c.EvaluateWith(frames, CountOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		par, err := c.EvaluateWith(frames, CountOptions{Parallelism: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.MAE != seq.MAE || par.MSE != seq.MSE || par.Accuracy != seq.Accuracy {
+			t.Errorf("%d workers: MAE/MSE/Acc %v/%v/%v, sequential %v/%v/%v",
+				workers, par.MAE, par.MSE, par.Accuracy, seq.MAE, seq.MSE, seq.Accuracy)
+		}
+	}
+	if par, err := c.EvaluateParallel(frames); err != nil || par.MAE != seq.MAE {
+		t.Errorf("EvaluateParallel = %+v, %v; want MAE %v", par, err, seq.MAE)
+	}
+}
+
+// TestConcurrentSharedCounter drives one shared Counter from 8 goroutines
+// mixing Count, CountParallel, and Evaluate; run under -race this is the
+// load-bearing proof that the whole inference stack shares no mutable
+// state.
+func TestConcurrentSharedCounter(t *testing.T) {
+	c, _ := trainSmall(t)
+	frames := GenerateFrames(6, 4, 1, 3)
+	want := make([]int, len(frames))
+	for i, f := range frames {
+		want[i] = c.Count(f.Cloud).Count
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range frames {
+				i := (k + g) % len(frames)
+				var got Result
+				switch g % 3 {
+				case 0:
+					got = c.Count(frames[i].Cloud)
+				case 1:
+					got = c.CountParallel(frames[i].Cloud)
+				default:
+					got = c.CountWith(frames[i].Cloud, CountOptions{Parallelism: 2})
+				}
+				if got.Count != want[i] {
+					errs <- fmt.Errorf("goroutine %d frame %d: count %d, want %d", g, i, got.Count, want[i])
+					return
+				}
+			}
+			if g == 0 {
+				if _, err := c.EvaluateParallel(frames); err != nil {
+					errs <- err
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err, ok := <-errs; ok {
+		t.Fatal(err)
 	}
 }

@@ -11,6 +11,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"hawccc/internal/cluster"
@@ -120,6 +123,13 @@ type Pipeline struct {
 	// MinClusterPoints skips clusters too small to be an annotatable
 	// pattern, mirroring dataset.MinVisiblePoints.
 	MinClusterPoints int
+	// Parallelism is the number of goroutines classifying clusters inside
+	// one Count call. 0 or 1 runs sequentially (the bit-identical
+	// fallback); New sets runtime.NumCPU(), matching pole hardware where
+	// every core counts toward the frame budget. Values above 1 require a
+	// Classifier that is safe for concurrent PredictHuman calls — every
+	// classifier in internal/models is, once trained.
+	Parallelism int
 }
 
 // New builds a pipeline with deployment defaults around the classifier.
@@ -129,18 +139,33 @@ func New(classifier models.Classifier) *Pipeline {
 		Clusterer:        NewAdaptiveClusterer(),
 		Classifier:       classifier,
 		MinClusterPoints: dataset.MinVisiblePoints,
+		Parallelism:      runtime.NumCPU(),
 	}
 }
 
 // Name identifies the framework, e.g. "HAWC-CC".
 func (p *Pipeline) Name() string { return p.Classifier.Name() + "-CC" }
 
-// Count processes one raw LiDAR frame end to end.
+// Count processes one raw LiDAR frame end to end, classifying clusters on
+// Parallelism goroutines. A pipeline without a classifier returns a zero
+// Result rather than panicking, so a misconfigured pole node degrades to
+// reporting an empty walkway instead of crashing its capture loop.
 func (p *Pipeline) Count(frame geom.Cloud) Result {
-	if p.Classifier == nil {
-		panic("counting: pipeline has no classifier")
-	}
+	return p.CountWorkers(frame, p.Parallelism)
+}
+
+// CountWorkers is Count with an explicit worker count for this call only:
+// 0 or negative selects runtime.NumCPU(), 1 runs sequentially. The result
+// is identical at any worker count — classification is deterministic per
+// cluster and aggregation is order-independent.
+func (p *Pipeline) CountWorkers(frame geom.Cloud, workers int) Result {
 	var res Result
+	if p.Classifier == nil {
+		return res
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
 
 	t0 := time.Now()
 	ingested := ground.Ingest(frame, p.ROI)
@@ -153,17 +178,55 @@ func (p *Pipeline) Count(frame geom.Cloud) Result {
 	res.Noise = cr.NoiseCount()
 
 	t0 = time.Now()
+	kept := clusters[:0]
 	for _, c := range clusters {
-		if len(c) < p.MinClusterPoints {
-			continue
+		if len(c) >= p.MinClusterPoints {
+			kept = append(kept, c)
 		}
-		res.Clusters++
-		if p.Classifier.PredictHuman(c) {
-			res.Count++
+	}
+	res.Clusters = len(kept)
+	if workers > len(kept) {
+		workers = len(kept)
+	}
+	if workers <= 1 {
+		for _, c := range kept {
+			if p.Classifier.PredictHuman(c) {
+				res.Count++
+			}
 		}
+	} else {
+		res.Count = p.classifyParallel(kept, workers)
 	}
 	res.Timing.Classify = time.Since(t0)
 	return res
+}
+
+// classifyParallel fans kept clusters out to a worker pool and returns the
+// number classified Human. Work is handed out by an atomic cursor so large
+// clusters don't serialize behind a static partition.
+func (p *Pipeline) classifyParallel(kept []geom.Cloud, workers int) int {
+	var next atomic.Int64
+	var humans atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			var local int64
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(kept) {
+					break
+				}
+				if p.Classifier.PredictHuman(kept[i]) {
+					local++
+				}
+			}
+			humans.Add(local)
+		}()
+	}
+	wg.Wait()
+	return int(humans.Load())
 }
 
 // Evaluation aggregates counting accuracy over a frame set.
@@ -180,21 +243,62 @@ func (e Evaluation) Accuracy() float64 {
 	return metrics.CountingAccuracy(e.Predicted, e.Truth)
 }
 
-// Evaluate runs the pipeline over labeled frames.
+// Evaluate runs the pipeline over labeled frames one at a time (each frame
+// still classifies its clusters on p.Parallelism workers).
 func Evaluate(p *Pipeline, frames []dataset.Frame) (Evaluation, error) {
+	return EvaluateParallel(p, frames, 1)
+}
+
+// EvaluateParallel runs the pipeline over labeled frames on the given
+// number of worker goroutines; 0 or negative selects runtime.NumCPU().
+// Predicted and Truth stay in input order regardless of which worker
+// finishes first, and — because per-cluster classification is
+// deterministic — MAE and MSE are identical at any worker count. With
+// more than one frame worker, each frame is counted sequentially inside
+// its worker so the two levels of parallelism don't oversubscribe the
+// cores.
+func EvaluateParallel(p *Pipeline, frames []dataset.Frame, workers int) (Evaluation, error) {
 	if len(frames) == 0 {
 		return Evaluation{}, errors.New("counting: no frames")
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(frames) {
+		workers = len(frames)
 	}
 	ev := Evaluation{
 		Predicted: make([]float64, len(frames)),
 		Truth:     make([]float64, len(frames)),
 	}
 	lat := make([]float64, len(frames))
-	for i, f := range frames {
-		r := p.Count(f.Cloud)
+	count := func(i int, clusterWorkers int) {
+		r := p.CountWorkers(frames[i].Cloud, clusterWorkers)
 		ev.Predicted[i] = float64(r.Count)
-		ev.Truth[i] = float64(f.Count)
+		ev.Truth[i] = float64(frames[i].Count)
 		lat[i] = float64(r.Timing.Total())
+	}
+	if workers <= 1 {
+		for i := range frames {
+			count(i, p.Parallelism)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(frames) {
+						return
+					}
+					count(i, 1)
+				}
+			}()
+		}
+		wg.Wait()
 	}
 	ev.MAE = metrics.MAE(ev.Predicted, ev.Truth)
 	ev.MSE = metrics.MSE(ev.Predicted, ev.Truth)

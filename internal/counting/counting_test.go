@@ -1,6 +1,7 @@
 package counting
 
 import (
+	"runtime"
 	"testing"
 
 	"hawccc/internal/dataset"
@@ -130,14 +131,17 @@ func TestEvaluate(t *testing.T) {
 	}
 }
 
-func TestCountPanicsWithoutClassifier(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
+func TestCountWithoutClassifierDegrades(t *testing.T) {
+	// A misconfigured pole node must degrade to an empty result, not crash
+	// its capture loop.
 	p := &Pipeline{Clusterer: NewAdaptiveClusterer()}
-	p.Count(geom.Cloud{geom.P(20, 0, -1)})
+	r := p.Count(geom.Cloud{geom.P(20, 0, -1)})
+	if r.Count != 0 || r.Clusters != 0 || r.Noise != 0 {
+		t.Errorf("nil classifier should yield a zero Result, got %+v", r)
+	}
+	if _, err := Evaluate(p, dataset.NewGenerator(9).CrowdFrames(1, 1, 1, 0)); err != nil {
+		t.Errorf("Evaluate with nil classifier should degrade, got %v", err)
+	}
 }
 
 func TestMinClusterPointsFiltersSmallClusters(t *testing.T) {
@@ -174,5 +178,67 @@ func TestParametricClusterersRun(t *testing.T) {
 		if c.Name() == "" {
 			t.Error("clusterer must have a name")
 		}
+	}
+}
+
+func TestCountDeterministicAcrossWorkerCounts(t *testing.T) {
+	g := dataset.NewGenerator(7)
+	frames := g.CrowdFrames(4, 2, 5, 2)
+	p := New(heightStub{})
+	for i, f := range frames {
+		want := p.CountWorkers(f.Cloud, 1)
+		for _, workers := range []int{2, 8, 0} { // 0 = NumCPU
+			got := p.CountWorkers(f.Cloud, workers)
+			if got.Count != want.Count || got.Clusters != want.Clusters || got.Noise != want.Noise {
+				t.Errorf("frame %d at %d workers: %+v, sequential %+v", i, workers, got, want)
+			}
+		}
+	}
+}
+
+func TestEvaluateParallelMatchesSequential(t *testing.T) {
+	g := dataset.NewGenerator(8)
+	frames := g.CrowdFrames(6, 1, 4, 1)
+	p := New(heightStub{})
+	seq, err := EvaluateParallel(p, frames, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8, 0} {
+		par, err := EvaluateParallel(p, frames, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.MAE != seq.MAE || par.MSE != seq.MSE {
+			t.Errorf("%d workers: MAE/MSE %v/%v, sequential %v/%v",
+				workers, par.MAE, par.MSE, seq.MAE, seq.MSE)
+		}
+		for i := range seq.Predicted {
+			if par.Predicted[i] != seq.Predicted[i] {
+				t.Fatalf("%d workers: Predicted[%d] = %v out of input order (want %v)",
+					workers, i, par.Predicted[i], seq.Predicted[i])
+			}
+			if par.Truth[i] != seq.Truth[i] {
+				t.Fatalf("%d workers: Truth[%d] out of input order", workers, i)
+			}
+		}
+		if par.MeanLatency <= 0 {
+			t.Error("parallel evaluation lost per-frame latency")
+		}
+	}
+	if _, err := EvaluateParallel(p, nil, 4); err == nil {
+		t.Error("empty frame set accepted")
+	}
+}
+
+func TestNewPipelineDefaultsToAllCores(t *testing.T) {
+	p := New(heightStub{})
+	if p.Parallelism != runtime.NumCPU() {
+		t.Errorf("New Parallelism = %d, want NumCPU = %d", p.Parallelism, runtime.NumCPU())
+	}
+	// The zero-value field stays a valid sequential configuration.
+	var zero Pipeline
+	if zero.Parallelism != 0 {
+		t.Error("zero pipeline must default to sequential")
 	}
 }

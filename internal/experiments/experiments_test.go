@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -308,5 +310,52 @@ func TestConfigPresets(t *testing.T) {
 	}
 	if q.Seed != s.Seed || s.Seed != f.Seed {
 		t.Error("presets should share the default seed")
+	}
+}
+
+func TestParallelBench(t *testing.T) {
+	r := ParallelBench(sharedLab)
+	if r.NumCPU < 1 || r.Frames == 0 || len(r.Rows) < 2 {
+		t.Fatalf("degenerate sweep: %+v", r)
+	}
+	if r.Rows[0].Workers != 1 {
+		t.Fatalf("sweep must start at 1 worker, got %d", r.Rows[0].Workers)
+	}
+	seen := map[int]bool{}
+	for i, row := range r.Rows {
+		if seen[row.Workers] {
+			t.Errorf("duplicate worker count %d", row.Workers)
+		}
+		seen[row.Workers] = true
+		if row.FramesPerSec <= 0 || row.MeanTotalMs <= 0 {
+			t.Errorf("row %d: no throughput/latency recorded: %+v", i, row)
+		}
+		// The determinism contract: every sweep point re-counts the same
+		// frames, so MAE must be bit-identical across worker counts.
+		if row.MAE != r.Rows[0].MAE {
+			t.Errorf("workers=%d: MAE %v differs from sequential %v",
+				row.Workers, row.MAE, r.Rows[0].MAE)
+		}
+	}
+	if !seen[2] || !seen[4] {
+		t.Errorf("sweep must include 2 and 4 workers: %+v", r.Rows)
+	}
+	if r.Rows[0].Speedup != 1 {
+		t.Errorf("baseline speedup = %v, want 1", r.Rows[0].Speedup)
+	}
+
+	if s := FormatParallel(r); !strings.Contains(s, "Frames/s") {
+		t.Error("format output incomplete")
+	}
+	var buf bytes.Buffer
+	if err := WriteParallelJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var decoded ParallelResult
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if decoded.NumCPU != r.NumCPU || len(decoded.Rows) != len(r.Rows) {
+		t.Errorf("JSON round-trip lost data: %+v", decoded)
 	}
 }

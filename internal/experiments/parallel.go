@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hawccc/internal/counting"
+	"hawccc/internal/dataset"
+)
+
+// ParallelRow is one worker count's throughput measurement: frames
+// fanned across Workers goroutines, each counting its frame end to end.
+type ParallelRow struct {
+	// Workers is the number of concurrent frame goroutines.
+	Workers int `json:"workers"`
+	// FramesPerSec is wall-clock throughput over the whole frame set.
+	FramesPerSec float64 `json:"frames_per_sec"`
+	// Speedup is FramesPerSec relative to the Workers = 1 row.
+	Speedup float64 `json:"speedup"`
+	// MeanIngestMs, MeanClusterMs, MeanClassifyMs are per-stage means over
+	// all frames (per-frame CPU time; under contention individual frames
+	// slow down even as throughput rises).
+	MeanIngestMs   float64 `json:"mean_ingest_ms"`
+	MeanClusterMs  float64 `json:"mean_cluster_ms"`
+	MeanClassifyMs float64 `json:"mean_classify_ms"`
+	// MeanTotalMs is the mean end-to-end per-frame latency.
+	MeanTotalMs float64 `json:"mean_total_ms"`
+	// MAE over the frame set — identical at every worker count, recorded
+	// so the determinism contract is visible in the artifact.
+	MAE float64 `json:"mae"`
+}
+
+// ParallelResult is the full sweep plus the host context needed to read
+// it (a 1-core runner cannot show speedup; CI runners can).
+type ParallelResult struct {
+	NumCPU int           `json:"num_cpu"`
+	Frames int           `json:"frames"`
+	Rows   []ParallelRow `json:"rows"`
+}
+
+// parallelWorkerCounts returns the sweep {1, 2, 4, NumCPU} deduplicated
+// and sorted, so a 4-core host measures {1, 2, 4} once each.
+func parallelWorkerCounts() []int {
+	set := map[int]bool{1: true, 2: true, 4: true, runtime.NumCPU(): true}
+	counts := make([]int, 0, len(set))
+	for w := range set {
+		counts = append(counts, w)
+	}
+	sort.Ints(counts)
+	return counts
+}
+
+// ParallelBench measures HAWC-CC counting throughput as frames fan out
+// across worker goroutines (the pole node's multi-sensor serving
+// pattern). Each worker counts whole frames sequentially — frame-level
+// parallelism, the regime where the pipeline scales — and every sweep
+// point re-counts the same frames, so the MAE column doubles as a live
+// determinism check.
+func ParallelBench(l *Lab) ParallelResult {
+	classifier := l.HAWC()
+	frames := l.Frames()
+	p := counting.New(classifier)
+
+	res := ParallelResult{NumCPU: runtime.NumCPU(), Frames: len(frames)}
+	var base float64
+	for _, workers := range parallelWorkerCounts() {
+		l.logf("parallel bench: %d workers over %d frames...", workers, len(frames))
+		row := benchWorkers(p, frames, workers)
+		if base == 0 {
+			base = row.FramesPerSec
+		}
+		if base > 0 {
+			row.Speedup = row.FramesPerSec / base
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// benchWorkers counts every frame once on the given number of frame
+// workers, returning throughput and mean per-stage latency.
+func benchWorkers(p *counting.Pipeline, frames []dataset.Frame, workers int) ParallelRow {
+	timings := make([]counting.Timing, len(frames))
+	pred := make([]float64, len(frames))
+	truth := make([]float64, len(frames))
+
+	start := time.Now()
+	if workers <= 1 {
+		for i := range frames {
+			r := p.CountWorkers(frames[i].Cloud, 1)
+			timings[i], pred[i], truth[i] = r.Timing, float64(r.Count), float64(frames[i].Count)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(frames) {
+						return
+					}
+					r := p.CountWorkers(frames[i].Cloud, 1)
+					timings[i], pred[i], truth[i] = r.Timing, float64(r.Count), float64(frames[i].Count)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+
+	row := ParallelRow{
+		Workers:      workers,
+		FramesPerSec: float64(len(frames)) / elapsed.Seconds(),
+	}
+	var ingest, clusterT, classify time.Duration
+	for _, t := range timings {
+		ingest += t.Ingest
+		clusterT += t.Cluster
+		classify += t.Classify
+	}
+	n := float64(len(frames))
+	row.MeanIngestMs = ms(ingest) / n
+	row.MeanClusterMs = ms(clusterT) / n
+	row.MeanClassifyMs = ms(classify) / n
+	row.MeanTotalMs = row.MeanIngestMs + row.MeanClusterMs + row.MeanClassifyMs
+	var absSum float64
+	for i := range pred {
+		d := pred[i] - truth[i]
+		if d < 0 {
+			d = -d
+		}
+		absSum += d
+	}
+	row.MAE = absSum / n
+	return row
+}
+
+// FormatParallel renders the sweep as a console table.
+func FormatParallel(r ParallelResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "host: %d cores, %d frames per sweep point\n", r.NumCPU, r.Frames)
+	fmt.Fprintf(&b, "%-8s %12s %8s %11s %12s %13s %11s %6s\n",
+		"Workers", "Frames/s", "Speedup", "Ingest(ms)", "Cluster(ms)", "Classify(ms)", "Total(ms)", "MAE")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8d %12.2f %7.2fx %11.3f %12.3f %13.3f %11.3f %6.2f\n",
+			row.Workers, row.FramesPerSec, row.Speedup,
+			row.MeanIngestMs, row.MeanClusterMs, row.MeanClassifyMs, row.MeanTotalMs, row.MAE)
+	}
+	return b.String()
+}
+
+// WriteParallelJSON writes the sweep as the BENCH_parallel.json artifact
+// consumed by CI.
+func WriteParallelJSON(w io.Writer, r ParallelResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -46,7 +46,6 @@ type AutoEncoder struct {
 	threshold float64
 	target    int
 	pool      *upsample.Pool
-	rng       *rand.Rand
 }
 
 var _ Classifier = (*AutoEncoder)(nil)
@@ -101,7 +100,6 @@ func (a *AutoEncoder) Train(samples []dataset.Sample, cfg TrainConfig) error {
 	}
 	cfg = cfg.withDefaults(60, 512, 0.001)
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	a.rng = rng
 	a.target = upsample.TargetSize(dataset.MaxPoints(samples))
 	var objectClouds []geom.Cloud
 	for _, s := range samples {
@@ -114,7 +112,7 @@ func (a *AutoEncoder) Train(samples []dataset.Sample, cfg TrainConfig) error {
 	var humanVecs [][]float64
 	var allVecs [][]float64
 	for _, s := range samples {
-		v := a.extract(s.Cloud)
+		v := a.extract(rng, s.Cloud)
 		allVecs = append(allVecs, v)
 		if s.Human {
 			humanVecs = append(humanVecs, v)
@@ -188,7 +186,7 @@ func (a *AutoEncoder) reconError(v []float32) float64 {
 	if a.qnet != nil {
 		out = a.qnet.Forward(x)
 	} else {
-		out = a.net.Forward(x, false)
+		out = a.net.Infer(x)
 	}
 	var sum float64
 	for i := range out.Data {
@@ -199,11 +197,12 @@ func (a *AutoEncoder) reconError(v []float32) float64 {
 }
 
 // extract up-samples the cluster (the paper's added step), applies the
-// local feature window, and computes the slice feature vector.
-func (a *AutoEncoder) extract(cloud geom.Cloud) []float64 {
+// local feature window, and computes the slice feature vector. The rng
+// drives the padding noise; inference passes a content-seeded stream.
+func (a *AutoEncoder) extract(rng *rand.Rand, cloud geom.Cloud) []float64 {
 	up := cloud
 	if a.pool != nil && a.pool.Len() > 0 && a.target > 0 {
-		up = upsample.FromPool(a.rng, cloud, a.pool, a.target)
+		up = upsample.FromPool(rng, cloud, a.pool, a.target)
 	}
 	if a.FeatureWindow > 0 {
 		c := cloud.Centroid()
@@ -215,12 +214,14 @@ func (a *AutoEncoder) extract(cloud geom.Cloud) []float64 {
 	return features.Extract(up)
 }
 
-// PredictHuman implements Classifier.
+// PredictHuman implements Classifier. Safe for concurrent use once
+// trained: content-seeded per-call padding noise plus the stateless
+// Infer / int8 reconstruction passes.
 func (a *AutoEncoder) PredictHuman(cloud geom.Cloud) bool {
 	if a.net == nil {
 		panic("models: AutoEncoder not trained")
 	}
-	v := toF32(a.applyNorm(a.extract(cloud)))
+	v := toF32(a.applyNorm(a.extract(inferRNG(cloud), cloud)))
 	return a.reconError(v) <= a.threshold
 }
 
@@ -244,7 +245,7 @@ func (a *AutoEncoder) Quantize(calib []dataset.Sample) (*AutoEncoder, error) {
 	}
 	tensors := make([]*tensor.Tensor, 0, len(calib))
 	for _, s := range calib {
-		v := toF32(a.applyNorm(a.extract(s.Cloud)))
+		v := toF32(a.applyNorm(a.extract(inferRNG(s.Cloud), s.Cloud)))
 		tensors = append(tensors, tensor.FromSlice(v, 1, features.VectorLen))
 	}
 	qm, err := quant.Quantize(a.net, tensors)

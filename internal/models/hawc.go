@@ -82,20 +82,31 @@ func buildHAWCNet(d, c int, rng *rand.Rand) *nn.Sequential {
 
 // prepare up-samples, frames, and projects one cloud into a flat image
 // vector: pad to N′max, place the candidate in the classifier viewport
-// (cluster-centered, ±ViewportWindow), project.
-func (h *HAWC) prepare(cloud geom.Cloud) []float32 {
+// (cluster-centered, ±ViewportWindow), project. The rng drives the
+// up-sampling noise: training passes the model's stream (fresh noise every
+// epoch, a natural augmentation), inference passes a content-seeded stream
+// (see inferRNG) so predictions are deterministic and order-independent.
+func (h *HAWC) prepare(rng *rand.Rand, cloud geom.Cloud) []float32 {
 	var up geom.Cloud
 	if h.GaussianSigma > 0 || h.pool == nil || h.pool.Len() == 0 {
 		sigma := h.GaussianSigma
 		if sigma == 0 {
 			sigma = 3
 		}
-		up = upsample.Gaussian(h.rng, cloud, sigma, h.target)
+		up = upsample.Gaussian(rng, cloud, sigma, h.target)
 	} else {
-		up = upsample.FromPool(h.rng, cloud, h.pool, h.target)
+		up = upsample.FromPool(rng, cloud, h.pool, h.target)
 	}
 	framed := projection.Viewport(up, cloud.Centroid(), projection.ViewportWindow)
 	return h.Projector.Project(framed).Data
+}
+
+// inferRNG returns the padding-noise stream for one inference call, seeded
+// from the cluster content. Same cluster → same noise → same prediction,
+// at any worker count and in any order; distinct calls share no state, so
+// PredictHuman is safe for concurrent use.
+func inferRNG(cloud geom.Cloud) *rand.Rand {
+	return rand.New(rand.NewSource(upsample.ContentSeed(cloud)))
 }
 
 // Train fits HAWC on cluster samples. Defaults follow Section VII-A:
@@ -129,7 +140,7 @@ func (h *HAWC) Train(samples []dataset.Sample, cfg TrainConfig) error {
 	prepareAll := func() [][]float32 {
 		images := make([][]float32, len(samples))
 		for i, s := range samples {
-			images[i] = h.prepare(s.Cloud)
+			images[i] = h.prepare(h.rng, s.Cloud)
 		}
 		return images
 	}
@@ -175,18 +186,22 @@ func trainImages(net *nn.Sequential, opt *nn.Adam, prepareAll func() [][]float32
 	}
 }
 
-// PredictHuman implements Classifier.
+// PredictHuman implements Classifier. It is safe for concurrent use by
+// multiple goroutines once the model is trained: padding noise comes from
+// a per-call content-seeded RNG and the forward pass runs through
+// nn.Sequential.Infer (or the stateless int8 graph), neither of which
+// touches shared mutable state.
 func (h *HAWC) PredictHuman(cloud geom.Cloud) bool {
 	if h.net == nil {
 		panic("models: HAWC not trained")
 	}
-	img := h.prepare(cloud)
+	img := h.prepare(inferRNG(cloud), cloud)
 	x := tensor.FromSlice(img, 1, h.d, h.d, h.Projector.Channels())
 	var out *tensor.Tensor
 	if h.qnet != nil {
 		out = h.qnet.Forward(x)
 	} else {
-		out = h.net.Forward(x, false)
+		out = h.net.Infer(x)
 	}
 	return nn.Argmax(out)[0] == 1
 }
@@ -203,7 +218,7 @@ func (h *HAWC) Quantize(calib []dataset.Sample) (*HAWC, error) {
 	c := h.Projector.Channels()
 	tensors := make([]*tensor.Tensor, 0, len(calib))
 	for _, s := range calib {
-		img := h.prepare(s.Cloud)
+		img := h.prepare(inferRNG(s.Cloud), s.Cloud)
 		tensors = append(tensors, tensor.FromSlice(img, 1, h.d, h.d, c))
 	}
 	qm, err := quant.Quantize(h.net, tensors)
@@ -212,7 +227,6 @@ func (h *HAWC) Quantize(calib []dataset.Sample) (*HAWC, error) {
 	}
 	out := *h
 	out.qnet = qm
-	out.rng = rand.New(rand.NewSource(1)) // independent stream for inference padding
 	return &out, nil
 }
 

@@ -2,6 +2,7 @@ package models
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"hawccc/internal/dataset"
@@ -247,5 +248,68 @@ func TestEvaluateHelper(t *testing.T) {
 	conf := Evaluate(o, split.Test)
 	if conf.Total() != len(split.Test) {
 		t.Errorf("evaluated %d, want %d", conf.Total(), len(split.Test))
+	}
+}
+
+// TestPredictHumanDeterministic verifies the concurrency contract's first
+// half: a prediction depends only on the cluster content, not on call
+// order, because padding noise is seeded from the cloud itself.
+func TestPredictHumanDeterministic(t *testing.T) {
+	split := smallSplit(t)
+	h := NewHAWC()
+	if err := h.Train(split.Train[:60], TrainConfig{Epochs: 3, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	clouds := []int{0, 1, 2, 3}
+	first := make([]bool, len(clouds))
+	for i, ci := range clouds {
+		first[i] = h.PredictHuman(split.Test[ci].Cloud)
+	}
+	// Reverse order and repeat: every answer must be unchanged.
+	for pass := 0; pass < 2; pass++ {
+		for i := len(clouds) - 1; i >= 0; i-- {
+			if got := h.PredictHuman(split.Test[clouds[i]].Cloud); got != first[i] {
+				t.Fatalf("cloud %d: prediction flipped across calls", clouds[i])
+			}
+		}
+	}
+}
+
+// TestPredictHumanConcurrent drives one shared classifier from many
+// goroutines; under -race this proves PredictHuman shares no mutable
+// state across calls.
+func TestPredictHumanConcurrent(t *testing.T) {
+	split := smallSplit(t)
+	h := NewHAWC()
+	if err := h.Train(split.Train[:60], TrainConfig{Epochs: 3, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	test := split.Test[:8]
+	want := make([]bool, len(test))
+	for i, s := range test {
+		want[i] = h.PredictHuman(s.Cloud)
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	mismatch := make(chan int, goroutines*len(test))
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < len(test); k++ {
+				i := (k + g) % len(test) // different order per goroutine
+				if h.PredictHuman(test[i].Cloud) != want[i] {
+					mismatch <- i
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(mismatch)
+	if i, ok := <-mismatch; ok {
+		t.Fatalf("concurrent prediction for sample %d diverged from sequential", i)
 	}
 }

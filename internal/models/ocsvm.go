@@ -40,7 +40,6 @@ type OCSVM struct {
 	model  *svm.OneClass
 	target int
 	pool   *upsample.Pool
-	rng    *rand.Rand
 }
 
 var _ Classifier = (*OCSVM)(nil)
@@ -71,7 +70,7 @@ func (o *OCSVM) Train(samples []dataset.Sample, cfg TrainConfig) error {
 		return errors.New("models: no training samples")
 	}
 	cfg = cfg.withDefaults(1, 1, 1)
-	o.rng = rand.New(rand.NewSource(cfg.Seed))
+	rng := rand.New(rand.NewSource(cfg.Seed))
 	o.target = upsample.TargetSize(dataset.MaxPoints(samples))
 	var objectClouds []geom.Cloud
 	for _, s := range samples {
@@ -84,7 +83,7 @@ func (o *OCSVM) Train(samples []dataset.Sample, cfg TrainConfig) error {
 	var humanVecs [][]float64
 	var allVecs [][]float64
 	for _, s := range samples {
-		v := o.extract(s.Cloud)
+		v := o.extract(rng, s.Cloud)
 		allVecs = append(allVecs, v)
 		if s.Human {
 			humanVecs = append(humanVecs, v)
@@ -111,21 +110,24 @@ func (o *OCSVM) Train(samples []dataset.Sample, cfg TrainConfig) error {
 }
 
 // extract up-samples the cluster (the paper's added step) and computes
-// the slice feature vector of the padded cloud.
-func (o *OCSVM) extract(cloud geom.Cloud) []float64 {
+// the slice feature vector of the padded cloud. The rng drives the padding
+// noise; inference passes a content-seeded stream.
+func (o *OCSVM) extract(rng *rand.Rand, cloud geom.Cloud) []float64 {
 	up := cloud
 	if o.pool != nil && o.pool.Len() > 0 && o.target > 0 {
-		up = upsample.FromPool(o.rng, cloud, o.pool, o.target)
+		up = upsample.FromPool(rng, cloud, o.pool, o.target)
 	}
 	return features.Extract(up)
 }
 
-// PredictHuman implements Classifier.
+// PredictHuman implements Classifier. Safe for concurrent use once
+// trained: the SVM decision function is read-only and padding noise comes
+// from a per-call content-seeded RNG.
 func (o *OCSVM) PredictHuman(cloud geom.Cloud) bool {
 	if o.model == nil {
 		panic("models: OC-SVM not trained")
 	}
-	return o.model.Predict(o.applyNorm(o.extract(cloud)))
+	return o.model.Predict(o.applyNorm(o.extract(inferRNG(cloud), cloud)))
 }
 
 func (o *OCSVM) applyNorm(v []float64) []float64 {

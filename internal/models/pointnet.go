@@ -87,12 +87,12 @@ func buildPointNet(points int, rng *rand.Rand) *nn.Sequential {
 // rather than HAWC's cluster-centered viewport. The resulting
 // high-dimensional raw input space is exactly what the paper blames for
 // PointNet's noise sensitivity and data hunger.
-func (p *PointNet) preparePoints(cloud geom.Cloud) []float32 {
+func (p *PointNet) preparePoints(rng *rand.Rand, cloud geom.Cloud) []float32 {
 	var up geom.Cloud
 	if p.pool != nil && p.pool.Len() > 0 {
-		up = upsample.FromPool(p.rng, cloud, p.pool, p.target)
+		up = upsample.FromPool(rng, cloud, p.pool, p.target)
 	} else {
-		up = upsample.Gaussian(p.rng, cloud, 3, p.target)
+		up = upsample.Gaussian(rng, cloud, 3, p.target)
 	}
 	const roiCenterX, groundZ = 23.5, -3.0
 	out := make([]float32, p.target*3)
@@ -134,7 +134,7 @@ func (p *PointNet) Train(samples []dataset.Sample, cfg TrainConfig) error {
 		}
 		// Fresh up-sampling noise each epoch (augmentation).
 		for i, s := range samples {
-			pts[i] = p.preparePoints(s.Cloud)
+			pts[i] = p.preparePoints(p.rng, s.Cloud)
 		}
 		perm := shuffledIndices(p.rng, n)
 		for start := 0; start < n; start += cfg.BatchSize {
@@ -163,18 +163,20 @@ func (p *PointNet) Train(samples []dataset.Sample, cfg TrainConfig) error {
 	return nil
 }
 
-// PredictHuman implements Classifier.
+// PredictHuman implements Classifier. Like HAWC, it is safe for concurrent
+// use once trained: content-seeded per-call padding noise plus the
+// stateless Infer / int8 forward passes.
 func (p *PointNet) PredictHuman(cloud geom.Cloud) bool {
 	if p.net == nil {
 		panic("models: PointNet not trained")
 	}
-	v := p.preparePoints(cloud)
+	v := p.preparePoints(inferRNG(cloud), cloud)
 	x := tensor.FromSlice(v, p.target, 3)
 	var out *tensor.Tensor
 	if p.qnet != nil {
 		out = p.qnet.Forward(x)
 	} else {
-		out = p.net.Forward(x, false)
+		out = p.net.Infer(x)
 	}
 	return nn.Argmax(out)[0] == 1
 }
@@ -189,7 +191,7 @@ func (p *PointNet) Quantize(calib []dataset.Sample) (*PointNet, error) {
 	}
 	tensors := make([]*tensor.Tensor, 0, len(calib))
 	for _, s := range calib {
-		v := p.preparePoints(s.Cloud)
+		v := p.preparePoints(inferRNG(s.Cloud), s.Cloud)
 		tensors = append(tensors, tensor.FromSlice(v, p.target, 3))
 	}
 	qm, err := quant.Quantize(p.net, tensors)
@@ -198,6 +200,5 @@ func (p *PointNet) Quantize(calib []dataset.Sample) (*PointNet, error) {
 	}
 	out := *p
 	out.qnet = qm
-	out.rng = rand.New(rand.NewSource(1))
 	return &out, nil
 }

@@ -46,8 +46,16 @@ func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: Conv2D input %v, want [N, H, W, %d]", x.Shape, c.Cin))
 	}
 	c.x = x
+	out := tensor.New(x.Dim(0), x.Dim(1), x.Dim(2), c.Cout)
+	c.apply(x, out)
+	return out
+}
+
+// apply computes the convolution of x into out ([N, H, W, Cout], fully
+// overwritten). It reads only the layer parameters, so it is safe to call
+// concurrently from multiple goroutines.
+func (c *Conv2D) apply(x, out *tensor.Tensor) {
 	n, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
-	out := tensor.New(n, h, w, c.Cout)
 	ph, pw := c.KH/2, c.KW/2
 	wd, bd := c.W.Value.Data, c.B.Value.Data
 
@@ -86,7 +94,6 @@ func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // Backward implements Layer.

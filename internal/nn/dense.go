@@ -43,6 +43,14 @@ func (d *Dense) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	}
 	d.x = x
 	out := tensor.New(n, d.Out)
+	d.apply(x, out)
+	return out
+}
+
+// apply computes xW + b into out ([N, Out], fully overwritten). It reads
+// only the layer parameters, so it is safe to call concurrently.
+func (d *Dense) apply(x, out *tensor.Tensor) {
+	n := x.Dim(0)
 	w, b := d.W.Value.Data, d.B.Value.Data
 	for i := 0; i < n; i++ {
 		xi := x.Data[i*d.In : (i+1)*d.In]
@@ -58,7 +66,6 @@ func (d *Dense) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // Backward implements Layer.

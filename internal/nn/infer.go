@@ -1,0 +1,231 @@
+package nn
+
+// Race-safe, allocation-free inference.
+//
+// Layer.Forward caches activations on the layer struct for the backward
+// pass, so a model shared across goroutines must not run Forward
+// concurrently — the race detector flags it immediately. Sequential.Infer
+// is the concurrent counterpart used by the parallel counting pipeline: it
+// reads only parameters and running statistics, writes no layer state, and
+// draws every intermediate tensor from a sync.Pool-backed scratch arena so
+// per-cluster inference does not allocate on the hot path.
+//
+// Infer is arithmetically identical to Forward(x, false): each layer's
+// inference math runs the same operations in the same order, so the two
+// paths produce bit-identical outputs.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"hawccc/internal/tensor"
+)
+
+// Scratch is an arena of reusable intermediate tensors for one inference
+// pass. Tensors handed out by a Scratch are valid until the owning
+// Sequential.Infer call returns; a Scratch must not be shared across
+// goroutines.
+type Scratch struct {
+	bufs [][]float32
+	next int
+}
+
+// reset rewinds the arena so the next pass reuses the same buffers.
+func (s *Scratch) reset() { s.next = 0 }
+
+// tensor returns a zeroed tensor of the given shape backed by arena
+// storage. Because a fixed model issues the same allocation sequence every
+// pass, each arena slot converges to the right capacity after one pass.
+func (s *Scratch) tensor(shape ...int) *tensor.Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if s.next == len(s.bufs) {
+		s.bufs = append(s.bufs, make([]float32, n))
+	}
+	buf := s.bufs[s.next]
+	if cap(buf) < n {
+		buf = make([]float32, n)
+		s.bufs[s.next] = buf
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	s.next++
+	return tensor.FromSlice(buf, shape...)
+}
+
+// scratchPool recycles arenas across Infer calls and goroutines.
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// Inferencer is a layer whose inference pass reads only parameters and
+// running statistics — no per-call layer state — making it safe for
+// concurrent use. Every layer in this package implements it.
+type Inferencer interface {
+	Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor
+}
+
+// Infer runs the inference pass (equivalent to Forward(x, false)) without
+// touching layer state, so one trained model may serve many goroutines at
+// once. Intermediate tensors come from a pooled scratch arena; the result
+// is detached from the arena before it is returned. Layers that do not
+// implement Inferencer fall back to Forward and forfeit the concurrency
+// guarantee for the whole model.
+func (s *Sequential) Infer(x *tensor.Tensor) *tensor.Tensor {
+	sc := scratchPool.Get().(*Scratch)
+	sc.reset()
+	for _, l := range s.Layers {
+		if inf, ok := l.(Inferencer); ok {
+			x = inf.Infer(x, sc)
+		} else {
+			x = l.Forward(x, false)
+		}
+	}
+	out := x.Clone()
+	scratchPool.Put(sc)
+	return out
+}
+
+// Infer implements Inferencer.
+func (c *Conv2D) Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(3) != c.Cin {
+		panic(fmt.Sprintf("nn: Conv2D input %v, want [N, H, W, %d]", x.Shape, c.Cin))
+	}
+	out := s.tensor(x.Dim(0), x.Dim(1), x.Dim(2), c.Cout)
+	c.apply(x, out)
+	return out
+}
+
+// Infer implements Inferencer.
+func (d *Dense) Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
+	n := x.Dim(0)
+	if x.NumElems() != n*d.In {
+		panic(fmt.Sprintf("nn: Dense input %v, want [N, %d]", x.Shape, d.In))
+	}
+	out := s.tensor(n, d.Out)
+	d.apply(x, out)
+	return out
+}
+
+// Infer implements Inferencer. It normalizes with the running statistics,
+// exactly as Forward does at inference, without touching them.
+func (b *BatchNorm) Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
+	if x.Dim(x.Rank()-1) != b.C {
+		panic(fmt.Sprintf("nn: BatchNorm input %v, want last dim %d", x.Shape, b.C))
+	}
+	total := x.NumElems()
+	out := s.tensor(x.Shape...)
+	invStd := s.tensor(b.C).Data
+	mean, variance := b.RunningMean.Data, b.RunningVar.Data
+	for c := range invStd {
+		invStd[c] = float32(1 / math.Sqrt(float64(variance[c])+b.Eps))
+	}
+	g, bt := b.Gamma.Value.Data, b.Beta.Value.Data
+	for i := 0; i < total; i += b.C {
+		for c := 0; c < b.C; c++ {
+			xh := (x.Data[i+c] - mean[c]) * invStd[c]
+			out.Data[i+c] = g[c]*xh + bt[c]
+		}
+	}
+	return out
+}
+
+// Infer implements Inferencer.
+func (r *ReLU) Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
+	out := s.tensor(x.Shape...)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// Infer implements Inferencer. Dropout is the identity at inference.
+func (d *Dropout) Infer(x *tensor.Tensor, _ *Scratch) *tensor.Tensor { return x }
+
+// Infer implements Inferencer.
+func (m *MaxPool2D) Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: MaxPool2D input %v, want rank 4", x.Shape))
+	}
+	n, h, w, c := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh, ow := h/2, w/2
+	if oh == 0 || ow == 0 {
+		panic(fmt.Sprintf("nn: MaxPool2D input %v too small", x.Shape))
+	}
+	out := s.tensor(n, oh, ow, c)
+	idx := func(ni, y, xx, ci int) int { return ((ni*h+y)*w+xx)*c + ci }
+	o := 0
+	for ni := 0; ni < n; ni++ {
+		for y := 0; y < oh; y++ {
+			for xx := 0; xx < ow; xx++ {
+				for ci := 0; ci < c; ci++ {
+					bv := x.Data[idx(ni, 2*y, 2*xx, ci)]
+					for dy := 0; dy < 2; dy++ {
+						for dx := 0; dx < 2; dx++ {
+							if v := x.Data[idx(ni, 2*y+dy, 2*xx+dx, ci)]; v > bv {
+								bv = v
+							}
+						}
+					}
+					out.Data[o] = bv
+					o++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Infer implements Inferencer.
+func (m *MaxOverPoints) Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
+	if x.Rank() != 3 {
+		panic(fmt.Sprintf("nn: MaxOverPoints input %v, want [N, P, F]", x.Shape))
+	}
+	n, p, f := x.Dim(0), x.Dim(1), x.Dim(2)
+	out := s.tensor(n, f)
+	for ni := 0; ni < n; ni++ {
+		for fi := 0; fi < f; fi++ {
+			bv := x.Data[(ni*p)*f+fi]
+			for pi := 1; pi < p; pi++ {
+				if v := x.Data[(ni*p+pi)*f+fi]; v > bv {
+					bv = v
+				}
+			}
+			out.Data[ni*f+fi] = bv
+		}
+	}
+	return out
+}
+
+// Infer implements Inferencer. The view shares x's storage, which is safe:
+// arena buffers are only reclaimed when the whole pass finishes.
+func (r *Reshape) Infer(x *tensor.Tensor, _ *Scratch) *tensor.Tensor {
+	n := x.Dim(0)
+	if len(r.dims) == 0 {
+		return x.Reshape(n, x.NumElems()/n)
+	}
+	shape := append([]int{n}, r.dims...)
+	return x.Reshape(shape...)
+}
+
+// Infer implements Inferencer.
+func (g *Group) Infer(x *tensor.Tensor, _ *Scratch) *tensor.Tensor {
+	b, f := x.Dim(0), x.Dim(1)
+	if b%g.P != 0 {
+		panic(fmt.Sprintf("nn: Group(%d) input batch %d not divisible", g.P, b))
+	}
+	return x.Reshape(b/g.P, g.P, f)
+}
+
+// Infer implements Inferencer.
+func (u *Ungroup) Infer(x *tensor.Tensor, _ *Scratch) *tensor.Tensor {
+	if x.Rank() != 3 {
+		panic(fmt.Sprintf("nn: Ungroup input %v, want rank 3", x.Shape))
+	}
+	return x.Reshape(x.Dim(0)*x.Dim(1), x.Dim(2))
+}

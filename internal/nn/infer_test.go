@@ -1,0 +1,156 @@
+package nn
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hawccc/internal/tensor"
+)
+
+// inferTestCNN builds a HAWC-shaped model covering every inference-capable
+// layer kind except the PointNet-specific ones.
+func inferTestCNN(rng *rand.Rand) *Sequential {
+	return (&Sequential{}).Add(
+		NewConv2D(3, 3, 2, 4, rng),
+		NewBatchNorm(4),
+		NewReLU(),
+		NewMaxPool2D(),
+		NewFlatten(),
+		NewDense(2*2*4, 8, rng),
+		NewReLU(),
+		NewDropout(0.5, rng),
+		NewDense(8, 3, rng),
+	)
+}
+
+// inferTestPointNet covers Group/Ungroup/MaxOverPoints.
+func inferTestPointNet(rng *rand.Rand) *Sequential {
+	return (&Sequential{}).Add(
+		NewDense(3, 8, rng),
+		NewBatchNorm(8),
+		NewReLU(),
+		NewGroup(4),
+		NewMaxOverPoints(),
+		NewDense(8, 2, rng),
+	)
+}
+
+// settle runs a few training steps so batch-norm running statistics are
+// non-trivial before comparing the two inference paths.
+func settle(m *Sequential, x *tensor.Tensor, labels []int) {
+	opt := NewAdam(0.01)
+	for i := 0; i < 3; i++ {
+		out := m.Forward(x, true)
+		_, grad := SoftmaxCrossEntropy(out, labels)
+		m.Backward(grad)
+		opt.Step(m.Params())
+	}
+}
+
+func TestInferMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := inferTestCNN(rng)
+	x := tensor.New(2, 4, 4, 2)
+	x.RandNormal(rng, 1)
+	settle(m, x, []int{0, 2})
+
+	want := m.Forward(x, false)
+	for trial := 0; trial < 3; trial++ { // repeat: scratch reuse must not corrupt
+		got := m.Infer(x)
+		if len(got.Data) != len(want.Data) {
+			t.Fatalf("Infer shape %v vs Forward %v", got.Shape, want.Shape)
+		}
+		for i := range got.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("trial %d: Infer[%d] = %v, Forward = %v", trial, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestInferMatchesForwardPointNetLayers(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := inferTestPointNet(rng)
+	x := tensor.New(8, 3) // 2 clouds × 4 points
+	x.RandNormal(rng, 1)
+	settle(m, x, []int{1, 0})
+
+	want := m.Forward(x, false)
+	got := m.Infer(x)
+	for i := range got.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("Infer[%d] = %v, Forward = %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestInferConcurrent hammers one shared model from many goroutines; run
+// under -race this proves the inference path writes no shared state.
+func TestInferConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := inferTestCNN(rng)
+	base := tensor.New(1, 4, 4, 2)
+	base.RandNormal(rng, 1)
+	settle(m, base.Reshape(1, 4, 4, 2), []int{1})
+	want := m.Forward(base, false)
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 20; iter++ {
+				got := m.Infer(base)
+				for i := range got.Data {
+					if got.Data[i] != want.Data[i] {
+						errs <- "concurrent Infer diverged from sequential Forward"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}
+
+// TestInferDoesNotDisturbTraining interleaves Infer with a training step
+// and checks the backward pass still sees the activations it cached.
+func TestInferDoesNotDisturbTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	m := inferTestCNN(rng)
+	x := tensor.New(2, 4, 4, 2)
+	x.RandNormal(rng, 1)
+	labels := []int{0, 1}
+
+	out := m.Forward(x, true)
+	_ = m.Infer(x) // must not clobber cached activations
+	_, grad := SoftmaxCrossEntropy(out, labels)
+	m.Backward(grad) // panics or races if Infer wrote layer state
+}
+
+func TestScratchReusesBuffers(t *testing.T) {
+	var s Scratch
+	a := s.tensor(2, 3)
+	a.Fill(5)
+	s.reset()
+	b := s.tensor(3, 2)
+	if &a.Data[0] != &b.Data[0] {
+		t.Error("scratch did not reuse its buffer after reset")
+	}
+	for i, v := range b.Data {
+		if v != 0 {
+			t.Fatalf("reused buffer not zeroed at %d: %v", i, v)
+		}
+	}
+	c := s.tensor(10) // larger than slot capacity: must grow
+	if len(c.Data) != 10 {
+		t.Fatalf("grown buffer len %d", len(c.Data))
+	}
+}

@@ -5,7 +5,11 @@
 // PointNet, and the AutoEncoder with (see DESIGN.md).
 //
 // Layers cache forward activations for the backward pass, so a model
-// instance must not be shared across goroutines during training.
+// instance must not be shared across goroutines during training, and
+// Forward itself is not safe for concurrent use. Sequential.Infer is the
+// concurrent inference path: it writes no layer state and recycles its
+// intermediate tensors through a sync.Pool, so one trained model can serve
+// many goroutines at once (see infer.go).
 package nn
 
 import "hawccc/internal/tensor"

@@ -140,3 +140,35 @@ func pad(rng *rand.Rand, cloud geom.Cloud, target int, draw func(int) geom.Cloud
 // Clouds exposes the pooled object captures (for serialization). The
 // returned slices share storage with the pool; callers must not mutate.
 func (p *Pool) Clouds() []geom.Cloud { return p.clouds }
+
+// ContentSeed derives a deterministic RNG seed from a cloud's points, so
+// up-sampling noise depends only on the cluster content: the same cluster
+// pads identically whether it is classified first or last, sequentially or
+// on any of N workers. The per-point FNV-1a hashes are combined with a
+// commutative sum, making the seed invariant to point order, and the sum
+// is finalized with a splitmix64-style avalanche so near-identical clouds
+// still land on well-separated seeds.
+func ContentSeed(cloud geom.Cloud) int64 {
+	const (
+		offset64 uint64 = 14695981039346656037
+		prime64  uint64 = 1099511628211
+	)
+	var sum uint64
+	for _, p := range cloud {
+		h := offset64
+		for _, f := range [3]float64{p.X, p.Y, p.Z} {
+			b := math.Float64bits(f)
+			for i := 0; i < 64; i += 8 {
+				h ^= (b >> i) & 0xff
+				h *= prime64
+			}
+		}
+		sum += h
+	}
+	sum ^= sum >> 30
+	sum *= 0xbf58476d1ce4e5b9
+	sum ^= sum >> 27
+	sum *= 0x94d049bb133111eb
+	sum ^= sum >> 31
+	return int64(sum)
+}

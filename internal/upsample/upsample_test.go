@@ -183,3 +183,34 @@ func TestZeroTarget(t *testing.T) {
 		t.Error("negative target should yield empty cloud")
 	}
 }
+
+func TestContentSeedDeterministicAndOrderInvariant(t *testing.T) {
+	cloud := geom.Cloud{
+		geom.P(20.1, 0.4, -1.2), geom.P(20.3, 0.5, -0.9),
+		geom.P(19.8, 0.2, -2.1), geom.P(20.0, 0.1, -1.5),
+	}
+	seed := ContentSeed(cloud)
+	if seed != ContentSeed(cloud) {
+		t.Fatal("ContentSeed not deterministic")
+	}
+	shuffled := cloud.Clone()
+	rng := rand.New(rand.NewSource(3))
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	if ContentSeed(shuffled) != seed {
+		t.Error("ContentSeed must be invariant to point order")
+	}
+}
+
+func TestContentSeedSeparatesNearbyClouds(t *testing.T) {
+	a := geom.Cloud{geom.P(20, 0, -1), geom.P(21, 1, -1)}
+	b := geom.Cloud{geom.P(20, 0, -1), geom.P(21, 1, -1.0000001)}
+	if ContentSeed(a) == ContentSeed(b) {
+		t.Error("distinct clouds should map to distinct seeds")
+	}
+	// Duplicated points must not cancel out (sum, not xor, combination).
+	dup := geom.Cloud{geom.P(20, 0, -1), geom.P(20, 0, -1)}
+	single := geom.Cloud{}
+	if ContentSeed(dup) == ContentSeed(single) {
+		t.Error("duplicate points cancelled out of the seed")
+	}
+}
