@@ -299,6 +299,34 @@ func BenchmarkHAWCInferenceInt8(b *testing.B) {
 	}
 }
 
+// BenchmarkHAWCInferenceBatched measures per-cluster cost when a frame's
+// clusters are classified in one forward pass (PredictHumans) instead of
+// one pass each — the amortization the im2col/GEMM kernels are built for.
+func BenchmarkHAWCInferenceBatched(b *testing.B) {
+	l := lab(b)
+	test := l.Split().Test
+	variants := []struct {
+		name string
+		clf  models.BatchClassifier
+	}{
+		{"fp32", l.HAWC()},
+		{"int8", l.HAWCInt8()},
+	}
+	for _, v := range variants {
+		for _, batch := range []int{1, 8, 32} {
+			clouds := make([]Cloud, batch)
+			for i := range clouds {
+				clouds[i] = test[i%len(test)].Cloud
+			}
+			b.Run(fmt.Sprintf("%s/batch=%d", v.name, batch), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_ = v.clf.PredictHumans(clouds)
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkPointNetInference(b *testing.B) {
 	l := lab(b)
 	p := l.PointNet()

@@ -8,11 +8,13 @@
 //
 // Experiments: table1 table2 table3 table4 table5 table6 fig4 fig6 fig8
 // (combined 8a+8b; fig8a/fig8b run the individual variants) fig9 fig10
-// fig11 parallel, or "all". Presets: quick, standard, full.
+// fig11 parallel kernels, or "all". Presets: quick, standard, full.
 //
 // The parallel experiment sweeps frame-level worker counts and, with
 // -parallel-out, writes the machine-readable BENCH_parallel.json consumed
-// by the CI bench-smoke job.
+// by the CI bench-smoke job. The kernels experiment sweeps the inference
+// kernel paths (naive scalar loops vs im2col/GEMM, float vs int8) over
+// batch sizes 1/8/32 and, with -kernels-out, writes BENCH_kernels.json.
 package main
 
 import (
@@ -33,8 +35,9 @@ func main() {
 }
 
 func run() error {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (table1..table6, fig4, fig6, fig8a, fig8b, fig9, fig10, fig11, parallel, all)")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (table1..table6, fig4, fig6, fig8a, fig8b, fig9, fig10, fig11, parallel, kernels, all)")
 	parallelOut := flag.String("parallel-out", "", "write the parallel sweep as JSON to this path (e.g. BENCH_parallel.json)")
+	kernelsOut := flag.String("kernels-out", "", "write the kernels sweep as JSON to this path (e.g. BENCH_kernels.json)")
 	preset := flag.String("preset", "standard", "dataset/training scale: quick, standard, full")
 	seed := flag.Int64("seed", 0, "override the preset's random seed")
 	pnEpochs := flag.Int("pn-epochs", 0, "override the preset's PointNet training epochs")
@@ -212,6 +215,25 @@ func run() error {
 				return fmt.Errorf("parallel-out: %w", err)
 			}
 			fmt.Printf("wrote %s\n", *parallelOut)
+		}
+	}
+	if runIt("kernels") {
+		header("Kernels — inference kernel path sweep")
+		r := experiments.KernelsBench(lab)
+		fmt.Print(experiments.FormatKernels(r))
+		if *kernelsOut != "" {
+			f, err := os.Create(*kernelsOut)
+			if err != nil {
+				return fmt.Errorf("kernels-out: %w", err)
+			}
+			if err := experiments.WriteKernelsJSON(f, r); err != nil {
+				f.Close()
+				return fmt.Errorf("kernels-out: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("kernels-out: %w", err)
+			}
+			fmt.Printf("wrote %s\n", *kernelsOut)
 		}
 	}
 	if runIt("fig11") {

@@ -130,6 +130,28 @@ type Pipeline struct {
 	// Classifier that is safe for concurrent PredictHuman calls — every
 	// classifier in internal/models is, once trained.
 	Parallelism int
+	// BatchSize is how many clusters go into one forward pass when the
+	// Classifier implements models.BatchClassifier: workers take a batch
+	// at a time, so one frame's clusters become ⌈N/BatchSize⌉ stacked
+	// [B, H, W, C] passes instead of N batch-1 passes. 0 selects
+	// DefaultBatchSize; classifiers without batch support ignore it.
+	// Counts are identical at any batch size — batched classification is
+	// bit-equal per cluster.
+	BatchSize int
+}
+
+// DefaultBatchSize is the cluster batch per forward pass when BatchSize
+// is unset. Large enough to amortize weight packing across the GEMM
+// batch, small enough that a typical frame still splits into several
+// batches for the worker pool.
+const DefaultBatchSize = 16
+
+// batchSize resolves the configured batch size.
+func (p *Pipeline) batchSize() int {
+	if p.BatchSize > 0 {
+		return p.BatchSize
+	}
+	return DefaultBatchSize
 }
 
 // New builds a pipeline with deployment defaults around the classifier.
@@ -189,11 +211,7 @@ func (p *Pipeline) CountWorkers(frame geom.Cloud, workers int) Result {
 		workers = len(kept)
 	}
 	if workers <= 1 {
-		for _, c := range kept {
-			if p.Classifier.PredictHuman(c) {
-				res.Count++
-			}
-		}
+		res.Count = p.classifySequential(kept)
 	} else {
 		res.Count = p.classifyParallel(kept, workers)
 	}
@@ -201,10 +219,54 @@ func (p *Pipeline) CountWorkers(frame geom.Cloud, workers int) Result {
 	return res
 }
 
-// classifyParallel fans kept clusters out to a worker pool and returns the
-// number classified Human. Work is handed out by an atomic cursor so large
-// clusters don't serialize behind a static partition.
+// countBatch classifies kept[start:end] and returns the number of Human
+// labels, batching through models.BatchClassifier when the classifier
+// supports it. Both classify paths route through here so batching
+// behavior cannot diverge between them.
+func (p *Pipeline) countBatch(kept []geom.Cloud, start, end int) int {
+	n := 0
+	if bc, ok := p.Classifier.(models.BatchClassifier); ok {
+		for _, human := range bc.PredictHumans(kept[start:end]) {
+			if human {
+				n++
+			}
+		}
+		return n
+	}
+	for _, c := range kept[start:end] {
+		if p.Classifier.PredictHuman(c) {
+			n++
+		}
+	}
+	return n
+}
+
+// classifySequential classifies kept clusters on the calling goroutine,
+// one batch-sized forward pass at a time.
+func (p *Pipeline) classifySequential(kept []geom.Cloud) int {
+	bs := p.batchSize()
+	n := 0
+	for start := 0; start < len(kept); start += bs {
+		end := start + bs
+		if end > len(kept) {
+			end = len(kept)
+		}
+		n += p.countBatch(kept, start, end)
+	}
+	return n
+}
+
+// classifyParallel fans kept clusters out to a worker pool and returns
+// the number classified Human. Workers take whole batches — one stacked
+// forward pass each — via an atomic cursor, so stragglers don't
+// serialize behind a static partition and each worker amortizes weight
+// packing across its batch.
 func (p *Pipeline) classifyParallel(kept []geom.Cloud, workers int) int {
+	bs := p.batchSize()
+	chunks := (len(kept) + bs - 1) / bs
+	if workers > chunks {
+		workers = chunks
+	}
 	var next atomic.Int64
 	var humans atomic.Int64
 	var wg sync.WaitGroup
@@ -214,13 +276,16 @@ func (p *Pipeline) classifyParallel(kept []geom.Cloud, workers int) int {
 			defer wg.Done()
 			var local int64
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(kept) {
+				ci := int(next.Add(1)) - 1
+				if ci >= chunks {
 					break
 				}
-				if p.Classifier.PredictHuman(kept[i]) {
-					local++
+				start := ci * bs
+				end := start + bs
+				if end > len(kept) {
+					end = len(kept)
 				}
+				local += int64(p.countBatch(kept, start, end))
 			}
 			humans.Add(local)
 		}()

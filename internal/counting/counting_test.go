@@ -2,6 +2,7 @@ package counting
 
 import (
 	"runtime"
+	"sync"
 	"testing"
 
 	"hawccc/internal/dataset"
@@ -240,5 +241,63 @@ func TestNewPipelineDefaultsToAllCores(t *testing.T) {
 	var zero Pipeline
 	if zero.Parallelism != 0 {
 		t.Error("zero pipeline must default to sequential")
+	}
+}
+
+// batchStub wraps heightStub with batch support, recording every batch
+// it receives so tests can assert batching actually happens.
+type batchStub struct {
+	heightStub
+	mu      sync.Mutex
+	batches []int
+}
+
+var _ models.BatchClassifier = (*batchStub)(nil)
+
+func (b *batchStub) PredictHumans(clouds []geom.Cloud) []bool {
+	b.mu.Lock()
+	b.batches = append(b.batches, len(clouds))
+	b.mu.Unlock()
+	out := make([]bool, len(clouds))
+	for i, c := range clouds {
+		out[i] = b.PredictHuman(c)
+	}
+	return out
+}
+
+// TestBatchedCountMatchesSequential pins the batched path against the
+// per-cluster path at several worker counts and batch sizes; run under
+// -race this also proves batch handout shares no unsynchronized state.
+func TestBatchedCountMatchesSequential(t *testing.T) {
+	g := dataset.NewGenerator(10)
+	frames := g.CrowdFrames(4, 2, 6, 2)
+	plain := New(heightStub{})
+	for i, f := range frames {
+		want := plain.CountWorkers(f.Cloud, 1)
+		for _, bs := range []int{1, 3, 0} { // 0 = DefaultBatchSize
+			for _, workers := range []int{1, 2, 8} {
+				stub := &batchStub{}
+				p := New(stub)
+				p.BatchSize = bs
+				got := p.CountWorkers(f.Cloud, workers)
+				if got.Count != want.Count || got.Clusters != want.Clusters {
+					t.Errorf("frame %d bs=%d workers=%d: %+v, per-cluster %+v", i, bs, workers, got, want)
+				}
+				limit := bs
+				if limit == 0 {
+					limit = DefaultBatchSize
+				}
+				total := 0
+				for _, n := range stub.batches {
+					if n > limit {
+						t.Errorf("frame %d bs=%d workers=%d: batch of %d exceeds limit %d", i, bs, workers, n, limit)
+					}
+					total += n
+				}
+				if total != got.Clusters {
+					t.Errorf("frame %d bs=%d workers=%d: batches covered %d clusters, want %d", i, bs, workers, total, got.Clusters)
+				}
+			}
+		}
 	}
 }

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"strings"
+	"time"
+
+	"hawccc/internal/tensor"
+	"hawccc/internal/upsample"
+)
+
+// KernelsRow is one (inference path, batch size) throughput measurement
+// over the trained HAWC network at its real input shape.
+type KernelsRow struct {
+	// Path is the kernel route: "naive" (scalar reference loops), "gemm"
+	// (im2col + packed GEMM), "int8-naive", or "int8-gemm" (the
+	// quantized graph on the same two routes).
+	Path string `json:"path"`
+	// Batch is the number of cluster images per forward pass.
+	Batch int `json:"batch"`
+	// NsPerOp is nanoseconds per forward pass (the whole batch).
+	NsPerOp float64 `json:"ns_per_op"`
+	// NsPerCluster is NsPerOp divided by Batch.
+	NsPerCluster float64 `json:"ns_per_cluster"`
+	// ClustersPerSec is the single-goroutine classification throughput.
+	ClustersPerSec float64 `json:"clusters_per_sec"`
+}
+
+// KernelsResult is the full sweep plus the ratios CI gates on.
+type KernelsResult struct {
+	NumCPU int `json:"num_cpu"`
+	// ImageSide and Channels record the measured input shape [B, side,
+	// side, channels].
+	ImageSide int          `json:"image_side"`
+	Channels  int          `json:"channels"`
+	Rows      []KernelsRow `json:"rows"`
+	// GemmSpeedupBatch32 is naive ns/cluster over GEMM ns/cluster at
+	// batch 32 on the float network — the headline kernel speedup.
+	GemmSpeedupBatch32 float64 `json:"gemm_speedup_batch32"`
+	// Int8GemmSpeedupBatch32 is the same ratio for the quantized graph.
+	Int8GemmSpeedupBatch32 float64 `json:"int8_gemm_speedup_batch32"`
+}
+
+// kernelsBatches is the sweep's batch dimension: single-cluster latency,
+// a typical frame's worth, and a packed batch that amortizes weight
+// packing fully.
+var kernelsBatches = []int{1, 8, 32}
+
+// KernelsBench measures the inference kernel paths on the trained float
+// and int8 HAWC networks. All paths see identical inputs; because the
+// GEMM paths are bit-identical (float) and exactly equal (int8) to the
+// naive references, the sweep measures speed alone — correctness is
+// pinned by the equivalence tests, not here.
+func KernelsBench(l *Lab) KernelsResult {
+	h := l.HAWC()
+	hq := l.HAWCInt8()
+	net := h.Network()
+	qnet := hq.QuantNetwork()
+	side := upsample.Side(h.Target())
+	channels := h.Projector.Channels()
+
+	res := KernelsResult{NumCPU: runtime.NumCPU(), ImageSide: side, Channels: channels}
+	rng := rand.New(rand.NewSource(42))
+	paths := []struct {
+		name string
+		run  func(x *tensor.Tensor)
+	}{
+		{"naive", func(x *tensor.Tensor) { net.InferNaive(x) }},
+		{"gemm", func(x *tensor.Tensor) { net.Infer(x) }},
+		{"int8-naive", func(x *tensor.Tensor) { qnet.ForwardNaive(x) }},
+		{"int8-gemm", func(x *tensor.Tensor) { qnet.Forward(x) }},
+	}
+	perCluster := map[string]map[int]float64{}
+	for _, p := range paths {
+		perCluster[p.name] = map[int]float64{}
+		for _, batch := range kernelsBatches {
+			x := tensor.New(batch, side, side, channels)
+			x.RandNormal(rng, 1)
+			l.logf("kernels bench: %s batch %d...", p.name, batch)
+			nsPerOp := benchForward(p.run, x)
+			row := KernelsRow{
+				Path:           p.name,
+				Batch:          batch,
+				NsPerOp:        nsPerOp,
+				NsPerCluster:   nsPerOp / float64(batch),
+				ClustersPerSec: float64(batch) / (nsPerOp / 1e9),
+			}
+			perCluster[p.name][batch] = row.NsPerCluster
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	last := kernelsBatches[len(kernelsBatches)-1]
+	if g := perCluster["gemm"][last]; g > 0 {
+		res.GemmSpeedupBatch32 = perCluster["naive"][last] / g
+	}
+	if g := perCluster["int8-gemm"][last]; g > 0 {
+		res.Int8GemmSpeedupBatch32 = perCluster["int8-naive"][last] / g
+	}
+	return res
+}
+
+// benchForward times one forward-pass closure: warm up, calibrate the
+// repetition count to ~250ms of measurement, then report ns per pass.
+func benchForward(run func(x *tensor.Tensor), x *tensor.Tensor) float64 {
+	run(x) // warm-up: scratch arenas grow, packed panels allocate
+	t0 := time.Now()
+	run(x)
+	once := time.Since(t0)
+	reps := int(250 * time.Millisecond / (once + 1))
+	if reps < 3 {
+		reps = 3
+	}
+	if reps > 2000 {
+		reps = 2000
+	}
+	t0 = time.Now()
+	for i := 0; i < reps; i++ {
+		run(x)
+	}
+	return float64(time.Since(t0).Nanoseconds()) / float64(reps)
+}
+
+// FormatKernels renders the sweep as a console table.
+func FormatKernels(r KernelsResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "host: %d cores, input [B, %d, %d, %d]\n", r.NumCPU, r.ImageSide, r.ImageSide, r.Channels)
+	fmt.Fprintf(&b, "%-12s %6s %14s %16s %14s\n", "Path", "Batch", "ns/op", "ns/cluster", "clusters/s")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12s %6d %14.0f %16.0f %14.0f\n",
+			row.Path, row.Batch, row.NsPerOp, row.NsPerCluster, row.ClustersPerSec)
+	}
+	fmt.Fprintf(&b, "gemm speedup over naive at batch 32: %.2fx (float), %.2fx (int8)\n",
+		r.GemmSpeedupBatch32, r.Int8GemmSpeedupBatch32)
+	return b.String()
+}
+
+// WriteKernelsJSON writes the sweep as the BENCH_kernels.json artifact
+// consumed by CI.
+func WriteKernelsJSON(w io.Writer, r KernelsResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -22,6 +22,19 @@ type Classifier interface {
 	PredictHuman(cloud geom.Cloud) bool
 }
 
+// BatchClassifier is implemented by classifiers that can label many
+// clusters in one forward pass — one [N, H, W, C] tensor instead of N
+// batch-1 passes — which is what lets the GEMM kernels amortize weight
+// packing and run wide. The counting pipeline feeds each worker a batch
+// when the classifier supports it. PredictHumans(clouds)[i] must equal
+// PredictHuman(clouds[i]) for every i regardless of batch composition.
+type BatchClassifier interface {
+	Classifier
+	// PredictHumans classifies each cluster; the result has one entry
+	// per input, in order.
+	PredictHumans(clouds []geom.Cloud) []bool
+}
+
 // TrainConfig parameterizes model training. Zero values select each
 // model's paper defaults.
 type TrainConfig struct {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"hawccc/internal/dataset"
+	"hawccc/internal/geom"
 	"hawccc/internal/projection"
 )
 
@@ -311,5 +312,50 @@ func TestPredictHumanConcurrent(t *testing.T) {
 	close(mismatch)
 	if i, ok := <-mismatch; ok {
 		t.Fatalf("concurrent prediction for sample %d diverged from sequential", i)
+	}
+}
+
+// TestPredictHumansMatchesSingle pins the BatchClassifier contract: a
+// batched pass must reproduce per-cluster predictions exactly, for any
+// batch composition, on both the float and int8 networks.
+func TestPredictHumansMatchesSingle(t *testing.T) {
+	split := smallSplit(t)
+	h := NewHAWC()
+	if err := h.Train(split.Train[:60], TrainConfig{Epochs: 3, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	hq, err := h.Quantize(split.Train[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	clouds := make([]geom.Cloud, 0, 12)
+	for _, s := range split.Test[:12] {
+		clouds = append(clouds, s.Cloud)
+	}
+	for _, m := range []*HAWC{h, hq} {
+		want := make([]bool, len(clouds))
+		for i, c := range clouds {
+			want[i] = m.PredictHuman(c)
+		}
+		// Whole set at once, then an overlapping sub-batch: composition
+		// must not matter.
+		got := m.PredictHumans(clouds)
+		if len(got) != len(want) {
+			t.Fatalf("%s: got %d predictions, want %d", m.Name(), len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s cluster %d: batched %v, single %v", m.Name(), i, got[i], want[i])
+			}
+		}
+		sub := m.PredictHumans(clouds[3:7])
+		for i, v := range sub {
+			if v != want[3+i] {
+				t.Errorf("%s cluster %d: sub-batched %v, single %v", m.Name(), 3+i, v, want[3+i])
+			}
+		}
+	}
+	if got := h.PredictHumans(nil); got != nil {
+		t.Errorf("empty batch: got %v, want nil", got)
 	}
 }

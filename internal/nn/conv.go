@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"hawccc/internal/nn/kernels"
 	"hawccc/internal/tensor"
 )
 
@@ -47,14 +48,41 @@ func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	}
 	c.x = x
 	out := tensor.New(x.Dim(0), x.Dim(1), x.Dim(2), c.Cout)
-	c.apply(x, out)
+	sc := scratchPool.Get().(*Scratch)
+	sc.reset()
+	c.apply(x, out, sc)
+	scratchPool.Put(sc)
 	return out
 }
 
 // apply computes the convolution of x into out ([N, H, W, Cout], fully
-// overwritten). It reads only the layer parameters, so it is safe to call
-// concurrently from multiple goroutines.
-func (c *Conv2D) apply(x, out *tensor.Tensor) {
+// overwritten) via im2col + packed GEMM: the kernel weights [KH·KW·Cin,
+// Cout] are packed once per call, then each image is lowered to its patch
+// matrix and multiplied. The im2col tap order matches applyNaive's
+// accumulation order and the GEMM accumulates k ascending, so the output
+// is bit-identical to the scalar reference. Workspace comes from the
+// scratch arena; apply reads only the layer parameters, so it is safe to
+// call concurrently from multiple goroutines (with distinct scratches).
+func (c *Conv2D) apply(x, out *tensor.Tensor, s *Scratch) {
+	n, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	k := c.KH * c.KW * c.Cin
+	m := h * w
+	bp := kernels.PackB(k, c.Cout, c.W.Value.Data, s.slice(kernels.PackedLen(k, c.Cout)))
+	col := s.slice(m * k)
+	bd := c.B.Value.Data
+	for ni := 0; ni < n; ni++ {
+		kernels.Im2col(h, w, c.Cin, c.KH, c.KW, x.Data[ni*m*c.Cin:(ni+1)*m*c.Cin], col)
+		kernels.GemmPacked(m, c.Cout, k, col, bp, bd, out.Data[ni*m*c.Cout:(ni+1)*m*c.Cout])
+	}
+}
+
+// applyNaive is the scalar reference convolution, retained to pin the
+// GEMM path bit-for-bit in tests and to measure its speedup in the
+// kernels benchmark. It deliberately has no data-dependent shortcuts
+// (a zero-activation skip once lived here): latency must not depend on
+// input sparsity, or benchmarks and the pole's frame budget drift with
+// scene content.
+func (c *Conv2D) applyNaive(x, out *tensor.Tensor) {
 	n, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
 	ph, pw := c.KH/2, c.KW/2
 	wd, bd := c.W.Value.Data, c.B.Value.Data
@@ -81,9 +109,6 @@ func (c *Conv2D) apply(x, out *tensor.Tensor) {
 						wBase := (ky*c.KW + kx) * c.Cin * c.Cout
 						for ci := 0; ci < c.Cin; ci++ {
 							xv := in[ci]
-							if xv == 0 {
-								continue
-							}
 							wk := wd[wBase+ci*c.Cout : wBase+(ci+1)*c.Cout]
 							for co := range oi {
 								oi[co] += xv * wk[co]

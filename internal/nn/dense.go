@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"hawccc/internal/nn/kernels"
 	"hawccc/internal/tensor"
 )
 
@@ -43,13 +44,33 @@ func (d *Dense) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	}
 	d.x = x
 	out := tensor.New(n, d.Out)
-	d.apply(x, out)
+	sc := scratchPool.Get().(*Scratch)
+	sc.reset()
+	d.apply(x, out, sc)
+	scratchPool.Put(sc)
 	return out
 }
 
-// apply computes xW + b into out ([N, Out], fully overwritten). It reads
-// only the layer parameters, so it is safe to call concurrently.
-func (d *Dense) apply(x, out *tensor.Tensor) {
+// apply computes xW + b into out ([N, Out], fully overwritten) as one
+// GEMM. Below kernels.PackMinRows the kernel runs its direct loop —
+// packing the weights cannot pay off at batch 1 — so no pack buffer is
+// drawn in that case. Both kernel paths accumulate bias-first, k
+// ascending, making the result bit-identical to applyNaive. apply reads
+// only the layer parameters, so it is safe to call concurrently (with
+// distinct scratches).
+func (d *Dense) apply(x, out *tensor.Tensor, s *Scratch) {
+	n := x.Dim(0)
+	var pack []float32
+	if n >= kernels.PackMinRows {
+		pack = s.slice(kernels.PackedLen(d.In, d.Out))
+	}
+	kernels.Gemm(n, d.Out, d.In, x.Data, d.W.Value.Data, d.B.Value.Data, out.Data, pack)
+}
+
+// applyNaive is the scalar reference, retained to pin the GEMM path bit
+// for bit and to benchmark against. Like Conv2D.applyNaive it has no
+// zero-activation skip: latency must not depend on input sparsity.
+func (d *Dense) applyNaive(x, out *tensor.Tensor) {
 	n := x.Dim(0)
 	w, b := d.W.Value.Data, d.B.Value.Data
 	for i := 0; i < n; i++ {
@@ -57,9 +78,6 @@ func (d *Dense) apply(x, out *tensor.Tensor) {
 		oi := out.Data[i*d.Out : (i+1)*d.Out]
 		copy(oi, b)
 		for k, xv := range xi {
-			if xv == 0 {
-				continue
-			}
 			wk := w[k*d.Out : (k+1)*d.Out]
 			for j := range oi {
 				oi[j] += xv * wk[j]

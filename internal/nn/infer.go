@@ -29,19 +29,19 @@ import (
 type Scratch struct {
 	bufs [][]float32
 	next int
+	// naive selects the scalar reference kernels instead of the
+	// im2col/GEMM path (see Sequential.InferNaive).
+	naive bool
 }
 
 // reset rewinds the arena so the next pass reuses the same buffers.
 func (s *Scratch) reset() { s.next = 0 }
 
-// tensor returns a zeroed tensor of the given shape backed by arena
-// storage. Because a fixed model issues the same allocation sequence every
-// pass, each arena slot converges to the right capacity after one pass.
-func (s *Scratch) tensor(shape ...int) *tensor.Tensor {
-	n := 1
-	for _, d := range shape {
-		n *= d
-	}
+// grab returns the next arena slot resized to n elements, contents
+// unspecified. Because a fixed model issues the same slot sequence every
+// pass, each slot converges to the right capacity after one pass; slots
+// never overlap, so every live tensor of a pass has disjoint backing.
+func (s *Scratch) grab(n int) []float32 {
 	if s.next == len(s.bufs) {
 		s.bufs = append(s.bufs, make([]float32, n))
 	}
@@ -51,11 +51,38 @@ func (s *Scratch) tensor(shape ...int) *tensor.Tensor {
 		s.bufs[s.next] = buf
 	}
 	buf = buf[:n]
-	for i := range buf {
-		buf[i] = 0
-	}
 	s.next++
-	return tensor.FromSlice(buf, shape...)
+	return buf
+}
+
+// slice returns a raw arena buffer of n elements with unspecified
+// contents — workspace for the GEMM kernels (im2col matrices, packed
+// weight panels), which overwrite what they need.
+func (s *Scratch) slice(n int) []float32 { return s.grab(n) }
+
+// uninit returns a tensor of the given shape backed by arena storage
+// without zeroing it, for ops that overwrite every output element — the
+// GEMM kernels, pooling, batch norm, activations. Zeroing here would be
+// pure overhead on the hot path.
+func (s *Scratch) uninit(shape ...int) *tensor.Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return tensor.FromSlice(s.grab(n), shape...)
+}
+
+// tensor returns a zeroed tensor of the given shape backed by arena
+// storage. Only ops with accumulation or sparse-write semantics — ops
+// that read or skip output elements they did not write — need the zeroed
+// variant; everything on the current hot path overwrites its output and
+// uses uninit instead.
+func (s *Scratch) tensor(shape ...int) *tensor.Tensor {
+	t := s.uninit(shape...)
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+	return t
 }
 
 // scratchPool recycles arenas across Infer calls and goroutines.
@@ -75,8 +102,21 @@ type Inferencer interface {
 // implement Inferencer fall back to Forward and forfeit the concurrency
 // guarantee for the whole model.
 func (s *Sequential) Infer(x *tensor.Tensor) *tensor.Tensor {
+	return s.inferWith(x, false)
+}
+
+// InferNaive is Infer routed through the scalar reference kernels instead
+// of the im2col/GEMM path. It exists to measure the kernel speedup
+// (hawcbench -exp kernels, the nn microbenchmarks) and to pin the two
+// paths together in tests; its outputs are bit-identical to Infer's.
+func (s *Sequential) InferNaive(x *tensor.Tensor) *tensor.Tensor {
+	return s.inferWith(x, true)
+}
+
+func (s *Sequential) inferWith(x *tensor.Tensor, naive bool) *tensor.Tensor {
 	sc := scratchPool.Get().(*Scratch)
 	sc.reset()
+	sc.naive = naive
 	for _, l := range s.Layers {
 		if inf, ok := l.(Inferencer); ok {
 			x = inf.Infer(x, sc)
@@ -85,6 +125,7 @@ func (s *Sequential) Infer(x *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	out := x.Clone()
+	sc.naive = false
 	scratchPool.Put(sc)
 	return out
 }
@@ -94,8 +135,12 @@ func (c *Conv2D) Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
 	if x.Rank() != 4 || x.Dim(3) != c.Cin {
 		panic(fmt.Sprintf("nn: Conv2D input %v, want [N, H, W, %d]", x.Shape, c.Cin))
 	}
-	out := s.tensor(x.Dim(0), x.Dim(1), x.Dim(2), c.Cout)
-	c.apply(x, out)
+	out := s.uninit(x.Dim(0), x.Dim(1), x.Dim(2), c.Cout)
+	if s.naive {
+		c.applyNaive(x, out)
+	} else {
+		c.apply(x, out, s)
+	}
 	return out
 }
 
@@ -105,8 +150,12 @@ func (d *Dense) Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
 	if x.NumElems() != n*d.In {
 		panic(fmt.Sprintf("nn: Dense input %v, want [N, %d]", x.Shape, d.In))
 	}
-	out := s.tensor(n, d.Out)
-	d.apply(x, out)
+	out := s.uninit(n, d.Out)
+	if s.naive {
+		d.applyNaive(x, out)
+	} else {
+		d.apply(x, out, s)
+	}
 	return out
 }
 
@@ -117,8 +166,8 @@ func (b *BatchNorm) Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: BatchNorm input %v, want last dim %d", x.Shape, b.C))
 	}
 	total := x.NumElems()
-	out := s.tensor(x.Shape...)
-	invStd := s.tensor(b.C).Data
+	out := s.uninit(x.Shape...)
+	invStd := s.uninit(b.C).Data
 	mean, variance := b.RunningMean.Data, b.RunningVar.Data
 	for c := range invStd {
 		invStd[c] = float32(1 / math.Sqrt(float64(variance[c])+b.Eps))
@@ -133,12 +182,15 @@ func (b *BatchNorm) Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
 	return out
 }
 
-// Infer implements Inferencer.
+// Infer implements Inferencer. It writes both branches so the output
+// needs no pre-zeroing.
 func (r *ReLU) Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
-	out := s.tensor(x.Shape...)
+	out := s.uninit(x.Shape...)
 	for i, v := range x.Data {
 		if v > 0 {
 			out.Data[i] = v
+		} else {
+			out.Data[i] = 0
 		}
 	}
 	return out
@@ -157,7 +209,7 @@ func (m *MaxPool2D) Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
 	if oh == 0 || ow == 0 {
 		panic(fmt.Sprintf("nn: MaxPool2D input %v too small", x.Shape))
 	}
-	out := s.tensor(n, oh, ow, c)
+	out := s.uninit(n, oh, ow, c)
 	idx := func(ni, y, xx, ci int) int { return ((ni*h+y)*w+xx)*c + ci }
 	o := 0
 	for ni := 0; ni < n; ni++ {
@@ -187,7 +239,7 @@ func (m *MaxOverPoints) Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: MaxOverPoints input %v, want [N, P, F]", x.Shape))
 	}
 	n, p, f := x.Dim(0), x.Dim(1), x.Dim(2)
-	out := s.tensor(n, f)
+	out := s.uninit(n, f)
 	for ni := 0; ni < n; ni++ {
 		for fi := 0; fi < f; fi++ {
 			bv := x.Data[(ni*p)*f+fi]

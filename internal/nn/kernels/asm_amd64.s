@@ -1,0 +1,202 @@
+// SIMD micro-kernels. See asm_amd64.go for the contract: lanes run
+// along j (the packed panel), each lane accumulates its own output
+// element in ascending k with separate multiply and add, so results are
+// bit-identical to the pure-Go and naive paths.
+
+#include "textflag.h"
+
+// func cpuFeatures() (avx, avx2 bool)
+TEXT ·cpuFeatures(SB), NOSPLIT, $0-2
+	MOVB $0, avx+0(FP)
+	MOVB $0, avx2+1(FP)
+
+	// Highest supported CPUID leaf must cover leaf 7.
+	XORL AX, AX
+	CPUID
+	CMPL AX, $7
+	JL   done
+
+	// Leaf 1: ECX bit 27 = OSXSAVE, bit 28 = AVX.
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, R8
+	ANDL $(1<<27 | 1<<28), R8
+	CMPL R8, $(1<<27 | 1<<28)
+	JNE  done
+
+	// XCR0 bits 1 and 2: OS saves XMM and YMM state.
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  done
+	MOVB $1, avx+0(FP)
+
+	// Leaf 7 subleaf 0: EBX bit 5 = AVX2.
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $(1<<5), BX
+	JZ   done
+	MOVB $1, avx2+1(FP)
+
+done:
+	RET
+
+// func micro8x8avx(k int, a *float32, lda int, panel *float32, c *float32, ldc int)
+//
+// Eight YMM accumulators, one per C row; per k step: one panel load,
+// eight broadcast/mul/add triples. Strides arrive in elements and are
+// scaled to bytes here; rows 0..7 are addressed via {1,2,3,4,5,7}×stride
+// index registers (row 6 is 3×stride scaled by 2).
+TEXT ·micro8x8avx(SB), NOSPLIT, $0-48
+	MOVQ k+0(FP), CX
+	MOVQ a+8(FP), AX
+	MOVQ lda+16(FP), DX
+	MOVQ panel+24(FP), BX
+	MOVQ c+32(FP), DI
+	MOVQ ldc+40(FP), SI
+	SHLQ $2, DX               // lda in bytes
+	SHLQ $2, SI               // ldc in bytes
+	LEAQ (DX)(DX*2), R8       // 3·lda
+	LEAQ (DX)(DX*4), R9      // 5·lda
+	LEAQ (R8)(DX*4), R10     // 7·lda
+	LEAQ (SI)(SI*2), R11     // 3·ldc
+	LEAQ (SI)(SI*4), R12     // 5·ldc
+	LEAQ (R11)(SI*4), R13    // 7·ldc
+
+	// Load the bias-seeded C tile.
+	VMOVUPS (DI), Y0
+	VMOVUPS (DI)(SI*1), Y1
+	VMOVUPS (DI)(SI*2), Y2
+	VMOVUPS (DI)(R11*1), Y3
+	VMOVUPS (DI)(SI*4), Y4
+	VMOVUPS (DI)(R12*1), Y5
+	VMOVUPS (DI)(R11*2), Y6
+	VMOVUPS (DI)(R13*1), Y7
+
+	TESTQ CX, CX
+	JZ    store
+
+loop:
+	VMOVUPS (BX), Y8
+
+	VBROADCASTSS (AX), Y9
+	VMULPS Y8, Y9, Y9
+	VADDPS Y9, Y0, Y0
+
+	VBROADCASTSS (AX)(DX*1), Y9
+	VMULPS Y8, Y9, Y9
+	VADDPS Y9, Y1, Y1
+
+	VBROADCASTSS (AX)(DX*2), Y9
+	VMULPS Y8, Y9, Y9
+	VADDPS Y9, Y2, Y2
+
+	VBROADCASTSS (AX)(R8*1), Y9
+	VMULPS Y8, Y9, Y9
+	VADDPS Y9, Y3, Y3
+
+	VBROADCASTSS (AX)(DX*4), Y9
+	VMULPS Y8, Y9, Y9
+	VADDPS Y9, Y4, Y4
+
+	VBROADCASTSS (AX)(R9*1), Y9
+	VMULPS Y8, Y9, Y9
+	VADDPS Y9, Y5, Y5
+
+	VBROADCASTSS (AX)(R8*2), Y9
+	VMULPS Y8, Y9, Y9
+	VADDPS Y9, Y6, Y6
+
+	VBROADCASTSS (AX)(R10*1), Y9
+	VMULPS Y8, Y9, Y9
+	VADDPS Y9, Y7, Y7
+
+	ADDQ $32, BX              // next packed panel line (NR floats)
+	ADDQ $4, AX               // next a column
+	DECQ CX
+	JNZ  loop
+
+store:
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, (DI)(SI*1)
+	VMOVUPS Y2, (DI)(SI*2)
+	VMOVUPS Y3, (DI)(R11*1)
+	VMOVUPS Y4, (DI)(SI*4)
+	VMOVUPS Y5, (DI)(R12*1)
+	VMOVUPS Y6, (DI)(R11*2)
+	VMOVUPS Y7, (DI)(R13*1)
+	VZEROUPPER
+	RET
+
+// func micro4x8iavx(k int, aZero int32, a *int8, lda int, panel *int8, c *int32, ldc int)
+//
+// Four int32×8 accumulators. Per k step the 8 panel bytes sign-extend to
+// dwords once; each row's a byte sign-extends in a GP register, shifts by
+// the zero point, broadcasts, then VPMULLD/VPADDD — 32-bit wrapping ops,
+// exactly Go's int32 arithmetic.
+TEXT ·micro4x8iavx(SB), NOSPLIT, $0-56
+	MOVQ  k+0(FP), CX
+	MOVL  aZero+8(FP), R10
+	MOVQ  a+16(FP), AX
+	MOVQ  lda+24(FP), DX
+	MOVQ  panel+32(FP), BX
+	MOVQ  c+40(FP), DI
+	MOVQ  ldc+48(FP), SI
+	SHLQ  $2, SI              // ldc in bytes (c is int32); lda stays in bytes (a is int8)
+	LEAQ  (DX)(DX*2), R8      // 3·lda
+	LEAQ  (SI)(SI*2), R9      // 3·ldc
+
+	VMOVDQU (DI), Y0
+	VMOVDQU (DI)(SI*1), Y1
+	VMOVDQU (DI)(SI*2), Y2
+	VMOVDQU (DI)(R9*1), Y3
+
+	TESTQ CX, CX
+	JZ    istore
+
+iloop:
+	VPMOVSXBD (BX), Y8
+
+	MOVBLSX (AX), R11
+	SUBL    R10, R11
+	VMOVD   R11, X9
+	VPBROADCASTD X9, Y9
+	VPMULLD Y8, Y9, Y9
+	VPADDD  Y9, Y0, Y0
+
+	MOVBLSX (AX)(DX*1), R11
+	SUBL    R10, R11
+	VMOVD   R11, X9
+	VPBROADCASTD X9, Y9
+	VPMULLD Y8, Y9, Y9
+	VPADDD  Y9, Y1, Y1
+
+	MOVBLSX (AX)(DX*2), R11
+	SUBL    R10, R11
+	VMOVD   R11, X9
+	VPBROADCASTD X9, Y9
+	VPMULLD Y8, Y9, Y9
+	VPADDD  Y9, Y2, Y2
+
+	MOVBLSX (AX)(R8*1), R11
+	SUBL    R10, R11
+	VMOVD   R11, X9
+	VPBROADCASTD X9, Y9
+	VPMULLD Y8, Y9, Y9
+	VPADDD  Y9, Y3, Y3
+
+	ADDQ $8, BX               // next packed panel line (NR bytes)
+	INCQ AX                   // next a column
+	DECQ CX
+	JNZ  iloop
+
+istore:
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, (DI)(SI*1)
+	VMOVDQU Y2, (DI)(SI*2)
+	VMOVDQU Y3, (DI)(R9*1)
+	VZEROUPPER
+	RET

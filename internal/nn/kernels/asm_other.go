@@ -1,0 +1,18 @@
+//go:build !amd64
+
+package kernels
+
+// Non-amd64 builds run the pure-Go micro-kernels only. The constants
+// compile the assembly dispatch away entirely.
+const (
+	useAVX  = false
+	useAVX2 = false
+)
+
+func micro8x8avx(k int, a *float32, lda int, panel *float32, c *float32, ldc int) {
+	panic("kernels: no assembly on this architecture")
+}
+
+func micro4x8iavx(k int, aZero int32, a *int8, lda int, panel *int8, c *int32, ldc int) {
+	panic("kernels: no assembly on this architecture")
+}

@@ -1,0 +1,210 @@
+// Package kernels provides the packed, register-blocked matrix kernels
+// behind the inference hot path: im2col + GEMM for float32 convolution and
+// dense layers, and an int8/int32 GEMM for the quantized graph.
+//
+// Accumulation contract: every kernel computes each output element as
+// bias[j] followed by adds of a[i][k]·b[k][j] in strictly ascending k —
+// the same operation sequence as the textbook scalar loops — so the GEMM
+// path is bit-identical to the naive reference for float32 (and exactly
+// equal, trivially, for the integer kernels). Register blocking tiles the
+// i and j dimensions only; it never reorders the k accumulation of a
+// single output element.
+//
+// Buffers (packed weight panels, im2col matrices) are caller-provided so
+// the hot path stays allocation-free: internal/nn draws them from its
+// Scratch arena and internal/quant from a pooled scratch.
+package kernels
+
+// Micro-tile dimensions. MR rows of A are streamed against an NR-wide
+// packed column panel of B, keeping MR·NR accumulators live across the
+// whole k loop so C is touched once per tile instead of once per k.
+const (
+	// MR is the number of A rows per micro-tile.
+	MR = 4
+	// NR is the packed panel width (B columns per micro-tile).
+	NR = 8
+)
+
+// PackMinRows is the M below which packing B cannot pay for itself: with
+// fewer rows than one micro-tile there is no cross-row reuse of a packed
+// panel, and the O(K·N) pack cost rivals the O(M·K·N) multiply. Gemm and
+// GemmInt8 fall back to the direct unpacked loop under this bound.
+const PackMinRows = MR
+
+// PackedLen returns the buffer length PackB needs for a K×N matrix: K
+// rows of ceil(N/NR) zero-padded NR-wide panels.
+func PackedLen(k, n int) int {
+	return k * ((n + NR - 1) / NR) * NR
+}
+
+// PackB packs the row-major K×N matrix b into NR-wide column panels:
+// panel p holds columns [p·NR, p·NR+NR) contiguously per k, so the
+// micro-kernel reads one cache line per k step. Columns beyond N are
+// zero-filled. dst must have at least PackedLen(k, n) elements; the
+// packed slice is returned.
+func PackB(k, n int, b, dst []float32) []float32 {
+	panels := (n + NR - 1) / NR
+	dst = dst[:panels*k*NR]
+	for p := 0; p < panels; p++ {
+		j := p * NR
+		w := n - j
+		if w > NR {
+			w = NR
+		}
+		out := dst[p*k*NR : (p+1)*k*NR]
+		for kk := 0; kk < k; kk++ {
+			o := out[kk*NR : kk*NR+NR]
+			copy(o, b[kk*n+j:kk*n+j+w])
+			for t := w; t < NR; t++ {
+				o[t] = 0
+			}
+		}
+	}
+	return dst
+}
+
+// Gemm computes C = A·B + bias for tight row-major A (M×K), B (K×N), and
+// C (M×N); bias has length N (nil means zero). When M is large enough for
+// packing to pay off and pack (of at least PackedLen(k, n) elements) is
+// provided, B is packed and the register-blocked path runs; otherwise the
+// direct loop runs. Both paths share the accumulation contract, so the
+// choice never changes the result.
+func Gemm(m, n, k int, a, b, bias, c []float32, pack []float32) {
+	if m >= PackMinRows && pack != nil {
+		GemmPacked(m, n, k, a, PackB(k, n, b, pack), bias, c)
+		return
+	}
+	gemmDirect(m, n, k, a, b, bias, c)
+}
+
+// gemmDirect is the unpacked fallback: a broadcast-axpy loop over B rows.
+func gemmDirect(m, n, k int, a, b, bias, c []float32) {
+	for i := 0; i < m; i++ {
+		ci := c[i*n : i*n+n]
+		if bias != nil {
+			copy(ci, bias)
+		} else {
+			for t := range ci {
+				ci[t] = 0
+			}
+		}
+		ai := a[i*k : i*k+k]
+		for kk, av := range ai {
+			bk := b[kk*n : kk*n+n]
+			for j, bv := range bk {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// GemmPacked computes C = A·B + bias with B pre-packed by PackB. A is
+// row-major M×K, C row-major M×N. The same packed B may be reused across
+// many calls (the convolution path packs once per layer and runs one GEMM
+// per image).
+func GemmPacked(m, n, k int, a, bp, bias, c []float32) {
+	panels := (n + NR - 1) / NR
+	for p := 0; p < panels; p++ {
+		j := p * NR
+		w := n - j
+		if w > NR {
+			w = NR
+		}
+		panel := bp[p*k*NR : (p+1)*k*NR]
+		// Seed this panel's C columns with the bias so the micro-kernels
+		// are pure accumulators.
+		for i := 0; i < m; i++ {
+			ci := c[i*n+j : i*n+j+w]
+			if bias != nil {
+				copy(ci, bias[j:j+w])
+			} else {
+				for t := range ci {
+					ci[t] = 0
+				}
+			}
+		}
+		i := 0
+		if w == NR {
+			if useAVX && k > 0 {
+				for ; i+2*MR <= m; i += 2 * MR {
+					micro8x8avx(k, &a[i*k], k, &panel[0], &c[i*n+j], n)
+				}
+			}
+			for ; i+MR <= m; i += MR {
+				micro4x8(k,
+					a[i*k:i*k+k], a[(i+1)*k:(i+1)*k+k], a[(i+2)*k:(i+2)*k+k], a[(i+3)*k:(i+3)*k+k],
+					panel,
+					c[i*n+j:], c[(i+1)*n+j:], c[(i+2)*n+j:], c[(i+3)*n+j:])
+			}
+		}
+		for ; i < m; i++ {
+			microRow(k, w, a[i*k:i*k+k], panel, c[i*n+j:i*n+j+w])
+		}
+	}
+}
+
+// micro4x8 accumulates a 4×8 C tile held in registers across the whole k
+// loop: per k step it loads one packed B line and four A scalars for 32
+// multiply-adds, instead of the naive loop's load/store of C per add.
+func micro4x8(k int, a0, a1, a2, a3, panel []float32, c0, c1, c2, c3 []float32) {
+	s00, s01, s02, s03, s04, s05, s06, s07 := c0[0], c0[1], c0[2], c0[3], c0[4], c0[5], c0[6], c0[7]
+	s10, s11, s12, s13, s14, s15, s16, s17 := c1[0], c1[1], c1[2], c1[3], c1[4], c1[5], c1[6], c1[7]
+	s20, s21, s22, s23, s24, s25, s26, s27 := c2[0], c2[1], c2[2], c2[3], c2[4], c2[5], c2[6], c2[7]
+	s30, s31, s32, s33, s34, s35, s36, s37 := c3[0], c3[1], c3[2], c3[3], c3[4], c3[5], c3[6], c3[7]
+	for kk := 0; kk < k; kk++ {
+		b := panel[kk*NR : kk*NR+NR]
+		b0, b1, b2, b3, b4, b5, b6, b7 := b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]
+		av := a0[kk]
+		s00 += av * b0
+		s01 += av * b1
+		s02 += av * b2
+		s03 += av * b3
+		s04 += av * b4
+		s05 += av * b5
+		s06 += av * b6
+		s07 += av * b7
+		av = a1[kk]
+		s10 += av * b0
+		s11 += av * b1
+		s12 += av * b2
+		s13 += av * b3
+		s14 += av * b4
+		s15 += av * b5
+		s16 += av * b6
+		s17 += av * b7
+		av = a2[kk]
+		s20 += av * b0
+		s21 += av * b1
+		s22 += av * b2
+		s23 += av * b3
+		s24 += av * b4
+		s25 += av * b5
+		s26 += av * b6
+		s27 += av * b7
+		av = a3[kk]
+		s30 += av * b0
+		s31 += av * b1
+		s32 += av * b2
+		s33 += av * b3
+		s34 += av * b4
+		s35 += av * b5
+		s36 += av * b6
+		s37 += av * b7
+	}
+	c0[0], c0[1], c0[2], c0[3], c0[4], c0[5], c0[6], c0[7] = s00, s01, s02, s03, s04, s05, s06, s07
+	c1[0], c1[1], c1[2], c1[3], c1[4], c1[5], c1[6], c1[7] = s10, s11, s12, s13, s14, s15, s16, s17
+	c2[0], c2[1], c2[2], c2[3], c2[4], c2[5], c2[6], c2[7] = s20, s21, s22, s23, s24, s25, s26, s27
+	c3[0], c3[1], c3[2], c3[3], c3[4], c3[5], c3[6], c3[7] = s30, s31, s32, s33, s34, s35, s36, s37
+}
+
+// microRow handles M-remainder rows and N-remainder panels one row at a
+// time against a packed panel of width w ≤ NR.
+func microRow(k, w int, ai, panel, ci []float32) {
+	for kk := 0; kk < k; kk++ {
+		av := ai[kk]
+		b := panel[kk*NR : kk*NR+w]
+		for j, bv := range b {
+			ci[j] += av * bv
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package kernels
+
+// Im2col lowers one channel-last [H][W][Cin] image to the stride-1,
+// same-padding patch matrix: row (y·W+x) of dst holds the KH·KW·Cin patch
+// centered on (y, x) in (ky, kx, ci) order, with out-of-image taps set to
+// zero. That tap order matches the scalar convolution loop, so a GEMM
+// over the lowered matrix accumulates in exactly the naive order. dst
+// needs H·W·KH·KW·Cin elements and is fully overwritten.
+func Im2col(h, w, cin, kh, kw int, src, dst []float32) {
+	k := kh * kw * cin
+	ph, pw := kh/2, kw/2
+	rowW := kw * cin
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			row := dst[(y*w+x)*k : (y*w+x)*k+k]
+			x0 := x - pw
+			for ky := 0; ky < kh; ky++ {
+				iy := y + ky - ph
+				seg := row[ky*rowW : ky*rowW+rowW]
+				if iy < 0 || iy >= h {
+					for t := range seg {
+						seg[t] = 0
+					}
+					continue
+				}
+				if x0 >= 0 && x0+kw <= w {
+					// Interior column: the kw taps are contiguous in src.
+					copy(seg, src[(iy*w+x0)*cin:(iy*w+x0)*cin+rowW])
+					continue
+				}
+				for kx := 0; kx < kw; kx++ {
+					ix := x0 + kx
+					tap := seg[kx*cin : kx*cin+cin]
+					if ix < 0 || ix >= w {
+						for t := range tap {
+							tap[t] = 0
+						}
+					} else {
+						copy(tap, src[(iy*w+ix)*cin:(iy*w+ix)*cin+cin])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Im2colInt8 is Im2col for int8 activations. Out-of-image taps are set to
+// the activation zero point zp, so after the kernel subtracts the zero
+// point they contribute exactly nothing — the same as the scalar loop
+// skipping padded taps.
+func Im2colInt8(h, w, cin, kh, kw int, zp int8, src, dst []int8) {
+	k := kh * kw * cin
+	ph, pw := kh/2, kw/2
+	rowW := kw * cin
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			row := dst[(y*w+x)*k : (y*w+x)*k+k]
+			x0 := x - pw
+			for ky := 0; ky < kh; ky++ {
+				iy := y + ky - ph
+				seg := row[ky*rowW : ky*rowW+rowW]
+				if iy < 0 || iy >= h {
+					for t := range seg {
+						seg[t] = zp
+					}
+					continue
+				}
+				if x0 >= 0 && x0+kw <= w {
+					copy(seg, src[(iy*w+x0)*cin:(iy*w+x0)*cin+rowW])
+					continue
+				}
+				for kx := 0; kx < kw; kx++ {
+					ix := x0 + kx
+					tap := seg[kx*cin : kx*cin+cin]
+					if ix < 0 || ix >= w {
+						for t := range tap {
+							tap[t] = zp
+						}
+					} else {
+						copy(tap, src[(iy*w+ix)*cin:(iy*w+ix)*cin+cin])
+					}
+				}
+			}
+		}
+	}
+}

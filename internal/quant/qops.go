@@ -2,6 +2,9 @@ package quant
 
 import (
 	"fmt"
+	"sync"
+
+	"hawccc/internal/nn/kernels"
 )
 
 // QOp is one stage of a quantized inference graph.
@@ -10,6 +13,50 @@ type QOp interface {
 	Apply(x *QTensor) *QTensor
 	// WeightBytes is the int8 parameter footprint, for model-size reports.
 	WeightBytes() int
+}
+
+// gemmScratch holds the int8 GEMM workspace (im2col matrix, packed
+// weight panels, int32 accumulators) so Apply stays allocation-free on
+// the hot path. Pooled because quantized inference runs concurrently
+// from the counting workers.
+type gemmScratch struct {
+	col  []int8
+	pack []int8
+	acc  []int32
+}
+
+var gemmPool = sync.Pool{New: func() any { return new(gemmScratch) }}
+
+func (g *gemmScratch) i8(buf *[]int8, n int) []int8 {
+	if cap(*buf) < n {
+		*buf = make([]int8, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func (g *gemmScratch) i32(n int) []int32 {
+	if cap(g.acc) < n {
+		g.acc = make([]int32, n)
+	}
+	g.acc = g.acc[:n]
+	return g.acc
+}
+
+// requantize maps int32 accumulators to int8 outputs: fixed-point
+// multiply, zero-point shift, clamp to [lo, 127]. Shared by the GEMM and
+// naive paths so requantization is identical by construction.
+func requantize(acc []int32, out []int8, mult Multiplier, outZero, lo int32) {
+	for i, a := range acc {
+		v := mult.Apply(a) + outZero
+		if v < lo {
+			v = lo
+		}
+		if v > 127 {
+			v = 127
+		}
+		out[i] = int8(v)
+	}
 }
 
 // QConv2D is a stride-1, same-padding int8 convolution with optional fused
@@ -37,8 +84,39 @@ func (c *QConv2D) Name() string {
 // WeightBytes implements QOp.
 func (c *QConv2D) WeightBytes() int { return len(c.W) + 4*len(c.Bias) }
 
-// Apply implements QOp.
+// Apply implements QOp via im2col + int8 GEMM: the weights pack once
+// per call, each image lowers to its patch matrix (padding taps filled
+// with the input zero point, so they contribute exactly nothing after
+// the zero-point shift), and requantization runs over the int32
+// accumulator plane. Integer arithmetic is exact, so this is equal to
+// ApplyNaive element for element.
 func (c *QConv2D) Apply(x *QTensor) *QTensor {
+	n, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	out := NewQTensor(c.OutScale, c.OutZero, n, h, w, c.Cout)
+	k := c.KH * c.KW * c.Cin
+	m := h * w
+	lo := int32(-128)
+	if c.FusedReLU && c.OutZero > lo {
+		lo = c.OutZero
+	}
+	zp := int8(clampInt8(c.InZero))
+	g := gemmPool.Get().(*gemmScratch)
+	pack := kernels.PackBInt8(k, c.Cout, c.W, g.i8(&g.pack, kernels.PackedLen(k, c.Cout)))
+	col := g.i8(&g.col, m*k)
+	acc := g.i32(m * c.Cout)
+	for ni := 0; ni < n; ni++ {
+		kernels.Im2colInt8(h, w, c.Cin, c.KH, c.KW, zp, x.Data[ni*m*c.Cin:(ni+1)*m*c.Cin], col)
+		kernels.GemmInt8Packed(m, c.Cout, k, col, c.InZero, pack, c.Bias, acc)
+		requantize(acc, out.Data[ni*m*c.Cout:(ni+1)*m*c.Cout], c.Mult, c.OutZero, lo)
+	}
+	gemmPool.Put(g)
+	return out
+}
+
+// ApplyNaive is the scalar reference convolution, retained to pin the
+// GEMM path in tests and to benchmark against (hawcbench -exp kernels).
+// Like the float reference it has no data-dependent shortcuts.
+func (c *QConv2D) ApplyNaive(x *QTensor) *QTensor {
 	n, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
 	out := NewQTensor(c.OutScale, c.OutZero, n, h, w, c.Cout)
 	ph, pw := c.KH/2, c.KW/2
@@ -46,12 +124,12 @@ func (c *QConv2D) Apply(x *QTensor) *QTensor {
 	if c.FusedReLU && c.OutZero > lo {
 		lo = c.OutZero
 	}
+	acc := make([]int32, c.Cout)
 	for ni := 0; ni < n; ni++ {
 		inBase := ni * h * w * c.Cin
 		outBase := ni * h * w * c.Cout
 		for y := 0; y < h; y++ {
 			for xx := 0; xx < w; xx++ {
-				acc := make([]int32, c.Cout)
 				copy(acc, c.Bias)
 				for ky := 0; ky < c.KH; ky++ {
 					iy := y + ky - ph
@@ -67,9 +145,6 @@ func (c *QConv2D) Apply(x *QTensor) *QTensor {
 						wBase := (ky*c.KW + kx) * c.Cin * c.Cout
 						for ci := 0; ci < c.Cin; ci++ {
 							xv := int32(in[ci]) - c.InZero
-							if xv == 0 {
-								continue
-							}
 							wk := c.W[wBase+ci*c.Cout : wBase+(ci+1)*c.Cout]
 							for co := range acc {
 								acc[co] += xv * int32(wk[co])
@@ -77,17 +152,7 @@ func (c *QConv2D) Apply(x *QTensor) *QTensor {
 						}
 					}
 				}
-				o := out.Data[outBase+(y*w+xx)*c.Cout:]
-				for co := 0; co < c.Cout; co++ {
-					v := c.Mult.Apply(acc[co]) + c.OutZero
-					if v < lo {
-						v = lo
-					}
-					if v > 127 {
-						v = 127
-					}
-					o[co] = int8(v)
-				}
+				requantize(acc, out.Data[outBase+(y*w+xx)*c.Cout:outBase+(y*w+xx+1)*c.Cout], c.Mult, c.OutZero, lo)
 			}
 		}
 	}
@@ -115,7 +180,8 @@ func (d *QDense) Name() string { return fmt.Sprintf("QDense(%d→%d)", d.In, d.O
 // WeightBytes implements QOp.
 func (d *QDense) WeightBytes() int { return len(d.W) + 4*len(d.Bias) }
 
-// Apply implements QOp.
+// Apply implements QOp as one int8 GEMM over the whole batch, then one
+// requantization pass. Exactly equal to ApplyNaive (integer arithmetic).
 func (d *QDense) Apply(x *QTensor) *QTensor {
 	n := x.Dim(0)
 	out := NewQTensor(d.OutScale, d.OutZero, n, d.Out)
@@ -123,31 +189,39 @@ func (d *QDense) Apply(x *QTensor) *QTensor {
 	if d.FusedReLU && d.OutZero > lo {
 		lo = d.OutZero
 	}
+	g := gemmPool.Get().(*gemmScratch)
+	var pack []int8
+	if n >= kernels.PackMinRows {
+		pack = g.i8(&g.pack, kernels.PackedLen(d.In, d.Out))
+	}
+	acc := g.i32(n * d.Out)
+	kernels.GemmInt8(n, d.Out, d.In, x.Data, d.InZero, d.W, d.Bias, acc, pack)
+	requantize(acc, out.Data, d.Mult, d.OutZero, lo)
+	gemmPool.Put(g)
+	return out
+}
+
+// ApplyNaive is the scalar reference, retained to pin the GEMM path in
+// tests and to benchmark against. No data-dependent shortcuts.
+func (d *QDense) ApplyNaive(x *QTensor) *QTensor {
+	n := x.Dim(0)
+	out := NewQTensor(d.OutScale, d.OutZero, n, d.Out)
+	lo := int32(-128)
+	if d.FusedReLU && d.OutZero > lo {
+		lo = d.OutZero
+	}
+	acc := make([]int32, d.Out)
 	for i := 0; i < n; i++ {
 		xi := x.Data[i*d.In : (i+1)*d.In]
-		acc := make([]int32, d.Out)
 		copy(acc, d.Bias)
 		for k, xq := range xi {
 			xv := int32(xq) - d.InZero
-			if xv == 0 {
-				continue
-			}
 			wk := d.W[k*d.Out : (k+1)*d.Out]
 			for j := range acc {
 				acc[j] += xv * int32(wk[j])
 			}
 		}
-		o := out.Data[i*d.Out : (i+1)*d.Out]
-		for j, a := range acc {
-			v := d.Mult.Apply(a) + d.OutZero
-			if v < lo {
-				v = lo
-			}
-			if v > 127 {
-				v = 127
-			}
-			o[j] = int8(v)
-		}
+		requantize(acc, out.Data[i*d.Out:(i+1)*d.Out], d.Mult, d.OutZero, lo)
 	}
 	return out
 }
