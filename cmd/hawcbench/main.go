@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"hawccc/internal/experiments"
+	"hawccc/internal/obs"
 )
 
 func main() {
@@ -42,6 +43,7 @@ func run() error {
 	seed := flag.Int64("seed", 0, "override the preset's random seed")
 	pnEpochs := flag.Int("pn-epochs", 0, "override the preset's PointNet training epochs")
 	hawcEpochs := flag.Int("hawc-epochs", 0, "override the preset's HAWC training epochs")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address while experiments run (empty = off)")
 	verbose := flag.Bool("v", true, "print progress")
 	flag.Parse()
 
@@ -69,6 +71,17 @@ func run() error {
 	lab := experiments.NewLab(cfg)
 	if *verbose {
 		lab.Log = os.Stderr
+	}
+	if *metricsAddr != "" {
+		// The bench pipelines register their stage histograms here, so a
+		// profiler can watch the sweep live (and grab pprof profiles of it).
+		lab.Obs = obs.NewRegistry()
+		ms, err := obs.Serve(*metricsAddr, lab.Obs)
+		if err != nil {
+			return err
+		}
+		defer ms.Close()
+		fmt.Fprintln(os.Stderr, "metrics on", ms.URL())
 	}
 
 	wanted := map[string]bool{}

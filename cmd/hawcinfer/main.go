@@ -13,6 +13,7 @@ import (
 	"hawccc/internal/counting"
 	"hawccc/internal/dataset"
 	"hawccc/internal/models"
+	"hawccc/internal/obs"
 )
 
 func main() {
@@ -26,6 +27,7 @@ func run() error {
 	modelPath := flag.String("model", "", "model file written by hawctrain (required)")
 	framesPath := flag.String("frames", "", "frames file written by hawcgen (required)")
 	quantize := flag.Bool("int8", false, "quantize the model before inference (calibrates on the model's object pool)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address while counting (empty = off)")
 	flag.Parse()
 
 	if *modelPath == "" || *framesPath == "" {
@@ -53,6 +55,16 @@ func run() error {
 	}
 
 	p := counting.New(clf)
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		ms, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ms.Close()
+		p.Instrument(reg)
+		fmt.Fprintln(os.Stderr, "metrics on", ms.URL())
+	}
 	var pred, truth []float64
 	start := time.Now()
 	for i, f := range frames {

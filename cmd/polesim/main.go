@@ -4,12 +4,22 @@
 // reports and telemetry upstream (the Figure 1 deployment).
 //
 //	polesim -poles 3 -frames 10 -crowding-limit 8
+//
+// With -metrics-addr the whole campus exposes one Prometheus /metrics
+// endpoint plus net/http/pprof: backend connection and alert counters,
+// per-pole report counters and last-seen gauges, pipeline stage
+// histograms, wire byte counts, and report round-trip times.
+// -metrics-dump scrapes that endpoint after the poles finish and writes
+// the exposition text to a file, which is how CI asserts the series
+// exist without racing a short-lived process.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"sync"
 	"time"
@@ -18,6 +28,7 @@ import (
 	"hawccc/internal/counting"
 	"hawccc/internal/dataset"
 	"hawccc/internal/models"
+	"hawccc/internal/obs"
 	"hawccc/internal/pole"
 	"hawccc/internal/telemetry"
 )
@@ -38,7 +49,36 @@ func run() error {
 	crowding := flag.Int("crowding-limit", 6, "backend crowding alert threshold (0 = off)")
 	interval := flag.Duration("interval", 0, "pacing between frames (0 = as fast as possible)")
 	seed := flag.Int64("seed", 7, "random seed")
+	reconnects := flag.Int("reconnects", 3, "re-dial attempts per pole when the backend connection drops (0 = fail fast)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9100; empty = off)")
+	metricsDump := flag.String("metrics-dump", "", "after the run, scrape /metrics and write the exposition text to this file (implies -metrics-addr 127.0.0.1:0 if unset)")
 	flag.Parse()
+
+	// One mutex serializes every diagnostic line the simulator itself
+	// emits; backend and pole internals each serialize their own Logf, but
+	// without this their streams could still interleave on stderr.
+	var logMu sync.Mutex
+	logf := func(f string, a ...any) {
+		logMu.Lock()
+		defer logMu.Unlock()
+		fmt.Fprintf(os.Stderr, f+"\n", a...)
+	}
+
+	var reg *obs.Registry
+	var ms *obs.MetricsServer
+	if *metricsAddr == "" && *metricsDump != "" {
+		*metricsAddr = "127.0.0.1:0"
+	}
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		var err error
+		ms, err = obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ms.Close()
+		fmt.Println("metrics on", ms.URL())
+	}
 
 	fmt.Printf("training HAWC on %d samples/class (%d epochs)...\n", *perClass, *epochs)
 	g := dataset.NewGenerator(*seed)
@@ -51,7 +91,8 @@ func run() error {
 		Addr:          "127.0.0.1:0",
 		CrowdingLimit: *crowding,
 		OverheatLimit: 50,
-		Logf:          func(f string, a ...any) { fmt.Fprintf(os.Stderr, "[backend] "+f+"\n", a...) },
+		Obs:           reg,
+		Logf:          func(f string, a ...any) { logf("[backend] "+f, a...) },
 	})
 	if err != nil {
 		return err
@@ -64,15 +105,19 @@ func run() error {
 	var wg sync.WaitGroup
 	for id := 1; id <= *poles; id++ {
 		poleFrames := g.CrowdFrames(*frames, 1, *maxPeople, 2)
+		// All poles share the registry: pipeline stage histograms aggregate
+		// campus-wide, while pole-level series carry a pole="<id>" label.
 		node, err := pole.Dial(pole.Config{
 			PoleID:        uint32(id),
 			Location:      fmt.Sprintf("walkway-%d", id),
 			BackendAddr:   srv.Addr(),
-			Pipeline:      counting.New(clf),
+			Pipeline:      counting.New(clf).Instrument(reg),
 			Source:        &pole.SliceSource{Frames: poleFrames},
 			FrameInterval: *interval,
 			Telemetry:     readings[400*id:],
-			Logf:          func(f string, a ...any) { fmt.Fprintf(os.Stderr, "[pole] "+f+"\n", a...) },
+			MaxReconnects: *reconnects,
+			Obs:           reg,
+			Logf:          func(f string, a ...any) { logf("[pole] "+f, a...) },
 		})
 		if err != nil {
 			return err
@@ -96,5 +141,30 @@ func run() error {
 			p.PoleID, p.Location, p.Reports, p.LastCount, p.PeakCount, p.TotalCount, p.MaxTemp)
 	}
 	fmt.Printf("alerts: %d, campus count: %d\n", len(srv.Alerts()), srv.CampusCount())
+
+	if *metricsDump != "" {
+		if err := dumpMetrics(ms.URL(), *metricsDump); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *metricsDump)
+	}
 	return nil
+}
+
+// dumpMetrics scrapes the simulator's own /metrics endpoint and writes the
+// exposition body to path, exactly as an external Prometheus would see it.
+func dumpMetrics(url, path string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return fmt.Errorf("metrics-dump: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("metrics-dump: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics-dump: scrape returned %s", resp.Status)
+	}
+	return os.WriteFile(path, body, 0o644)
 }

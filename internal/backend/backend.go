@@ -12,9 +12,11 @@ import (
 	"io"
 	"net"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"hawccc/internal/obs"
 	"hawccc/internal/wire"
 )
 
@@ -29,7 +31,14 @@ type Config struct {
 	// or exceeds it in °C (0 disables). The Coral Dev Board is rated to
 	// 50 °C.
 	OverheatLimit float64
-	// Logf, if non-nil, receives diagnostic output.
+	// Obs, when non-nil, registers the backend's metrics: per-pole report
+	// and alert counters, last-seen timestamps, compartment temperature,
+	// connection counts, wire traffic, and the edge latency each report
+	// carries.
+	Obs *obs.Registry
+	// Logf, if non-nil, receives diagnostic output; defaults to a no-op.
+	// The server serializes calls, so handlers for concurrent pole
+	// connections never interleave writes into a shared sink.
 	Logf func(format string, args ...any)
 }
 
@@ -47,13 +56,41 @@ type PoleStats struct {
 	Alerts     int
 }
 
+// backendObs is the server-wide instrument set; nil fields (no registry)
+// make every update a no-op.
+type backendObs struct {
+	connsActive *obs.Gauge
+	connsTotal  *obs.Counter
+	bytesIn     *obs.Counter
+	bytesOut    *obs.Counter
+	msgsIn      *obs.Counter
+	msgsOut     *obs.Counter
+	crowding    *obs.Counter
+	overheat    *obs.Counter
+	edgeLatency *obs.Histogram
+}
+
+// poleObs is the per-pole instrument set, created when a pole is first
+// seen and cached so the report path does no registry lookups.
+type poleObs struct {
+	reports  *obs.Counter
+	alerts   *obs.Counter
+	lastSeen *obs.Gauge
+	lastNum  *obs.Gauge
+	tempC    *obs.Gauge
+}
+
 // Server is the campus backend.
 type Server struct {
 	cfg Config
 	ln  net.Listener
+	m   backendObs
+
+	logMu sync.Mutex
 
 	mu     sync.Mutex
 	poles  map[uint32]*PoleStats
+	pobs   map[uint32]*poleObs
 	alerts []wire.Alert
 
 	wg       sync.WaitGroup
@@ -75,12 +112,33 @@ func Listen(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		ln:       ln,
 		poles:    make(map[uint32]*PoleStats),
+		pobs:     make(map[uint32]*poleObs),
 		shutdown: cancel,
 		done:     make(chan struct{}),
+	}
+	if reg := cfg.Obs; reg != nil {
+		s.m = backendObs{
+			connsActive: reg.Gauge("backend_connections_active", "pole connections currently open"),
+			connsTotal:  reg.Counter("backend_connections_total", "pole connections accepted since start"),
+			bytesIn:     reg.Counter("backend_wire_bytes_received_total", "framed bytes received from poles"),
+			bytesOut:    reg.Counter("backend_wire_bytes_sent_total", "framed bytes sent to poles"),
+			msgsIn:      reg.Counter("backend_wire_messages_received_total", "framed messages received from poles"),
+			msgsOut:     reg.Counter("backend_wire_messages_sent_total", "framed messages sent to poles"),
+			crowding:    reg.Counter("backend_alerts_total", "alerts raised, by kind", obs.L("kind", "crowding")),
+			overheat:    reg.Counter("backend_alerts_total", "alerts raised, by kind", obs.L("kind", "overheat")),
+			edgeLatency: reg.Histogram("backend_report_edge_latency_seconds", "per-frame edge processing latency carried by count reports", obs.LatencyBuckets()),
+		}
 	}
 	s.wg.Add(1)
 	go s.acceptLoop(ctx)
 	return s, nil
+}
+
+// logf serializes diagnostic output across handler goroutines.
+func (s *Server) logf(format string, args ...any) {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	s.cfg.Logf(format, args...)
 }
 
 // Addr returns the bound listen address.
@@ -104,15 +162,18 @@ func (s *Server) acceptLoop(ctx context.Context) {
 			return // listener closed
 		}
 		s.wg.Add(1)
+		s.m.connsTotal.Inc()
+		s.m.connsActive.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.m.connsActive.Add(-1)
 			// Close the connection when either the handler finishes or
 			// the server shuts down.
 			stop := context.AfterFunc(ctx, func() { conn.Close() })
 			defer stop()
 			defer conn.Close()
 			if err := s.handle(conn); err != nil && !errors.Is(err, net.ErrClosed) {
-				s.cfg.Logf("backend: connection from %s: %v", conn.RemoteAddr(), err)
+				s.logf("backend: connection from %s: %v", conn.RemoteAddr(), err)
 			}
 		}()
 	}
@@ -120,6 +181,7 @@ func (s *Server) acceptLoop(ctx context.Context) {
 
 func (s *Server) handle(conn net.Conn) error {
 	wc := wire.NewConn(conn)
+	wc.Instrument(s.m.bytesOut, s.m.bytesIn, s.m.msgsOut, s.m.msgsIn)
 	var poleID uint32
 	for {
 		t, body, err := wc.Recv()
@@ -136,11 +198,12 @@ func (s *Server) handle(conn net.Conn) error {
 				return err
 			}
 			poleID = h.PoleID
-			s.withPole(h.PoleID, func(p *PoleStats) {
+			s.withPole(h.PoleID, func(p *PoleStats, m *poleObs) {
 				p.Location = h.Location
 				p.LastSeen = time.Now()
+				m.lastSeen.SetTime(p.LastSeen)
 			})
-			s.cfg.Logf("backend: pole %d (%s) connected", h.PoleID, h.Location)
+			s.logf("backend: pole %d (%s) connected", h.PoleID, h.Location)
 		case wire.MsgCountReport:
 			r, err := wire.DecodeCountReport(body)
 			if err != nil {
@@ -154,7 +217,7 @@ func (s *Server) handle(conn net.Conn) error {
 				if err := s.alert(wc, wire.Alert{
 					PoleID:  r.PoleID,
 					Kind:    wire.AlertCrowding,
-					Message: fmt.Sprintf("count %d at pole %d exceeds limit %d", r.Count, r.PoleID, s.cfg.CrowdingLimit),
+					Message: fmt.Sprintf("count %d at pole %d meets or exceeds limit %d", r.Count, r.PoleID, s.cfg.CrowdingLimit),
 				}); err != nil {
 					return err
 				}
@@ -169,7 +232,7 @@ func (s *Server) handle(conn net.Conn) error {
 				if err := s.alert(wc, wire.Alert{
 					PoleID:  tm.PoleID,
 					Kind:    wire.AlertOverheat,
-					Message: fmt.Sprintf("pole %d compartment at %.1f°C exceeds rated %.1f°C", tm.PoleID, tm.PoleTemp, s.cfg.OverheatLimit),
+					Message: fmt.Sprintf("pole %d compartment at %.1f°C meets or exceeds rated %.1f°C", tm.PoleID, tm.PoleTemp, s.cfg.OverheatLimit),
 				}); err != nil {
 					return err
 				}
@@ -186,12 +249,23 @@ func (s *Server) alert(wc *wire.Conn, a wire.Alert) error {
 	if p, ok := s.poles[a.PoleID]; ok {
 		p.Alerts++
 	}
+	if m, ok := s.pobs[a.PoleID]; ok {
+		m.alerts.Inc()
+	}
 	s.mu.Unlock()
-	s.cfg.Logf("backend: ALERT %s", a.Message)
+	switch a.Kind {
+	case wire.AlertCrowding:
+		s.m.crowding.Inc()
+	case wire.AlertOverheat:
+		s.m.overheat.Inc()
+	}
+	s.logf("backend: ALERT %s", a.Message)
 	return wc.Send(wire.MsgAlert, wire.EncodeAlert(a))
 }
 
-func (s *Server) withPole(id uint32, f func(*PoleStats)) {
+// withPole runs f with the pole's aggregate record and instrument set,
+// creating both on first sight of the pole.
+func (s *Server) withPole(id uint32, f func(*PoleStats, *poleObs)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p, ok := s.poles[id]
@@ -199,11 +273,33 @@ func (s *Server) withPole(id uint32, f func(*PoleStats)) {
 		p = &PoleStats{PoleID: id}
 		s.poles[id] = p
 	}
-	f(p)
+	m, ok := s.pobs[id]
+	if !ok {
+		m = s.newPoleObs(id)
+		s.pobs[id] = m
+	}
+	f(p, m)
+}
+
+// newPoleObs creates the per-pole instruments; all nil without a registry.
+func (s *Server) newPoleObs(id uint32) *poleObs {
+	reg := s.cfg.Obs
+	if reg == nil {
+		return &poleObs{}
+	}
+	l := obs.L("pole", strconv.FormatUint(uint64(id), 10))
+	return &poleObs{
+		reports:  reg.Counter("backend_reports_total", "count reports received, by pole", l),
+		alerts:   reg.Counter("backend_pole_alerts_total", "alerts raised, by pole", l),
+		lastSeen: reg.Gauge("backend_pole_last_seen_timestamp_seconds", "unix time the pole last reported", l),
+		lastNum:  reg.Gauge("backend_pole_last_count", "most recent crowd count reported by the pole", l),
+		tempC:    reg.Gauge("backend_pole_temp_celsius", "most recent compartment temperature reported by the pole", l),
+	}
 }
 
 func (s *Server) recordCount(r wire.CountReport) {
-	s.withPole(r.PoleID, func(p *PoleStats) {
+	s.m.edgeLatency.Observe(float64(r.LatencyUS) / 1e6)
+	s.withPole(r.PoleID, func(p *PoleStats, m *poleObs) {
 		p.Reports++
 		p.LastCount = int(r.Count)
 		p.TotalCount += int64(r.Count)
@@ -211,16 +307,21 @@ func (s *Server) recordCount(r wire.CountReport) {
 			p.PeakCount = int(r.Count)
 		}
 		p.LastSeen = time.Now()
+		m.reports.Inc()
+		m.lastNum.Set(float64(r.Count))
+		m.lastSeen.SetTime(p.LastSeen)
 	})
 }
 
 func (s *Server) recordTelemetry(t wire.Telemetry) {
-	s.withPole(t.PoleID, func(p *PoleStats) {
+	s.withPole(t.PoleID, func(p *PoleStats, m *poleObs) {
 		p.LastTemp = t.PoleTemp
 		if t.PoleTemp > p.MaxTemp {
 			p.MaxTemp = t.PoleTemp
 		}
 		p.LastSeen = time.Now()
+		m.tempC.Set(t.PoleTemp)
+		m.lastSeen.SetTime(p.LastSeen)
 	})
 }
 

@@ -1,10 +1,14 @@
 package backend
 
 import (
+	"fmt"
 	"net"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"hawccc/internal/obs"
 	"hawccc/internal/wire"
 )
 
@@ -188,5 +192,164 @@ func TestMalformedMessageDropsConnection(t *testing.T) {
 	// The server drops the connection; the next read fails.
 	if _, _, err := c.Recv(); err == nil {
 		t.Error("expected dropped connection after malformed message")
+	}
+}
+
+// TestOverheatBoundaryAtRatedLimit pins the "meets or exceeds" contract:
+// a compartment at exactly the 50°C rated limit raises the alert.
+func TestOverheatBoundaryAtRatedLimit(t *testing.T) {
+	s, err := Listen(Config{Addr: "127.0.0.1:0", OverheatLimit: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c := dialBackend(t, s)
+	exact := wire.Telemetry{PoleID: 4, Timestamp: time.Now(), PoleTemp: 50.0, Ambient: 44}
+	if err := c.Send(wire.MsgTelemetry, wire.EncodeTelemetry(exact)); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := c.Recv()
+	if err != nil || typ != wire.MsgAlert {
+		t.Fatalf("reading at exactly the rated limit must alert: type=%d err=%v", typ, err)
+	}
+	alert, err := wire.DecodeAlert(body)
+	if err != nil || alert.Kind != wire.AlertOverheat {
+		t.Fatalf("alert %+v err=%v", alert, err)
+	}
+
+	// Just under the limit must stay silent: send a report afterwards and
+	// verify the next message is its ack, not a second alert.
+	below := wire.Telemetry{PoleID: 4, Timestamp: time.Now(), PoleTemp: 49.99, Ambient: 44}
+	if err := c.Send(wire.MsgTelemetry, wire.EncodeTelemetry(below)); err != nil {
+		t.Fatal(err)
+	}
+	report := wire.CountReport{PoleID: 4, Seq: 1, Count: 0}
+	if err := c.Send(wire.MsgCountReport, wire.EncodeCountReport(report)); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, err = c.Recv()
+	if err != nil || typ != wire.MsgAck {
+		t.Fatalf("49.99°C alerted (got type %d, err %v); the boundary is meets-or-exceeds, not below", typ, err)
+	}
+	if got := len(s.Alerts()); got != 1 {
+		t.Errorf("alerts = %d, want exactly 1", got)
+	}
+}
+
+func TestBackendMetricsExposition(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := Listen(Config{Addr: "127.0.0.1:0", CrowdingLimit: 5, OverheatLimit: 50, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c := dialBackend(t, s)
+	if err := c.Send(wire.MsgHello, wire.EncodeHello(wire.Hello{PoleID: 7, Location: "Palm Walk"})); err != nil {
+		t.Fatal(err)
+	}
+	report := wire.CountReport{PoleID: 7, Seq: 1, Count: 9, LatencyUS: 4200}
+	if err := c.Send(wire.MsgCountReport, wire.EncodeCountReport(report)); err != nil {
+		t.Fatal(err)
+	}
+	if typ, _, err := c.Recv(); err != nil || typ != wire.MsgAck {
+		t.Fatalf("ack: type=%d err=%v", typ, err)
+	}
+	if typ, _, err := c.Recv(); err != nil || typ != wire.MsgAlert {
+		t.Fatalf("crowding alert: type=%d err=%v", typ, err)
+	}
+	tm := wire.Telemetry{PoleID: 7, Timestamp: time.Now(), PoleTemp: 57.8, Ambient: 44}
+	if err := c.Send(wire.MsgTelemetry, wire.EncodeTelemetry(tm)); err != nil {
+		t.Fatal(err)
+	}
+	if typ, _, err := c.Recv(); err != nil || typ != wire.MsgAlert {
+		t.Fatalf("overheat alert: type=%d err=%v", typ, err)
+	}
+
+	id := obs.L("pole", "7")
+	if got := reg.Counter("backend_reports_total", "", id).Value(); got != 1 {
+		t.Errorf("reports counter = %d, want 1", got)
+	}
+	if got := reg.Counter("backend_pole_alerts_total", "", id).Value(); got != 2 {
+		t.Errorf("per-pole alerts = %d, want 2", got)
+	}
+	if got := reg.Counter("backend_alerts_total", "", obs.L("kind", "crowding")).Value(); got != 1 {
+		t.Errorf("crowding alerts = %d, want 1", got)
+	}
+	if got := reg.Counter("backend_alerts_total", "", obs.L("kind", "overheat")).Value(); got != 1 {
+		t.Errorf("overheat alerts = %d, want 1", got)
+	}
+	if got := reg.Gauge("backend_pole_last_count", "", id).Value(); got != 9 {
+		t.Errorf("last count gauge = %g, want 9", got)
+	}
+	if got := reg.Gauge("backend_pole_temp_celsius", "", id).Value(); got != 57.8 {
+		t.Errorf("temp gauge = %g, want 57.8", got)
+	}
+	if got := reg.Gauge("backend_pole_last_seen_timestamp_seconds", "", id).Value(); got <= 0 {
+		t.Errorf("last-seen gauge = %g, want unix time", got)
+	}
+	if s := reg.Histogram("backend_report_edge_latency_seconds", "", nil).Snapshot(); s.Count != 1 || s.Sum < 0.004 {
+		t.Errorf("edge latency histogram count=%d sum=%g, want 1 observation near 4.2ms", s.Count, s.Sum)
+	}
+	if got := reg.Counter("backend_connections_total", "").Value(); got != 1 {
+		t.Errorf("connections total = %d, want 1", got)
+	}
+	if reg.Counter("backend_wire_bytes_received_total", "").Value() == 0 {
+		t.Error("wire receive bytes never counted")
+	}
+	if reg.Counter("backend_wire_bytes_sent_total", "").Value() == 0 {
+		t.Error("wire send bytes never counted")
+	}
+}
+
+// TestConcurrentPoleLogsDoNotInterleave hammers the serialized logf from
+// many pole connections; each log line must arrive atomically.
+func TestConcurrentPoleLogsDoNotInterleave(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	s, err := Listen(Config{
+		Addr:          "127.0.0.1:0",
+		CrowdingLimit: 1,
+		Logf: func(format string, args ...any) {
+			// Simulate a multi-write sink: any interleaving between these
+			// two appends would corrupt a line.
+			mu.Lock()
+			lines = append(lines, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	for id := uint32(1); id <= 8; id++ {
+		wg.Add(1)
+		go func(id uint32) {
+			defer wg.Done()
+			c := dialBackend(t, s)
+			if err := c.Send(wire.MsgHello, wire.EncodeHello(wire.Hello{PoleID: id, Location: "w"})); err != nil {
+				return
+			}
+			report := wire.CountReport{PoleID: id, Seq: 1, Count: 10}
+			if err := c.Send(wire.MsgCountReport, wire.EncodeCountReport(report)); err != nil {
+				return
+			}
+			c.Recv() // ack
+			c.Recv() // alert
+		}(id)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "backend: ") {
+			t.Errorf("malformed log line %q", l)
+		}
+	}
+	if len(lines) < 16 { // 8 connects + 8 alerts
+		t.Errorf("got %d log lines, want at least 16", len(lines))
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"hawccc/internal/ground"
 	"hawccc/internal/metrics"
 	"hawccc/internal/models"
+	"hawccc/internal/obs"
 )
 
 // Clusterer partitions an ingested frame into candidate clusters.
@@ -90,11 +91,21 @@ func (h HierarchicalClusterer) Cluster(cloud geom.Cloud) cluster.Result {
 	return cluster.Hierarchical(cloud, cut)
 }
 
-// Timing is the per-stage latency breakdown of one frame.
+// Timing is the per-stage latency breakdown of one frame — the frame's
+// span, with one segment per pipeline stage.
 type Timing struct {
+	// ROI and Ground split the ingest stage: region-of-interest crop,
+	// then ground segmentation. Ingest is their sum (kept so existing
+	// consumers of the three-stage breakdown keep working).
+	ROI      time.Duration
+	Ground   time.Duration
 	Ingest   time.Duration
 	Cluster  time.Duration
 	Classify time.Duration
+	// QueueWait is the longest time any cluster batch waited between the
+	// start of the classify stage and a worker picking it up. It overlaps
+	// Classify (it is contention inside that stage), so Total excludes it.
+	QueueWait time.Duration
 }
 
 // Total returns the end-to-end frame latency.
@@ -138,6 +149,80 @@ type Pipeline struct {
 	// Counts are identical at any batch size — batched classification is
 	// bit-equal per cluster.
 	BatchSize int
+	// m holds the pipeline's observability instruments. All fields are
+	// nil (no-op) until Instrument is called, so an uninstrumented
+	// pipeline pays only dead nil-receiver calls on the hot path.
+	m pipelineObs
+}
+
+// pipelineObs is the per-pipeline instrument set. Instruments are shared
+// through the Registry, so several pipelines instrumented against the
+// same registry (e.g. every pole in a campus) aggregate into one set of
+// campus-wide series unless distinguished by extra labels.
+type pipelineObs struct {
+	frames    *obs.Counter
+	humans    *obs.Counter
+	objects   *obs.Counter
+	noise     *obs.Counter
+	roi       *obs.Histogram
+	ground    *obs.Histogram
+	cluster   *obs.Histogram
+	classify  *obs.Histogram
+	total     *obs.Histogram
+	queueWait *obs.Histogram
+}
+
+// Instrument registers the pipeline's metrics in reg and starts recording
+// per-frame stage spans, cluster label counts, and classify queue waits.
+// extra labels are attached to every series (benchmarks label by worker
+// count, a multi-tenant deployment might label by sensor). It returns p
+// for chaining; a nil registry leaves the pipeline uninstrumented.
+func (p *Pipeline) Instrument(reg *obs.Registry, extra ...obs.Label) *Pipeline {
+	if reg == nil {
+		return p
+	}
+	withExtra := func(labels ...obs.Label) []obs.Label {
+		return append(labels, extra...)
+	}
+	stage := func(name string) *obs.Histogram {
+		return reg.Histogram("hawc_frame_stage_seconds",
+			"per-frame latency of one pipeline stage (roi, ground, cluster, classify)",
+			obs.LatencyBuckets(), withExtra(obs.L("stage", name))...)
+	}
+	p.m = pipelineObs{
+		frames: reg.Counter("hawc_frames_total",
+			"LiDAR frames counted end to end", extra...),
+		humans: reg.Counter("hawc_clusters_total",
+			"clusters classified, by predicted label", withExtra(obs.L("label", "human"))...),
+		objects: reg.Counter("hawc_clusters_total",
+			"clusters classified, by predicted label", withExtra(obs.L("label", "object"))...),
+		noise: reg.Counter("hawc_noise_points_total",
+			"points discarded as clustering noise", extra...),
+		roi:      stage("roi"),
+		ground:   stage("ground"),
+		cluster:  stage("cluster"),
+		classify: stage("classify"),
+		total: reg.Histogram("hawc_frame_seconds",
+			"end-to-end per-frame counting latency", obs.LatencyBuckets(), extra...),
+		queueWait: reg.Histogram("hawc_classify_queue_wait_seconds",
+			"time a cluster batch waits for a classify worker", obs.LatencyBuckets(), extra...),
+	}
+	return p
+}
+
+// StageHistograms exposes the pipeline's stage instruments keyed by stage
+// name ("roi", "ground", "cluster", "classify", "total", "queue_wait");
+// values are nil on an uninstrumented pipeline. Benchmarks snapshot these
+// to report p50/p95/p99 per stage.
+func (p *Pipeline) StageHistograms() map[string]*obs.Histogram {
+	return map[string]*obs.Histogram{
+		"roi":        p.m.roi,
+		"ground":     p.m.ground,
+		"cluster":    p.m.cluster,
+		"classify":   p.m.classify,
+		"total":      p.m.total,
+		"queue_wait": p.m.queueWait,
+	}
 }
 
 // DefaultBatchSize is the cluster batch per forward pass when BatchSize
@@ -190,13 +275,17 @@ func (p *Pipeline) CountWorkers(frame geom.Cloud, workers int) Result {
 	}
 
 	t0 := time.Now()
-	ingested := ground.Ingest(frame, p.ROI)
-	res.Timing.Ingest = time.Since(t0)
+	cropped := p.ROI.Crop(frame)
+	t1 := time.Now()
+	ingested := ground.Segment(cropped, ground.DefaultZMin)
+	t2 := time.Now()
+	res.Timing.ROI = t1.Sub(t0)
+	res.Timing.Ground = t2.Sub(t1)
+	res.Timing.Ingest = res.Timing.ROI + res.Timing.Ground
 
-	t0 = time.Now()
 	cr := p.Clusterer.Cluster(ingested)
 	clusters := cr.Clusters(ingested)
-	res.Timing.Cluster = time.Since(t0)
+	res.Timing.Cluster = time.Since(t2)
 	res.Noise = cr.NoiseCount()
 
 	t0 = time.Now()
@@ -213,9 +302,17 @@ func (p *Pipeline) CountWorkers(frame geom.Cloud, workers int) Result {
 	if workers <= 1 {
 		res.Count = p.classifySequential(kept)
 	} else {
-		res.Count = p.classifyParallel(kept, workers)
+		res.Count, res.Timing.QueueWait = p.classifyParallel(kept, workers)
 	}
 	res.Timing.Classify = time.Since(t0)
+
+	p.m.frames.Inc()
+	p.m.noise.Add(uint64(res.Noise))
+	p.m.roi.ObserveDuration(res.Timing.ROI)
+	p.m.ground.ObserveDuration(res.Timing.Ground)
+	p.m.cluster.ObserveDuration(res.Timing.Cluster)
+	p.m.classify.ObserveDuration(res.Timing.Classify)
+	p.m.total.ObserveDuration(res.Timing.Total())
 	return res
 }
 
@@ -231,13 +328,15 @@ func (p *Pipeline) countBatch(kept []geom.Cloud, start, end int) int {
 				n++
 			}
 		}
-		return n
-	}
-	for _, c := range kept[start:end] {
-		if p.Classifier.PredictHuman(c) {
-			n++
+	} else {
+		for _, c := range kept[start:end] {
+			if p.Classifier.PredictHuman(c) {
+				n++
+			}
 		}
 	}
+	p.m.humans.Add(uint64(n))
+	p.m.objects.Add(uint64(end - start - n))
 	return n
 }
 
@@ -257,28 +356,38 @@ func (p *Pipeline) classifySequential(kept []geom.Cloud) int {
 }
 
 // classifyParallel fans kept clusters out to a worker pool and returns
-// the number classified Human. Workers take whole batches — one stacked
-// forward pass each — via an atomic cursor, so stragglers don't
-// serialize behind a static partition and each worker amortizes weight
-// packing across its batch.
-func (p *Pipeline) classifyParallel(kept []geom.Cloud, workers int) int {
+// the number classified Human plus the longest queue wait any batch saw.
+// Workers take whole batches — one stacked forward pass each — via an
+// atomic cursor, so stragglers don't serialize behind a static partition
+// and each worker amortizes weight packing across its batch. The queue
+// wait of a batch is the time from the start of the classify stage until
+// a worker picks it up; its maximum is the frame's straggler penalty and
+// every batch's wait feeds the queue-wait histogram.
+func (p *Pipeline) classifyParallel(kept []geom.Cloud, workers int) (int, time.Duration) {
 	bs := p.batchSize()
 	chunks := (len(kept) + bs - 1) / bs
 	if workers > chunks {
 		workers = chunks
 	}
+	classifyStart := time.Now()
 	var next atomic.Int64
 	var humans atomic.Int64
+	var maxWaitNS atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			var local int64
+			var local, localMax int64
 			for {
 				ci := int(next.Add(1)) - 1
 				if ci >= chunks {
 					break
+				}
+				wait := time.Since(classifyStart)
+				p.m.queueWait.ObserveDuration(wait)
+				if ns := wait.Nanoseconds(); ns > localMax {
+					localMax = ns
 				}
 				start := ci * bs
 				end := start + bs
@@ -288,10 +397,16 @@ func (p *Pipeline) classifyParallel(kept []geom.Cloud, workers int) int {
 				local += int64(p.countBatch(kept, start, end))
 			}
 			humans.Add(local)
+			for {
+				cur := maxWaitNS.Load()
+				if localMax <= cur || maxWaitNS.CompareAndSwap(cur, localMax) {
+					break
+				}
+			}
 		}()
 	}
 	wg.Wait()
-	return int(humans.Load())
+	return int(humans.Load()), time.Duration(maxWaitNS.Load())
 }
 
 // Evaluation aggregates counting accuracy over a frame set.

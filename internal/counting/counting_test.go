@@ -8,6 +8,7 @@ import (
 	"hawccc/internal/dataset"
 	"hawccc/internal/geom"
 	"hawccc/internal/models"
+	"hawccc/internal/obs"
 )
 
 // heightStub classifies clusters by vertical extent: a cheap, training-free
@@ -299,5 +300,92 @@ func TestBatchedCountMatchesSequential(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+func TestInstrumentedPipelineRecordsSpans(t *testing.T) {
+	g := dataset.NewGenerator(11)
+	frames := g.CrowdFrames(5, 1, 4, 1)
+
+	plain := New(heightStub{})
+	reg := obs.NewRegistry()
+	p := New(heightStub{}).Instrument(reg)
+
+	totalClusters := 0
+	for i, f := range frames {
+		want := plain.CountWorkers(f.Cloud, 1)
+		got := p.CountWorkers(f.Cloud, 1)
+		if got.Count != want.Count || got.Clusters != want.Clusters {
+			t.Errorf("frame %d: instrumented %+v differs from plain %+v", i, got, want)
+		}
+		if got.Timing.ROI+got.Timing.Ground != got.Timing.Ingest {
+			t.Errorf("frame %d: ROI %v + Ground %v != Ingest %v",
+				i, got.Timing.ROI, got.Timing.Ground, got.Timing.Ingest)
+		}
+		totalClusters += got.Clusters
+	}
+
+	if got := reg.Counter("hawc_frames_total", "").Value(); got != uint64(len(frames)) {
+		t.Errorf("frames counter = %d, want %d", got, len(frames))
+	}
+	humans := reg.Counter("hawc_clusters_total", "", obs.L("label", "human")).Value()
+	objects := reg.Counter("hawc_clusters_total", "", obs.L("label", "object")).Value()
+	if humans+objects != uint64(totalClusters) {
+		t.Errorf("human %d + object %d clusters != evaluated %d", humans, objects, totalClusters)
+	}
+	for _, stage := range []string{"roi", "ground", "cluster", "classify"} {
+		h := p.StageHistograms()[stage]
+		if h == nil {
+			t.Fatalf("stage %q histogram missing", stage)
+		}
+		if s := h.Snapshot(); s.Count != uint64(len(frames)) {
+			t.Errorf("stage %q observed %d frames, want %d", stage, s.Count, len(frames))
+		}
+	}
+	if s := p.StageHistograms()["total"].Snapshot(); s.Count != uint64(len(frames)) || s.Sum <= 0 {
+		t.Errorf("total histogram count=%d sum=%g", s.Count, s.Sum)
+	}
+}
+
+func TestUninstrumentedPipelineHasNilStageHistograms(t *testing.T) {
+	p := New(heightStub{})
+	for stage, h := range p.StageHistograms() {
+		if h != nil {
+			t.Errorf("stage %q non-nil on uninstrumented pipeline", stage)
+		}
+	}
+	// Instrument with a nil registry stays uninstrumented and still counts.
+	p.Instrument(nil)
+	g := dataset.NewGenerator(12)
+	f := g.CrowdFrames(1, 1, 2, 0)[0]
+	if r := p.Count(f.Cloud); r.Clusters == 0 {
+		t.Error("nil-registry pipeline stopped counting")
+	}
+}
+
+func TestQueueWaitRecordedOnParallelClassify(t *testing.T) {
+	g := dataset.NewGenerator(13)
+	f := g.CrowdFrames(1, 5, 8, 3)[0] // a dense frame with many clusters
+	reg := obs.NewRegistry()
+	p := New(heightStub{}).Instrument(reg)
+	p.BatchSize = 1 // one cluster per batch: forces multiple handouts
+	r := p.CountWorkers(f.Cloud, 4)
+	if r.Clusters < 2 {
+		t.Skipf("frame produced %d clusters; need ≥2 for the parallel path", r.Clusters)
+	}
+	qw := p.StageHistograms()["queue_wait"].Snapshot()
+	if qw.Count != uint64(r.Clusters) {
+		t.Errorf("queue-wait observations = %d, want one per batch = %d", qw.Count, r.Clusters)
+	}
+	if r.Timing.QueueWait <= 0 {
+		t.Error("frame span missing queue wait")
+	}
+	if r.Timing.QueueWait > r.Timing.Classify {
+		t.Errorf("queue wait %v exceeds classify stage %v", r.Timing.QueueWait, r.Timing.Classify)
+	}
+	// Sequential classification records no queue wait.
+	seq := p.CountWorkers(f.Cloud, 1)
+	if seq.Timing.QueueWait != 0 {
+		t.Errorf("sequential path recorded queue wait %v", seq.Timing.QueueWait)
 	}
 }

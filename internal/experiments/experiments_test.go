@@ -336,6 +336,20 @@ func TestParallelBench(t *testing.T) {
 			t.Errorf("workers=%d: MAE %v differs from sequential %v",
 				row.Workers, row.MAE, r.Rows[0].MAE)
 		}
+		// Every row embeds the per-stage latency quantiles.
+		for _, stage := range []string{"roi", "ground", "cluster", "classify", "total", "queue_wait"} {
+			q, ok := row.Stages[stage]
+			if !ok {
+				t.Errorf("workers=%d: stage %q missing from quantiles", row.Workers, stage)
+				continue
+			}
+			if q.P50Ms > q.P95Ms || q.P95Ms > q.P99Ms {
+				t.Errorf("workers=%d stage %s: quantiles not ordered: %+v", row.Workers, stage, q)
+			}
+		}
+		if q := row.Stages["total"]; q.P50Ms <= 0 {
+			t.Errorf("workers=%d: total p50 = %v, want > 0", row.Workers, q.P50Ms)
+		}
 	}
 	if !seen[2] || !seen[4] {
 		t.Errorf("sweep must include 2 and 4 workers: %+v", r.Rows)
@@ -357,5 +371,11 @@ func TestParallelBench(t *testing.T) {
 	}
 	if decoded.NumCPU != r.NumCPU || len(decoded.Rows) != len(r.Rows) {
 		t.Errorf("JSON round-trip lost data: %+v", decoded)
+	}
+	if !strings.Contains(buf.String(), `"stage_quantiles"`) {
+		t.Error("artifact missing stage_quantiles")
+	}
+	if got := decoded.Rows[0].Stages["total"].P50Ms; got != r.Rows[0].Stages["total"].P50Ms {
+		t.Errorf("stage quantiles lost in round-trip: %v", got)
 	}
 }

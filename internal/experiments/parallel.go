@@ -6,6 +6,7 @@ import (
 	"io"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -13,7 +14,17 @@ import (
 
 	"hawccc/internal/counting"
 	"hawccc/internal/dataset"
+	"hawccc/internal/obs"
 )
+
+// StageQuantiles is the latency distribution of one pipeline stage at one
+// sweep point, estimated from the stage's fixed-bucket histogram (the same
+// interpolation Prometheus' histogram_quantile uses on the live series).
+type StageQuantiles struct {
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
 
 // ParallelRow is one worker count's throughput measurement: frames
 // fanned across Workers goroutines, each counting its frame end to end.
@@ -35,6 +46,11 @@ type ParallelRow struct {
 	// MAE over the frame set — identical at every worker count, recorded
 	// so the determinism contract is visible in the artifact.
 	MAE float64 `json:"mae"`
+	// Stages holds the per-stage latency quantiles ("roi", "ground",
+	// "cluster", "classify", "total", "queue_wait"), snapshotted from the
+	// pipeline's obs histograms after the sweep point runs. Means hide
+	// stragglers; the p99 column is where classify queueing shows up.
+	Stages map[string]StageQuantiles `json:"stage_quantiles"`
 }
 
 // ParallelResult is the full sweep plus the host context needed to read
@@ -66,13 +82,22 @@ func parallelWorkerCounts() []int {
 func ParallelBench(l *Lab) ParallelResult {
 	classifier := l.HAWC()
 	frames := l.Frames()
-	p := counting.New(classifier)
+	reg := l.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 
 	res := ParallelResult{NumCPU: runtime.NumCPU(), Frames: len(frames)}
 	var base float64
 	for _, workers := range parallelWorkerCounts() {
 		l.logf("parallel bench: %d workers over %d frames...", workers, len(frames))
+		// Each sweep point gets its own pipeline labeled by worker count,
+		// so the stage histograms (and the live /metrics series, when the
+		// lab shares a registry) stay separable per row.
+		p := counting.New(classifier).
+			Instrument(reg, obs.L("workers", strconv.Itoa(workers)))
 		row := benchWorkers(p, frames, workers)
+		row.Stages = stageQuantiles(p)
 		if base == 0 {
 			base = row.FramesPerSec
 		}
@@ -82,6 +107,19 @@ func ParallelBench(l *Lab) ParallelResult {
 		res.Rows = append(res.Rows, row)
 	}
 	return res
+}
+
+// stageQuantiles snapshots the pipeline's stage histograms into the JSON
+// artifact shape. Stages that never observed anything (queue_wait under
+// sequential classification) report zeros rather than being omitted, so
+// the artifact schema is stable across rows.
+func stageQuantiles(p *counting.Pipeline) map[string]StageQuantiles {
+	out := make(map[string]StageQuantiles)
+	for name, h := range p.StageHistograms() {
+		p50, p95, p99 := h.Snapshot().QuantilesMs()
+		out[name] = StageQuantiles{P50Ms: p50, P95Ms: p95, P99Ms: p99}
+	}
+	return out
 }
 
 // benchWorkers counts every frame once on the given number of frame
@@ -149,12 +187,14 @@ func benchWorkers(p *counting.Pipeline, frames []dataset.Frame, workers int) Par
 func FormatParallel(r ParallelResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "host: %d cores, %d frames per sweep point\n", r.NumCPU, r.Frames)
-	fmt.Fprintf(&b, "%-8s %12s %8s %11s %12s %13s %11s %6s\n",
-		"Workers", "Frames/s", "Speedup", "Ingest(ms)", "Cluster(ms)", "Classify(ms)", "Total(ms)", "MAE")
+	fmt.Fprintf(&b, "%-8s %12s %8s %11s %12s %13s %11s %9s %9s %6s\n",
+		"Workers", "Frames/s", "Speedup", "Ingest(ms)", "Cluster(ms)", "Classify(ms)", "Total(ms)", "p95(ms)", "p99(ms)", "MAE")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%-8d %12.2f %7.2fx %11.3f %12.3f %13.3f %11.3f %6.2f\n",
+		total := row.Stages["total"]
+		fmt.Fprintf(&b, "%-8d %12.2f %7.2fx %11.3f %12.3f %13.3f %11.3f %9.3f %9.3f %6.2f\n",
 			row.Workers, row.FramesPerSec, row.Speedup,
-			row.MeanIngestMs, row.MeanClusterMs, row.MeanClassifyMs, row.MeanTotalMs, row.MAE)
+			row.MeanIngestMs, row.MeanClusterMs, row.MeanClassifyMs, row.MeanTotalMs,
+			total.P95Ms, total.P99Ms, row.MAE)
 	}
 	return b.String()
 }

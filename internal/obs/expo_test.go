@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("frames_total", "frames processed", L("pole", "1")).Add(7)
+	r.Gauge("temp_c", "compartment temperature").Set(49.5)
+	h := r.Histogram("stage_seconds", "per-stage latency", []float64{0.001, 0.01}, L("stage", "cluster"))
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(3) // +Inf bucket
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP frames_total frames processed",
+		"# TYPE frames_total counter",
+		`frames_total{pole="1"} 7`,
+		"# TYPE temp_c gauge",
+		"temp_c 49.5",
+		"# TYPE stage_seconds histogram",
+		`stage_seconds_bucket{stage="cluster",le="0.001"} 1`,
+		`stage_seconds_bucket{stage="cluster",le="0.01"} 2`,
+		`stage_seconds_bucket{stage="cluster",le="+Inf"} 3`,
+		`stage_seconds_sum{stage="cluster"} 3.0055`,
+		`stage_seconds_count{stage="cluster"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestBucketCountsAreCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []float64{1, 2, 3})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(2.5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`lat_bucket{le="1"} 1`,
+		`lat_bucket{le="2"} 2`,
+		`lat_bucket{le="3"} 3`,
+		`lat_bucket{le="+Inf"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestServeMetricsAndPprof(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total", "").Inc()
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(string(body), "up_total 1") {
+		t.Errorf("scrape missing counter:\n%s", body)
+	}
+
+	// pprof index must be reachable on the same listener.
+	resp, err = http.Get("http://" + srv.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(idx), "goroutine") {
+		t.Errorf("pprof index status %d body %.80s", resp.StatusCode, idx)
+	}
+}
+
+func TestQuantilesMs(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.002, 0.004})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.0015) // all in (0.001, 0.002]
+	}
+	p50, p95, p99 := h.Snapshot().QuantilesMs()
+	if p50 < 1 || p50 > 2 || p95 < 1 || p95 > 2 || p99 < 1 || p99 > 2 {
+		t.Errorf("quantiles ms = %g %g %g, want within (1,2]", p50, p95, p99)
+	}
+}

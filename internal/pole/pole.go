@@ -4,6 +4,10 @@
 // compartment telemetry to the campus backend over the private network —
 // raw point clouds never leave the pole, which is the privacy property the
 // system is built around.
+//
+// Delivery is at-least-once: a report is resent after a reconnect if its
+// ack never arrived, so a connection cut between backend receipt and ack
+// can double-count one report, but no report is ever silently dropped.
 package pole
 
 import (
@@ -12,11 +16,13 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
 	"hawccc/internal/counting"
 	"hawccc/internal/dataset"
+	"hawccc/internal/obs"
 	"hawccc/internal/telemetry"
 	"hawccc/internal/wire"
 )
@@ -47,6 +53,10 @@ func (s *SliceSource) NextFrame() (dataset.Frame, error) {
 	return f, nil
 }
 
+// DefaultReconnectWait is the pause before re-dialing a broken backend
+// connection when Config.ReconnectWait is zero.
+const DefaultReconnectWait = 100 * time.Millisecond
+
 // Config parameterizes a pole node.
 type Config struct {
 	// PoleID identifies this pole on the campus network.
@@ -65,15 +75,49 @@ type Config struct {
 	// Telemetry, when non-nil, is streamed alongside count reports (one
 	// reading per frame).
 	Telemetry []telemetry.Reading
-	// Logf, if non-nil, receives diagnostic output.
+	// MaxReconnects is how many times the node re-dials the backend when
+	// a delivery fails, per report; after a successful ack the budget
+	// resets. 0 keeps the historical fail-fast behavior.
+	MaxReconnects int
+	// ReconnectWait is the pause before each re-dial (0 selects
+	// DefaultReconnectWait).
+	ReconnectWait time.Duration
+	// Obs, when non-nil, registers the node's metrics (frames processed,
+	// acked reports, reconnects, alerts received, report RTT, wire bytes)
+	// labeled pole="<id>". The node keeps private instruments either way,
+	// so accessors like Reconnects work without a registry.
+	Obs *obs.Registry
+	// Logf, if non-nil, receives diagnostic output. Calls are serialized
+	// by the node, so a shared sink never sees interleaved writes.
 	Logf func(format string, args ...any)
+}
+
+// poleObs is the node's instrument set.
+type poleObs struct {
+	frames     *obs.Counter
+	acked      *obs.Counter
+	reconnects *obs.Counter
+	alerts     *obs.Counter
+	rtt        *obs.Histogram
+	bytesOut   *obs.Counter
+	bytesIn    *obs.Counter
+	msgsOut    *obs.Counter
+	msgsIn     *obs.Counter
 }
 
 // Node is a running pole.
 type Node struct {
-	cfg  Config
-	conn net.Conn
-	wc   *wire.Conn
+	cfg Config
+	m   poleObs
+
+	// connMu guards conn against the shutdown AfterFunc racing a
+	// reconnect swap; wc is only touched by the Dial/Run goroutine.
+	connMu  sync.Mutex
+	conn    net.Conn
+	stopped bool
+	wc      *wire.Conn
+
+	logMu sync.Mutex
 
 	mu     sync.Mutex
 	alerts []wire.Alert
@@ -92,25 +136,95 @@ func Dial(cfg Config) (*Node, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	conn, err := net.Dial("tcp", cfg.BackendAddr)
-	if err != nil {
-		return nil, fmt.Errorf("pole: dial backend: %w", err)
-	}
-	n := &Node{cfg: cfg, conn: conn, wc: wire.NewConn(conn)}
-	hello := wire.Hello{PoleID: cfg.PoleID, Location: cfg.Location}
-	if err := n.wc.Send(wire.MsgHello, wire.EncodeHello(hello)); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("pole: hello: %w", err)
+	n := &Node{cfg: cfg}
+	n.initObs()
+	if err := n.connect(); err != nil {
+		return nil, err
 	}
 	return n, nil
+}
+
+// initObs builds the instrument set: registry-backed when cfg.Obs is set,
+// detached otherwise, so counters always count.
+func (n *Node) initObs() {
+	id := obs.L("pole", strconv.FormatUint(uint64(n.cfg.PoleID), 10))
+	reg := n.cfg.Obs
+	if reg == nil {
+		n.m = poleObs{
+			frames: &obs.Counter{}, acked: &obs.Counter{}, reconnects: &obs.Counter{},
+			alerts: &obs.Counter{}, rtt: obs.NewHistogram(obs.LatencyBuckets()),
+			bytesOut: &obs.Counter{}, bytesIn: &obs.Counter{},
+			msgsOut: &obs.Counter{}, msgsIn: &obs.Counter{},
+		}
+		return
+	}
+	n.m = poleObs{
+		frames:     reg.Counter("pole_frames_processed_total", "LiDAR frames captured and counted on the pole", id),
+		acked:      reg.Counter("pole_reports_acked_total", "count reports acknowledged by the backend", id),
+		reconnects: reg.Counter("pole_reconnects_total", "times the pole re-dialed a broken backend connection", id),
+		alerts:     reg.Counter("pole_alerts_received_total", "alerts delivered to this pole by the backend", id),
+		rtt:        reg.Histogram("pole_report_rtt_seconds", "report send to backend ack round-trip time", obs.LatencyBuckets(), id),
+		bytesOut:   reg.Counter("pole_wire_bytes_sent_total", "framed bytes sent to the backend", id),
+		bytesIn:    reg.Counter("pole_wire_bytes_received_total", "framed bytes received from the backend", id),
+		msgsOut:    reg.Counter("pole_wire_messages_sent_total", "framed messages sent to the backend", id),
+		msgsIn:     reg.Counter("pole_wire_messages_received_total", "framed messages received from the backend", id),
+	}
+}
+
+// connect dials the backend, instruments the connection, and performs the
+// hello handshake. Called by Dial and by reconnect.
+func (n *Node) connect() error {
+	conn, err := net.Dial("tcp", n.cfg.BackendAddr)
+	if err != nil {
+		return fmt.Errorf("pole: dial backend: %w", err)
+	}
+	wc := wire.NewConn(conn)
+	wc.Instrument(n.m.bytesOut, n.m.bytesIn, n.m.msgsOut, n.m.msgsIn)
+	hello := wire.Hello{PoleID: n.cfg.PoleID, Location: n.cfg.Location}
+	if err := wc.Send(wire.MsgHello, wire.EncodeHello(hello)); err != nil {
+		conn.Close()
+		return fmt.Errorf("pole: hello: %w", err)
+	}
+	n.connMu.Lock()
+	if n.stopped {
+		n.connMu.Unlock()
+		conn.Close()
+		return net.ErrClosed
+	}
+	n.conn = conn
+	n.connMu.Unlock()
+	n.wc = wc
+	return nil
+}
+
+// closeConn closes the current connection; with markStopped it also
+// refuses any future connect (the shutdown path).
+func (n *Node) closeConn(markStopped bool) {
+	n.connMu.Lock()
+	if markStopped {
+		n.stopped = true
+	}
+	c := n.conn
+	n.connMu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+// logf serializes diagnostic output across goroutines sharing a sink.
+func (n *Node) logf(format string, args ...any) {
+	n.logMu.Lock()
+	defer n.logMu.Unlock()
+	n.cfg.Logf(format, args...)
 }
 
 // Run processes frames until the source is exhausted or ctx is canceled,
 // then closes the connection. It returns the number of frames processed.
 func (n *Node) Run(ctx context.Context) (int, error) {
-	defer n.conn.Close()
-	// Cancel unblocks network I/O by closing the connection.
-	stop := context.AfterFunc(ctx, func() { n.conn.Close() })
+	defer n.closeConn(true)
+	// Cancel unblocks network I/O by closing the connection and pinning
+	// stopped, so a racing reconnect cannot resurrect it.
+	stop := context.AfterFunc(ctx, func() { n.closeConn(true) })
 	defer stop()
 
 	processed := 0
@@ -129,6 +243,7 @@ func (n *Node) Run(ctx context.Context) (int, error) {
 		start := time.Now()
 		result := n.cfg.Pipeline.Count(frame.Cloud)
 		latency := time.Since(start)
+		n.m.frames.Inc()
 
 		n.mu.Lock()
 		n.sent++
@@ -142,23 +257,39 @@ func (n *Node) Run(ctx context.Context) (int, error) {
 			Clusters:  uint32(result.Clusters),
 			LatencyUS: uint32(latency.Microseconds()),
 		}
-		if err := n.wc.Send(wire.MsgCountReport, wire.EncodeCountReport(report)); err != nil {
-			return processed, fmt.Errorf("pole: send report: %w", err)
-		}
-		if err := n.awaitAck(seq); err != nil {
+		body := wire.EncodeCountReport(report)
+		err = n.withRetry(ctx, func() error {
+			t0 := time.Now()
+			if err := n.wc.Send(wire.MsgCountReport, body); err != nil {
+				return fmt.Errorf("pole: send report: %w", err)
+			}
+			if err := n.awaitAck(seq); err != nil {
+				return err
+			}
+			n.m.rtt.ObserveDuration(time.Since(t0))
+			n.m.acked.Inc()
+			return nil
+		})
+		if err != nil {
 			return processed, err
 		}
 
 		if processed < len(n.cfg.Telemetry) {
 			r := n.cfg.Telemetry[processed]
-			tm := wire.Telemetry{
+			tm := wire.EncodeTelemetry(wire.Telemetry{
 				PoleID:    n.cfg.PoleID,
 				Timestamp: r.At,
 				PoleTemp:  r.Pole,
 				Ambient:   r.Weather,
-			}
-			if err := n.wc.Send(wire.MsgTelemetry, wire.EncodeTelemetry(tm)); err != nil {
-				return processed, fmt.Errorf("pole: send telemetry: %w", err)
+			})
+			err = n.withRetry(ctx, func() error {
+				if err := n.wc.Send(wire.MsgTelemetry, tm); err != nil {
+					return fmt.Errorf("pole: send telemetry: %w", err)
+				}
+				return nil
+			})
+			if err != nil {
+				return processed, err
 			}
 		}
 
@@ -171,6 +302,50 @@ func (n *Node) Run(ctx context.Context) (int, error) {
 			}
 		}
 	}
+}
+
+// withRetry runs op, re-dialing the backend between attempts when the
+// configured reconnect budget allows. A failed re-dial burns an attempt
+// too, so an unreachable backend exhausts the budget instead of looping.
+func (n *Node) withRetry(ctx context.Context, op func() error) error {
+	err := op()
+	if err == nil {
+		return nil
+	}
+	for attempt := 1; attempt <= n.cfg.MaxReconnects; attempt++ {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if rerr := n.reconnect(ctx); rerr != nil {
+			err = rerr
+			continue
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// reconnect replaces a broken connection: close, back off, re-dial, and
+// redo the hello handshake.
+func (n *Node) reconnect(ctx context.Context) error {
+	n.closeConn(false)
+	wait := n.cfg.ReconnectWait
+	if wait <= 0 {
+		wait = DefaultReconnectWait
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(wait):
+	}
+	if err := n.connect(); err != nil {
+		return fmt.Errorf("pole: reconnect: %w", err)
+	}
+	n.m.reconnects.Inc()
+	n.logf("pole %d: reconnected to backend after broken connection", n.cfg.PoleID)
+	return nil
 }
 
 // awaitAck reads frames until the ack for seq arrives, collecting any
@@ -201,7 +376,8 @@ func (n *Node) awaitAck(seq uint64) error {
 			n.mu.Lock()
 			n.alerts = append(n.alerts, alert)
 			n.mu.Unlock()
-			n.cfg.Logf("pole %d: received alert: %s", n.cfg.PoleID, alert.Message)
+			n.m.alerts.Inc()
+			n.logf("pole %d: received alert: %s", n.cfg.PoleID, alert.Message)
 		default:
 			return fmt.Errorf("pole: unexpected message type %d", t)
 		}
@@ -221,3 +397,10 @@ func (n *Node) Acked() uint64 {
 	defer n.mu.Unlock()
 	return n.acked
 }
+
+// Reconnects returns how many times the node re-dialed the backend.
+func (n *Node) Reconnects() uint64 { return n.m.reconnects.Value() }
+
+// BytesSent returns the framed bytes this node has written to the
+// backend across all connections.
+func (n *Node) BytesSent() uint64 { return n.m.bytesOut.Value() }

@@ -3,6 +3,8 @@ package pole
 import (
 	"context"
 	"io"
+	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -11,7 +13,9 @@ import (
 	"hawccc/internal/dataset"
 	"hawccc/internal/geom"
 	"hawccc/internal/models"
+	"hawccc/internal/obs"
 	"hawccc/internal/telemetry"
+	"hawccc/internal/wire"
 )
 
 // tallStub is a training-free classifier for pipeline tests.
@@ -203,5 +207,208 @@ func TestMultiplePolesOneBackend(t *testing.T) {
 	}
 	if got := len(srv.Snapshot()); got != 3 {
 		t.Errorf("backend sees %d poles, want 3", got)
+	}
+}
+
+// flakyBackend is a minimal wire-protocol server whose first session
+// drops the TCP connection after acking dropAfter reports; subsequent
+// sessions are stable. It records every report seq it acked, so tests
+// can prove reconnection loses nothing.
+type flakyBackend struct {
+	ln        net.Listener
+	dropAfter int
+	killAll   bool // also close the listener when the first session drops
+
+	mu       sync.Mutex
+	seqs     []uint64
+	sessions int
+}
+
+func newFlakyBackend(t *testing.T, dropAfter int, killAll bool) *flakyBackend {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := &flakyBackend{ln: ln, dropAfter: dropAfter, killAll: killAll}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			fb.mu.Lock()
+			fb.sessions++
+			first := fb.sessions == 1
+			fb.mu.Unlock()
+			go fb.serve(conn, first)
+		}
+	}()
+	return fb
+}
+
+func (fb *flakyBackend) Addr() string { return fb.ln.Addr().String() }
+
+func (fb *flakyBackend) ackedSeqs() []uint64 {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	return append([]uint64(nil), fb.seqs...)
+}
+
+func (fb *flakyBackend) serve(conn net.Conn, first bool) {
+	defer conn.Close()
+	wc := wire.NewConn(conn)
+	acked := 0
+	for {
+		typ, body, err := wc.Recv()
+		if err != nil {
+			return
+		}
+		switch typ {
+		case wire.MsgHello, wire.MsgTelemetry:
+			// no response required
+		case wire.MsgCountReport:
+			r, err := wire.DecodeCountReport(body)
+			if err != nil {
+				return
+			}
+			fb.mu.Lock()
+			fb.seqs = append(fb.seqs, r.Seq)
+			fb.mu.Unlock()
+			if err := wc.Send(wire.MsgAck, wire.EncodeAck(wire.Ack{Seq: r.Seq})); err != nil {
+				return
+			}
+			acked++
+			if first && fb.dropAfter > 0 && acked == fb.dropAfter {
+				if fb.killAll {
+					fb.ln.Close()
+				}
+				return // drop the connection mid-stream
+			}
+		}
+	}
+}
+
+func TestPoleReconnectsAndResendsReports(t *testing.T) {
+	fb := newFlakyBackend(t, 2, false)
+	g := dataset.NewGenerator(6)
+	frames := g.CrowdFrames(5, 1, 2, 0)
+
+	reg := obs.NewRegistry()
+	cfg := testConfig(t, fb.Addr(), frames)
+	cfg.MaxReconnects = 3
+	cfg.ReconnectWait = 5 * time.Millisecond
+	cfg.Obs = reg
+	node, err := Dial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := node.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run after reconnect: %v", err)
+	}
+	if n != 5 {
+		t.Errorf("processed %d frames, want 5", n)
+	}
+	if got := node.Reconnects(); got != 1 {
+		t.Errorf("reconnects = %d, want 1", got)
+	}
+	if got := reg.Counter("pole_reconnects_total", "", obs.L("pole", "1")).Value(); got != 1 {
+		t.Errorf("reconnect counter on registry = %d, want 1", got)
+	}
+
+	// Every report seq must have been acked exactly once: the connection
+	// dropped after the ack, so nothing was dropped and nothing doubled.
+	seen := map[uint64]int{}
+	for _, s := range fb.ackedSeqs() {
+		seen[s]++
+	}
+	for want := uint64(1); want <= 5; want++ {
+		if seen[want] != 1 {
+			t.Errorf("seq %d acked %d times, want exactly once (all: %v)", want, seen[want], fb.ackedSeqs())
+		}
+	}
+}
+
+func TestPoleFailsFastWithoutReconnectBudget(t *testing.T) {
+	fb := newFlakyBackend(t, 1, false)
+	g := dataset.NewGenerator(7)
+	frames := g.CrowdFrames(4, 1, 2, 0)
+
+	cfg := testConfig(t, fb.Addr(), frames)
+	// MaxReconnects left at zero: the historical fail-fast behavior.
+	node, err := Dial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := node.Run(context.Background())
+	if err == nil {
+		t.Error("expected delivery error with no reconnect budget")
+	}
+	if n >= 4 {
+		t.Errorf("processed %d frames past a dead connection", n)
+	}
+	if node.Reconnects() != 0 {
+		t.Errorf("reconnects = %d without budget", node.Reconnects())
+	}
+}
+
+func TestPoleExhaustsReconnectBudgetWhenBackendGone(t *testing.T) {
+	fb := newFlakyBackend(t, 1, true) // listener dies with the first drop
+	g := dataset.NewGenerator(8)
+	frames := g.CrowdFrames(3, 1, 2, 0)
+
+	cfg := testConfig(t, fb.Addr(), frames)
+	cfg.MaxReconnects = 2
+	cfg.ReconnectWait = time.Millisecond
+	node, err := Dial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.Run(context.Background()); err == nil {
+		t.Error("expected error once the reconnect budget is exhausted")
+	}
+}
+
+func TestPoleCleanEOFShutdownMetrics(t *testing.T) {
+	srv, err := backend.Listen(backend.Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	g := dataset.NewGenerator(9)
+	frames := g.CrowdFrames(3, 1, 2, 0)
+	reg := obs.NewRegistry()
+	cfg := testConfig(t, srv.Addr(), frames)
+	cfg.MaxReconnects = 3 // budget present but unused on a healthy link
+	cfg.Obs = reg
+	node, err := Dial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := node.Run(context.Background())
+	if err != nil {
+		t.Fatalf("clean EOF shutdown returned %v", err)
+	}
+	if n != 3 {
+		t.Errorf("processed %d, want 3", n)
+	}
+	id := obs.L("pole", "1")
+	if got := reg.Counter("pole_frames_processed_total", "", id).Value(); got != 3 {
+		t.Errorf("frames counter = %d, want 3", got)
+	}
+	if got := reg.Counter("pole_reports_acked_total", "", id).Value(); got != 3 {
+		t.Errorf("acked counter = %d, want 3", got)
+	}
+	if got := node.Reconnects(); got != 0 {
+		t.Errorf("reconnects = %d on a healthy link", got)
+	}
+	if s := reg.Histogram("pole_report_rtt_seconds", "", nil, id).Snapshot(); s.Count != 3 {
+		t.Errorf("rtt histogram observed %d reports, want 3", s.Count)
+	}
+	if node.BytesSent() == 0 {
+		t.Error("wire byte counter never incremented")
 	}
 }

@@ -119,7 +119,10 @@ type Stats struct {
 	// PeakDelta is the mean pole−weather difference during the hottest
 	// hours (13:00–17:00); CoolDelta the same during 00:00–06:00.
 	PeakDelta, CoolDelta float64
-	// HoursAboveRated is the total time the pole exceeded ratedLimit.
+	// HoursAboveRated is the total time the pole met or exceeded
+	// ratedLimit — the same meets-or-exceeds comparison the backend uses
+	// to raise overheat alerts, so a reading at exactly the rated limit
+	// counts in both places.
 	HoursAboveRated float64
 }
 
@@ -150,7 +153,7 @@ func Summarize(readings []Reading, ratedLimit float64) Stats {
 			coolSum += r.Pole - r.Weather
 			coolN++
 		}
-		if r.Pole > ratedLimit {
+		if r.Pole >= ratedLimit {
 			s.HoursAboveRated += SampleInterval.Hours()
 		}
 	}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"math"
 	"testing"
 	"time"
 )
@@ -108,5 +109,22 @@ func TestSummarizeEmpty(t *testing.T) {
 	s := Summarize(nil, 50)
 	if s.HoursAboveRated != 0 || s.Mean != 0 {
 		t.Error("empty summary should be zero")
+	}
+}
+
+// TestRatedLimitBoundaryMeetsOrExceeds pins the threshold comparison the
+// backend's overheat alerting also uses: a reading at exactly the rated
+// limit counts toward HoursAboveRated.
+func TestRatedLimitBoundaryMeetsOrExceeds(t *testing.T) {
+	base := time.Date(2023, time.June, 24, 12, 0, 0, 0, time.UTC)
+	readings := []Reading{
+		{At: base, Pole: 50.0},                       // exactly rated: must count
+		{At: base.Add(SampleInterval), Pole: 49.99},  // below: must not
+		{At: base.Add(2 * SampleInterval), Pole: 51}, // above: must count
+	}
+	s := Summarize(readings, 50)
+	want := 2 * SampleInterval.Hours()
+	if math.Abs(s.HoursAboveRated-want) > 1e-9 {
+		t.Errorf("HoursAboveRated = %v, want %v (boundary reading at exactly 50°C must count)", s.HoursAboveRated, want)
 	}
 }

@@ -12,6 +12,8 @@ import (
 	"io"
 	"math"
 	"time"
+
+	"hawccc/internal/obs"
 )
 
 // MaxFrameSize bounds a frame body; larger frames indicate corruption.
@@ -291,15 +293,59 @@ func DecodeAlert(b []byte) (Alert, error) {
 
 // Conn wraps a stream with buffered framed I/O. Not safe for concurrent
 // writers; guard with a mutex if multiple goroutines send.
+//
+// Every Conn counts the framed bytes and messages it moves. The counters
+// are detached obs instruments by default — readable through
+// BytesSent/BytesReceived — and Instrument swaps in registry-backed ones
+// so a process's connections aggregate onto its /metrics endpoint.
 type Conn struct {
 	r *bufio.Reader
 	w *bufio.Writer
+
+	bytesOut, bytesIn *obs.Counter
+	msgsOut, msgsIn   *obs.Counter
 }
 
 // NewConn wraps rw.
 func NewConn(rw io.ReadWriter) *Conn {
-	return &Conn{r: bufio.NewReader(rw), w: bufio.NewWriter(rw)}
+	return &Conn{
+		r:        bufio.NewReader(rw),
+		w:        bufio.NewWriter(rw),
+		bytesOut: &obs.Counter{},
+		bytesIn:  &obs.Counter{},
+		msgsOut:  &obs.Counter{},
+		msgsIn:   &obs.Counter{},
+	}
 }
+
+// Instrument replaces the connection's traffic counters, typically with
+// registry-backed ones shared across connections. Any nil argument keeps
+// the existing counter. Call before the connection carries traffic;
+// counts recorded on the previous counters are not migrated.
+func (c *Conn) Instrument(bytesSent, bytesReceived, msgsSent, msgsReceived *obs.Counter) {
+	if bytesSent != nil {
+		c.bytesOut = bytesSent
+	}
+	if bytesReceived != nil {
+		c.bytesIn = bytesReceived
+	}
+	if msgsSent != nil {
+		c.msgsOut = msgsSent
+	}
+	if msgsReceived != nil {
+		c.msgsIn = msgsReceived
+	}
+}
+
+// BytesSent returns the framed bytes written so far (header + body).
+func (c *Conn) BytesSent() uint64 { return c.bytesOut.Value() }
+
+// BytesReceived returns the framed bytes read so far (header + body).
+func (c *Conn) BytesReceived() uint64 { return c.bytesIn.Value() }
+
+// frameBytes is the on-wire size of a frame with the given body: the
+// 4-byte length prefix, 1-byte type tag, and the body itself.
+func frameBytes(body []byte) uint64 { return uint64(5 + len(body)) }
 
 // Send writes one frame and flushes.
 func (c *Conn) Send(t MsgType, body []byte) error {
@@ -309,10 +355,17 @@ func (c *Conn) Send(t MsgType, body []byte) error {
 	if err := c.w.Flush(); err != nil {
 		return fmt.Errorf("wire: flush: %w", err)
 	}
+	c.bytesOut.Add(frameBytes(body))
+	c.msgsOut.Inc()
 	return nil
 }
 
 // Recv reads one frame.
 func (c *Conn) Recv() (MsgType, []byte, error) {
-	return ReadFrame(c.r)
+	t, body, err := ReadFrame(c.r)
+	if err == nil {
+		c.bytesIn.Add(frameBytes(body))
+		c.msgsIn.Inc()
+	}
+	return t, body, err
 }

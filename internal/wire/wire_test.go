@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"hawccc/internal/obs"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -153,5 +155,72 @@ func TestConnSendRecv(t *testing.T) {
 	tm, err := DecodeTelemetry(body)
 	if err != nil || tm.PoleID != 9 {
 		t.Errorf("telemetry %+v err=%v", tm, err)
+	}
+}
+
+func TestConnCountsBytesAndMessages(t *testing.T) {
+	var buf bytes.Buffer
+	sender := NewConn(&buf)
+	body := EncodeHello(Hello{PoleID: 9, Location: "Palm Walk"})
+	if err := sender.Send(MsgHello, body); err != nil {
+		t.Fatal(err)
+	}
+	ack := EncodeAck(Ack{Seq: 3})
+	if err := sender.Send(MsgAck, ack); err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := uint64(5+len(body)) + uint64(5+len(ack))
+	if got := sender.BytesSent(); got != wantBytes {
+		t.Errorf("BytesSent = %d, want %d", got, wantBytes)
+	}
+	if got := sender.BytesSent(); got != uint64(buf.Len()) {
+		t.Errorf("BytesSent = %d but %d bytes actually on the wire", got, buf.Len())
+	}
+
+	receiver := NewConn(&buf)
+	for i := 0; i < 2; i++ {
+		if _, _, err := receiver.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := receiver.BytesReceived(); got != wantBytes {
+		t.Errorf("BytesReceived = %d, want %d", got, wantBytes)
+	}
+	if sender.BytesReceived() != 0 || receiver.BytesSent() != 0 {
+		t.Error("directions must be counted independently")
+	}
+}
+
+func TestConnInstrumentSharesRegistryCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	sent := reg.Counter("wire_bytes_sent_total", "")
+	recvd := reg.Counter("wire_bytes_received_total", "")
+	msgs := reg.Counter("wire_messages_sent_total", "")
+
+	var buf bytes.Buffer
+	a := NewConn(&buf)
+	b := NewConn(&buf)
+	a.Instrument(sent, recvd, msgs, nil)
+	b.Instrument(sent, recvd, msgs, nil)
+
+	body := EncodeAck(Ack{Seq: 1})
+	if err := a.Send(MsgAck, body); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(MsgAck, body); err != nil {
+		t.Fatal(err)
+	}
+	if got := sent.Value(); got != 2*uint64(5+len(body)) {
+		t.Errorf("shared byte counter = %d, want %d", got, 2*(5+len(body)))
+	}
+	if msgs.Value() != 2 {
+		t.Errorf("shared message counter = %d, want 2", msgs.Value())
+	}
+	// A failed receive must not count.
+	if _, _, err := NewConn(&bytes.Buffer{}).Recv(); err == nil {
+		t.Fatal("expected EOF")
+	}
+	if recvd.Value() != 0 {
+		t.Errorf("received counter = %d before any successful Recv", recvd.Value())
 	}
 }
