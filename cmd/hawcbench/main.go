@@ -8,20 +8,31 @@
 //
 // Experiments: table1 table2 table3 table4 table5 table6 fig4 fig6 fig8
 // (combined 8a+8b; fig8a/fig8b run the individual variants) fig9 fig10
-// fig11 parallel kernels, or "all". Presets: quick, standard, full.
+// fig11 parallel kernels stream, or "all". Presets: quick, standard,
+// full.
 //
 // The parallel experiment sweeps frame-level worker counts and, with
 // -parallel-out, writes the machine-readable BENCH_parallel.json consumed
 // by the CI bench-smoke job. The kernels experiment sweeps the inference
 // kernel paths (naive scalar loops vs im2col/GEMM, float vs int8) over
 // batch sizes 1/8/32 and, with -kernels-out, writes BENCH_kernels.json.
+// The stream experiment compares the staged streaming scheduler against
+// the frame-at-a-time loop per worker count and, with -stream-out,
+// writes BENCH_stream.json.
+//
+// SIGINT/SIGTERM stop the run between experiments: the current
+// experiment finishes, its output (and any requested JSON artifact
+// already produced) is flushed, and the process exits 0.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"hawccc/internal/experiments"
@@ -36,9 +47,10 @@ func main() {
 }
 
 func run() error {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (table1..table6, fig4, fig6, fig8a, fig8b, fig9, fig10, fig11, parallel, kernels, all)")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (table1..table6, fig4, fig6, fig8a, fig8b, fig9, fig10, fig11, parallel, kernels, stream, all)")
 	parallelOut := flag.String("parallel-out", "", "write the parallel sweep as JSON to this path (e.g. BENCH_parallel.json)")
 	kernelsOut := flag.String("kernels-out", "", "write the kernels sweep as JSON to this path (e.g. BENCH_kernels.json)")
+	streamOut := flag.String("stream-out", "", "write the stream-vs-loop sweep as JSON to this path (e.g. BENCH_stream.json)")
 	preset := flag.String("preset", "standard", "dataset/training scale: quick, standard, full")
 	seed := flag.Int64("seed", 0, "override the preset's random seed")
 	pnEpochs := flag.Int("pn-epochs", 0, "override the preset's PointNet training epochs")
@@ -84,12 +96,17 @@ func run() error {
 		fmt.Fprintln(os.Stderr, "metrics on", ms.URL())
 	}
 
+	// SIGINT/SIGTERM finish the experiment in flight, then skip the rest
+	// so artifacts flush and the process exits cleanly.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	wanted := map[string]bool{}
 	for _, id := range strings.Split(*expFlag, ",") {
 		wanted[strings.TrimSpace(strings.ToLower(id))] = true
 	}
 	all := wanted["all"]
-	runIt := func(id string) bool { return all || wanted[id] }
+	runIt := func(id string) bool { return ctx.Err() == nil && (all || wanted[id]) }
 
 	start := time.Now()
 	header := func(title string) {
@@ -164,7 +181,7 @@ func run() error {
 			fmt.Println()
 		}
 	}
-	if wanted["fig8a"] { // explicit only; "all" runs the combined fig8
+	if ctx.Err() == nil && wanted["fig8a"] { // explicit only; "all" runs the combined fig8
 		header("Figure 8a — test accuracy per training epoch")
 		for _, r := range experiments.Figure8a(lab) {
 			fmt.Printf("%-12s", r.Model)
@@ -174,7 +191,7 @@ func run() error {
 			fmt.Println()
 		}
 	}
-	if wanted["fig8b"] { // explicit only; "all" runs the combined fig8
+	if ctx.Err() == nil && wanted["fig8b"] { // explicit only; "all" runs the combined fig8
 		header("Figure 8b — accuracy vs training-data fraction")
 		fmt.Printf("%-12s", "fraction")
 		for _, f := range experiments.Figure8bFractions {
@@ -249,6 +266,25 @@ func run() error {
 			fmt.Printf("wrote %s\n", *kernelsOut)
 		}
 	}
+	if runIt("stream") {
+		header("Stream — staged scheduler vs frame-at-a-time loop")
+		r := experiments.StreamBench(lab)
+		fmt.Print(experiments.FormatStream(r))
+		if *streamOut != "" {
+			f, err := os.Create(*streamOut)
+			if err != nil {
+				return fmt.Errorf("stream-out: %w", err)
+			}
+			if err := experiments.WriteStreamJSON(f, r); err != nil {
+				f.Close()
+				return fmt.Errorf("stream-out: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("stream-out: %w", err)
+			}
+			fmt.Printf("wrote %s\n", *streamOut)
+		}
+	}
 	if runIt("fig11") {
 		header("Figure 11 — density level visualization")
 		for _, r := range experiments.Figure11(lab) {
@@ -258,6 +294,11 @@ func run() error {
 		}
 	}
 
+	if ctx.Err() != nil {
+		fmt.Printf("\ninterrupted after %v — remaining experiments skipped\n",
+			time.Since(start).Round(time.Second))
+		return nil
+	}
 	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Second))
 	return nil
 }

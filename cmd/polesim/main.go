@@ -12,6 +12,13 @@
 // -metrics-dump scrapes that endpoint after the poles finish and writes
 // the exposition text to a file, which is how CI asserts the series
 // exist without racing a short-lived process.
+//
+// Each pole streams its frames straight from a per-pole dataset
+// generator through the counting pipeline's staged scheduler — no frame
+// set is materialized up front — so memory stays flat however long the
+// run is. SIGINT/SIGTERM shut the campus down gracefully: poles drain,
+// the snapshot prints, -metrics-dump still writes, and the process
+// exits 0.
 package main
 
 import (
@@ -21,7 +28,9 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"hawccc/internal/backend"
@@ -100,11 +109,19 @@ func run() error {
 	defer srv.Close()
 	fmt.Println("backend listening on", srv.Addr())
 
+	// SIGINT/SIGTERM cancel every pole's Run: streams drain, connections
+	// close, and the run falls through to the snapshot and metrics dump.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	readings := telemetry.Simulate(telemetry.SummerConfig())
 	start := time.Now()
 	var wg sync.WaitGroup
 	for id := 1; id <= *poles; id++ {
-		poleFrames := g.CrowdFrames(*frames, 1, *maxPeople, 2)
+		// Each pole owns a seeded generator and streams frames from it on
+		// demand — the staged scheduler pulls as capacity frees up, so no
+		// pole ever materializes its whole frame set.
+		src := dataset.NewGenerator(*seed+int64(id)).CrowdSource(*frames, 1, *maxPeople, 2)
 		// All poles share the registry: pipeline stage histograms aggregate
 		// campus-wide, while pole-level series carry a pole="<id>" label.
 		node, err := pole.Dial(pole.Config{
@@ -112,7 +129,7 @@ func run() error {
 			Location:      fmt.Sprintf("walkway-%d", id),
 			BackendAddr:   srv.Addr(),
 			Pipeline:      counting.New(clf).Instrument(reg),
-			Source:        &pole.SliceSource{Frames: poleFrames},
+			Source:        src,
 			FrameInterval: *interval,
 			Telemetry:     readings[400*id:],
 			MaxReconnects: *reconnects,
@@ -125,8 +142,8 @@ func run() error {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			n, err := node.Run(context.Background())
-			if err != nil {
+			n, err := node.Run(ctx)
+			if err != nil && ctx.Err() == nil {
 				fmt.Fprintf(os.Stderr, "pole %d: %v\n", id, err)
 			}
 			fmt.Printf("pole %d done: %d frames, %d alerts received\n", id, n, len(node.Alerts()))
@@ -134,7 +151,11 @@ func run() error {
 	}
 	wg.Wait()
 
-	fmt.Printf("\nall poles finished in %v\n", time.Since(start).Round(time.Millisecond))
+	if ctx.Err() != nil {
+		fmt.Printf("\ninterrupted after %v — campus shut down gracefully\n", time.Since(start).Round(time.Millisecond))
+	} else {
+		fmt.Printf("\nall poles finished in %v\n", time.Since(start).Round(time.Millisecond))
+	}
 	fmt.Println("campus snapshot:")
 	for _, p := range srv.Snapshot() {
 		fmt.Printf("  pole %d (%s): reports %d, last %d, peak %d, total %d, maxTemp %.1f°C\n",

@@ -20,9 +20,11 @@
 package hawccc
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
+	"time"
 
 	"hawccc/internal/counting"
 	"hawccc/internal/dataset"
@@ -156,6 +158,89 @@ func (c *Counter) CountWith(frame Cloud, opts CountOptions) Result {
 // tuned the pipeline's Parallelism down and want one fast frame.
 func (c *Counter) CountParallel(frame Cloud) Result {
 	return c.CountWith(frame, DefaultCountOptions())
+}
+
+// StreamOptions configures the staged streaming scheduler behind
+// Counter.StreamWith: per-stage worker counts and the bounded depth of
+// the inter-stage queues. The zero value selects the deployment
+// defaults (see counting.DefaultStreamConfig).
+type StreamOptions = counting.StreamConfig
+
+// StreamResult is one counted frame from a Counter stream.
+type StreamResult struct {
+	// Seq is the frame's 0-based position on the input channel; results
+	// arrive in Seq order.
+	Seq uint64
+	// E2E is the frame's end-to-end latency through the scheduler,
+	// including inter-stage queueing (Latency covers only compute).
+	E2E time.Duration
+	Result
+}
+
+// Stream counts frames continuously: it runs the staged scheduler
+// (ingest → cluster → classify → report, connected by bounded queues)
+// over the input channel and delivers one Result per frame, in input
+// order, on the returned channel. Unlike a Count loop, the stages of
+// consecutive frames overlap, so a pole node sustains a higher frame
+// rate at the same core count while memory stays bounded by the queue
+// depths — a slow consumer backpressures the stream instead of growing
+// a backlog.
+//
+// The stream ends when the input channel closes (every accepted frame's
+// result is flushed, then the returned channel closes) or when ctx is
+// canceled (in-flight frames are dropped and the channel closes). The
+// per-frame counts are bit-identical to Count's: both paths execute the
+// same stage code.
+func (c *Counter) Stream(ctx context.Context, frames <-chan Frame) <-chan StreamResult {
+	return c.StreamWith(ctx, frames, StreamOptions{})
+}
+
+// StreamWith is Stream with an explicit scheduler configuration.
+func (c *Counter) StreamWith(ctx context.Context, frames <-chan Frame, opts StreamOptions) <-chan StreamResult {
+	clouds := make(chan Cloud)
+	go func() {
+		defer close(clouds)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case f, ok := <-frames:
+				if !ok {
+					return
+				}
+				select {
+				case clouds <- f.Cloud:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+	inner := c.pipeline.StreamWith(ctx, clouds, opts)
+	out := make(chan StreamResult)
+	go func() {
+		defer close(out)
+		for r := range inner {
+			sr := StreamResult{
+				Seq: r.Seq,
+				E2E: r.E2E,
+				Result: Result{
+					Count:    r.Count,
+					Clusters: r.Clusters,
+					Latency:  r.Timing,
+				},
+			}
+			select {
+			case out <- sr:
+			case <-ctx.Done():
+				for range inner {
+					// Drain so the scheduler can wind down.
+				}
+				return
+			}
+		}
+	}()
+	return out
 }
 
 // sequentialIfZero maps the public options convention (0 = sequential) to

@@ -2,9 +2,11 @@ package hawccc
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 // trainSmall builds a small counter shared across tests.
@@ -196,5 +198,59 @@ func TestConcurrentSharedCounter(t *testing.T) {
 	close(errs)
 	if err, ok := <-errs; ok {
 		t.Fatal(err)
+	}
+}
+
+func TestStreamMatchesCount(t *testing.T) {
+	c, _ := trainSmall(t)
+	frames := GenerateFrames(5, 6, 1, 4)
+
+	in := make(chan Frame)
+	go func() {
+		defer close(in)
+		for _, f := range frames {
+			in <- f
+		}
+	}()
+	i := 0
+	for r := range c.Stream(context.Background(), in) {
+		if r.Seq != uint64(i) {
+			t.Errorf("result %d arrived with seq %d — out of order", i, r.Seq)
+		}
+		want := c.CountWith(frames[i].Cloud, CountOptions{Parallelism: 1})
+		if r.Count != want.Count || r.Clusters != want.Clusters {
+			t.Errorf("frame %d: streamed count=%d clusters=%d, Count gave %d/%d",
+				i, r.Count, r.Clusters, want.Count, want.Clusters)
+		}
+		if r.E2E <= 0 || r.Latency.Total() <= 0 {
+			t.Errorf("frame %d: missing latency (E2E=%v total=%v)", i, r.E2E, r.Latency.Total())
+		}
+		i++
+	}
+	if i != len(frames) {
+		t.Fatalf("stream delivered %d results, want %d", i, len(frames))
+	}
+}
+
+func TestStreamCancel(t *testing.T) {
+	c, _ := trainSmall(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan Frame) // never closed; cancelation must end the stream
+	out := c.StreamWith(ctx, in, StreamOptions{QueueDepth: 1})
+	in <- GenerateFrames(6, 1, 2, 3)[0]
+	if _, ok := <-out; !ok {
+		t.Fatal("no result before cancel")
+	}
+	cancel()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-out:
+			if !ok {
+				return // closed, as documented
+			}
+		case <-deadline:
+			t.Fatal("stream did not close after cancel")
+		}
 	}
 }

@@ -327,3 +327,80 @@ func TestFastFloor(t *testing.T) {
 		}
 	}
 }
+
+func TestClustersIntoMatchesClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cloud := append(blob(rng, geom.P(15, 0, -1), 0.1, 60), blob(rng, geom.P(25, 2, -1), 0.1, 60)...)
+	cloud = append(cloud, geom.P(40, -2, 5)) // an isolated noise point
+	res := DBSCAN(cloud, 0.5, 5)
+	if res.NumClusters < 2 {
+		t.Fatalf("setup: expected ≥2 clusters, got %d", res.NumClusters)
+	}
+
+	want := res.Clusters(cloud)
+	// Undersized dst with stale contents: must grow and be overwritten.
+	dst := make([]geom.Cloud, 1, 1)
+	dst[0] = geom.Cloud{geom.P(9, 9, 9)}
+	got := res.ClustersInto(cloud, dst)
+	if len(got) != len(want) {
+		t.Fatalf("ClustersInto produced %d clusters, Clusters %d", len(got), len(want))
+	}
+	for ci := range want {
+		if len(got[ci]) != len(want[ci]) {
+			t.Fatalf("cluster %d: %d vs %d points", ci, len(got[ci]), len(want[ci]))
+		}
+		for pi := range want[ci] {
+			if got[ci][pi] != want[ci][pi] {
+				t.Errorf("cluster %d point %d differs", ci, pi)
+			}
+		}
+	}
+	// Recycling the returned slice reproduces the same clusters and
+	// reuses the grown backing arrays.
+	backing := &got[0][0]
+	again := res.ClustersInto(cloud, got)
+	if len(again) != len(want) || &again[0][0] != backing {
+		t.Error("recycled ClustersInto did not reuse the grown buffers")
+	}
+
+	// Degenerate inputs: an empty clustering yields no clusters.
+	empty := DBSCAN(nil, 0.5, 5)
+	if out := empty.ClustersInto(nil, nil); len(out) != 0 {
+		t.Errorf("empty result produced %d clusters", len(out))
+	}
+}
+
+func TestAdaptiveDegenerateClouds(t *testing.T) {
+	cfg := DefaultAdaptiveConfig()
+	// Empty cloud: no clusters, no panic, fallback ε.
+	if eps := OptimalEpsilon(nil, cfg); eps != cfg.FallbackEps {
+		t.Errorf("empty cloud ε = %v, want fallback %v", eps, cfg.FallbackEps)
+	}
+	if res := Adaptive(nil, cfg); res.NumClusters != 0 || len(res.Labels) != 0 {
+		t.Errorf("empty cloud clustered to %+v", res)
+	}
+	// Single point: below MinPts, labeled noise.
+	one := geom.Cloud{geom.P(20, 0, -1)}
+	if eps := OptimalEpsilon(one, cfg); eps != cfg.FallbackEps {
+		t.Errorf("single-point ε = %v, want fallback %v", eps, cfg.FallbackEps)
+	}
+	res := Adaptive(one, cfg)
+	if res.NumClusters != 0 || res.Labels[0] != Noise {
+		t.Errorf("single point clustered to %+v", res)
+	}
+	// All-equidistant cloud (uniform grid): the flat k-NN curve must
+	// yield a usable ε inside the physical band, not zero or infinity.
+	var grid geom.Cloud
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 5; y++ {
+			grid = append(grid, geom.P(15+0.3*float64(x), 0.3*float64(y), -1))
+		}
+	}
+	eps := OptimalEpsilon(grid, cfg)
+	if eps < cfg.MinEps || eps > cfg.MaxEps {
+		t.Errorf("uniform-grid ε = %v outside [%v, %v]", eps, cfg.MinEps, cfg.MaxEps)
+	}
+	if res := Adaptive(grid, cfg); res.NumClusters == 0 {
+		t.Error("uniform grid produced no cluster at the band-clamped ε")
+	}
+}

@@ -46,6 +46,37 @@ func (r Result) Clusters(cloud geom.Cloud) []geom.Cloud {
 	return out
 }
 
+// ClustersInto materializes the clustered sub-clouds like Clusters, but
+// reuses dst: the returned slice recycles dst's header and, where
+// capacity allows, the backing arrays of its cloud entries. Streaming
+// callers pass each frame's buffer back in, so steady-state cluster
+// materialization stops allocating once the buffers have grown to
+// match the traffic. Points and their order are exactly Clusters'; the
+// returned clouds alias dst's storage, so the caller must not reuse dst
+// until it is done with them.
+func (r Result) ClustersInto(cloud geom.Cloud, dst []geom.Cloud) []geom.Cloud {
+	if len(r.Labels) != len(cloud) {
+		panic(fmt.Sprintf("cluster: labels/cloud length mismatch %d vs %d", len(r.Labels), len(cloud)))
+	}
+	if cap(dst) < r.NumClusters {
+		grown := make([]geom.Cloud, r.NumClusters)
+		copy(grown, dst[:cap(dst)])
+		dst = grown
+	} else {
+		dst = dst[:r.NumClusters]
+	}
+	for i := range dst {
+		dst[i] = dst[i][:0]
+	}
+	for i, lbl := range r.Labels {
+		if lbl == Noise {
+			continue
+		}
+		dst[lbl] = append(dst[lbl], cloud[i])
+	}
+	return dst
+}
+
 // NoiseCount returns the number of points labeled Noise.
 func (r Result) NoiseCount() int {
 	n := 0

@@ -153,6 +153,12 @@ type Pipeline struct {
 	// nil (no-op) until Instrument is called, so an uninstrumented
 	// pipeline pays only dead nil-receiver calls on the hot path.
 	m pipelineObs
+	// reg and extra remember the Instrument call so the streaming
+	// scheduler can register its queue-depth gauges and backpressure
+	// counters under the same labels; both stay nil/empty on an
+	// uninstrumented pipeline.
+	reg   *obs.Registry
+	extra []obs.Label
 }
 
 // pipelineObs is the per-pipeline instrument set. Instruments are shared
@@ -181,6 +187,8 @@ func (p *Pipeline) Instrument(reg *obs.Registry, extra ...obs.Label) *Pipeline {
 	if reg == nil {
 		return p
 	}
+	p.reg = reg
+	p.extra = append([]obs.Label(nil), extra...)
 	withExtra := func(labels ...obs.Label) []obs.Label {
 		return append(labels, extra...)
 	}
@@ -253,6 +261,50 @@ func New(classifier models.Classifier) *Pipeline {
 // Name identifies the framework, e.g. "HAWC-CC".
 func (p *Pipeline) Name() string { return p.Classifier.Name() + "-CC" }
 
+// streamJob is the unit of work the staged scheduler moves between
+// stages: one frame plus every buffer its processing needs. Jobs are
+// pooled and their buffers (crop/segment scratch, materialized cluster
+// clouds, kept-cluster headers) are recycled, so both the one-shot Count
+// path and steady-state streaming stay allocation-flat outside the
+// clustering kernels. A job is owned by exactly one goroutine at a time
+// — ownership transfers with the job as it moves through the stages.
+type streamJob struct {
+	// seq is the frame's position on the stream input (0 for one-shot).
+	seq uint64
+	// enqueued is when the scheduler dequeued the frame; classifyReady
+	// is when the cluster stage finished, the base of the queue-wait
+	// measurement under streaming.
+	enqueued, classifyReady time.Time
+	// frame is the caller's raw cloud (never mutated, never retained).
+	frame geom.Cloud
+	// cropped and ingested are the pooled ingest buffers.
+	cropped, ingested geom.Cloud
+	// clusters are the materialized cluster clouds (backing arrays
+	// recycled via cluster.Result.ClustersInto); kept holds the headers
+	// of those meeting MinClusterPoints.
+	clusters []geom.Cloud
+	kept     []geom.Cloud
+	// res accumulates the frame's Result as stages run.
+	res Result
+}
+
+// jobPool recycles streamJobs across frames, calls, and pipelines.
+var jobPool = sync.Pool{New: func() any { return new(streamJob) }}
+
+// acquireJob takes a recycled job. Its buffers keep their grown
+// capacity; res and bookkeeping fields were zeroed at release.
+func acquireJob() *streamJob { return jobPool.Get().(*streamJob) }
+
+// releaseJob returns a job to the pool, dropping references to caller
+// data but keeping the scratch buffers.
+func releaseJob(j *streamJob) {
+	j.seq = 0
+	j.enqueued, j.classifyReady = time.Time{}, time.Time{}
+	j.frame = nil
+	j.res = Result{}
+	jobPool.Put(j)
+}
+
 // Count processes one raw LiDAR frame end to end, classifying clusters on
 // Parallelism goroutines. A pipeline without a classifier returns a zero
 // Result rather than panicking, so a misconfigured pole node degrades to
@@ -265,47 +317,93 @@ func (p *Pipeline) Count(frame geom.Cloud) Result {
 // 0 or negative selects runtime.NumCPU(), 1 runs sequentially. The result
 // is identical at any worker count — classification is deterministic per
 // cluster and aggregation is order-independent.
+//
+// Count and CountWorkers are one-shot synchronous passes of the same
+// stage executors the streaming scheduler (Stream/StreamWith) drives, so
+// the frame-at-a-time and streaming paths cannot diverge: a frame
+// produces bit-identical Count/Clusters/Noise either way.
 func (p *Pipeline) CountWorkers(frame geom.Cloud, workers int) Result {
-	var res Result
 	if p.Classifier == nil {
-		return res
+		return Result{}
 	}
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
+	j := acquireJob()
+	j.frame = frame
+	p.stageIngest(j)
+	p.stageCluster(j)
+	p.stageClassify(j, workers)
+	res := j.res
+	releaseJob(j)
+	p.observeFrame(res)
+	return res
+}
 
+// stageIngest crops the frame to the ROI and removes ground returns,
+// writing into the job's pooled buffers and recording the two ingest
+// segments of the frame span.
+func (p *Pipeline) stageIngest(j *streamJob) {
 	t0 := time.Now()
-	cropped := p.ROI.Crop(frame)
+	j.cropped = p.ROI.CropInto(j.cropped[:0], j.frame)
 	t1 := time.Now()
-	ingested := ground.Segment(cropped, ground.DefaultZMin)
+	j.ingested = ground.SegmentInto(j.ingested[:0], j.cropped, ground.DefaultZMin)
 	t2 := time.Now()
-	res.Timing.ROI = t1.Sub(t0)
-	res.Timing.Ground = t2.Sub(t1)
-	res.Timing.Ingest = res.Timing.ROI + res.Timing.Ground
+	j.res.Timing.ROI = t1.Sub(t0)
+	j.res.Timing.Ground = t2.Sub(t1)
+	j.res.Timing.Ingest = j.res.Timing.ROI + j.res.Timing.Ground
+}
 
-	cr := p.Clusterer.Cluster(ingested)
-	clusters := cr.Clusters(ingested)
-	res.Timing.Cluster = time.Since(t2)
-	res.Noise = cr.NoiseCount()
+// stageCluster partitions the ingested cloud and materializes the cluster
+// clouds into the job's recycled buffers.
+func (p *Pipeline) stageCluster(j *streamJob) {
+	t0 := time.Now()
+	cr := p.Clusterer.Cluster(j.ingested)
+	j.clusters = cr.ClustersInto(j.ingested, j.clusters)
+	j.res.Timing.Cluster = time.Since(t0)
+	j.res.Noise = cr.NoiseCount()
+}
 
-	t0 = time.Now()
-	kept := clusters[:0]
-	for _, c := range clusters {
+// stageClassify filters clusters below MinClusterPoints and labels the
+// rest on the given number of goroutines (the intra-frame worker pool;
+// streaming uses 1 here and gets its parallelism from frames in flight).
+// The sequential path leaves Timing.QueueWait untouched so the streaming
+// scheduler can account inter-stage queueing there instead.
+func (p *Pipeline) stageClassify(j *streamJob, workers int) {
+	t0 := time.Now()
+	kept := j.kept[:0]
+	for _, c := range j.clusters {
 		if len(c) >= p.MinClusterPoints {
 			kept = append(kept, c)
 		}
 	}
-	res.Clusters = len(kept)
+	j.kept = kept
+	j.res.Clusters = len(kept)
 	if workers > len(kept) {
 		workers = len(kept)
 	}
 	if workers <= 1 {
-		res.Count = p.classifySequential(kept)
+		n := 0
+		bs := p.batchSize()
+		for start := 0; start < len(kept); start += bs {
+			end := start + bs
+			if end > len(kept) {
+				end = len(kept)
+			}
+			n += p.classifyBatch(kept, start, end)
+		}
+		j.res.Count = n
 	} else {
-		res.Count, res.Timing.QueueWait = p.classifyParallel(kept, workers)
+		j.res.Count, j.res.Timing.QueueWait = p.classifyParallel(kept, workers)
 	}
-	res.Timing.Classify = time.Since(t0)
+	j.res.Timing.Classify = time.Since(t0)
+}
 
+// observeFrame records one completed frame into the pipeline's
+// instruments (no-ops when uninstrumented). Both the one-shot and the
+// streaming path report through here, so /metrics aggregates frames
+// identically regardless of how they were counted.
+func (p *Pipeline) observeFrame(res Result) {
 	p.m.frames.Inc()
 	p.m.noise.Add(uint64(res.Noise))
 	p.m.roi.ObserveDuration(res.Timing.ROI)
@@ -313,14 +411,13 @@ func (p *Pipeline) CountWorkers(frame geom.Cloud, workers int) Result {
 	p.m.cluster.ObserveDuration(res.Timing.Cluster)
 	p.m.classify.ObserveDuration(res.Timing.Classify)
 	p.m.total.ObserveDuration(res.Timing.Total())
-	return res
 }
 
-// countBatch classifies kept[start:end] and returns the number of Human
-// labels, batching through models.BatchClassifier when the classifier
-// supports it. Both classify paths route through here so batching
-// behavior cannot diverge between them.
-func (p *Pipeline) countBatch(kept []geom.Cloud, start, end int) int {
+// classifyBatch classifies kept[start:end] and returns the number of
+// Human labels, batching through models.BatchClassifier when the
+// classifier supports it. Every classify path routes through here so
+// batching behavior cannot diverge between them.
+func (p *Pipeline) classifyBatch(kept []geom.Cloud, start, end int) int {
 	n := 0
 	if bc, ok := p.Classifier.(models.BatchClassifier); ok {
 		for _, human := range bc.PredictHumans(kept[start:end]) {
@@ -337,21 +434,6 @@ func (p *Pipeline) countBatch(kept []geom.Cloud, start, end int) int {
 	}
 	p.m.humans.Add(uint64(n))
 	p.m.objects.Add(uint64(end - start - n))
-	return n
-}
-
-// classifySequential classifies kept clusters on the calling goroutine,
-// one batch-sized forward pass at a time.
-func (p *Pipeline) classifySequential(kept []geom.Cloud) int {
-	bs := p.batchSize()
-	n := 0
-	for start := 0; start < len(kept); start += bs {
-		end := start + bs
-		if end > len(kept) {
-			end = len(kept)
-		}
-		n += p.countBatch(kept, start, end)
-	}
 	return n
 }
 
@@ -394,7 +476,7 @@ func (p *Pipeline) classifyParallel(kept []geom.Cloud, workers int) (int, time.D
 				if end > len(kept) {
 					end = len(kept)
 				}
-				local += int64(p.countBatch(kept, start, end))
+				local += int64(p.classifyBatch(kept, start, end))
 			}
 			humans.Add(local)
 			for {

@@ -1,0 +1,8 @@
+//go:build race
+
+package counting
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; its shadow-memory bookkeeping allocates, so the allocation
+// gate skips itself under -race.
+const raceEnabled = true

@@ -1,0 +1,350 @@
+// stream.go implements the staged streaming scheduler: the continuous
+// counterpart of Count for a pole that ingests LiDAR sweeps nonstop.
+// Frames flow through ingest → cluster → classify → report as pooled
+// jobs over bounded channels, so memory is bounded by the queue depths,
+// a slow stage backpressures the stages above it instead of growing an
+// unbounded backlog, and every stage overlaps with the others. Results
+// are emitted in input order; per-frame outputs are bit-identical to
+// Count's because both paths run the same stage executors.
+package counting
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"hawccc/internal/geom"
+	"hawccc/internal/obs"
+)
+
+// DefaultQueueDepth is the bounded capacity of each inter-stage queue
+// when StreamConfig.QueueDepth is unset: deep enough to absorb per-frame
+// jitter, shallow enough that total in-flight memory stays a handful of
+// frames per stage.
+const DefaultQueueDepth = 4
+
+// StreamConfig sizes the staged scheduler. Zero values select the
+// corresponding DefaultStreamConfig field, so the zero StreamConfig is
+// the deployment configuration.
+type StreamConfig struct {
+	// IngestWorkers / ClusterWorkers / ClassifyWorkers are the per-stage
+	// worker pools. Ingest is two cheap filters, so one worker usually
+	// saturates it; clustering and classification carry the compute and
+	// split the cores between them by default. Streaming parallelism is
+	// across frames — each classify worker labels one frame's clusters
+	// sequentially — so results stay deterministic at any setting.
+	IngestWorkers, ClusterWorkers, ClassifyWorkers int
+	// QueueDepth bounds each inter-stage channel. Total in-flight frames
+	// are at most 4*QueueDepth + workers + 1, which is the scheduler's
+	// whole steady-state memory footprint beyond the pooled buffers.
+	QueueDepth int
+}
+
+// DefaultStreamConfig splits the cores between the two compute stages
+// and bounds the queues at DefaultQueueDepth.
+func DefaultStreamConfig() StreamConfig {
+	half := runtime.NumCPU() / 2
+	if half < 1 {
+		half = 1
+	}
+	return StreamConfig{
+		IngestWorkers:   1,
+		ClusterWorkers:  half,
+		ClassifyWorkers: half,
+		QueueDepth:      DefaultQueueDepth,
+	}
+}
+
+// withDefaults resolves zero fields to the deployment defaults.
+func (c StreamConfig) withDefaults() StreamConfig {
+	d := DefaultStreamConfig()
+	if c.IngestWorkers <= 0 {
+		c.IngestWorkers = d.IngestWorkers
+	}
+	if c.ClusterWorkers <= 0 {
+		c.ClusterWorkers = d.ClusterWorkers
+	}
+	if c.ClassifyWorkers <= 0 {
+		c.ClassifyWorkers = d.ClassifyWorkers
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = d.QueueDepth
+	}
+	return c
+}
+
+// StreamResult is one counted frame from the streaming scheduler.
+type StreamResult struct {
+	// Seq is the frame's 0-based position on the input channel; results
+	// are delivered in Seq order.
+	Seq uint64
+	// E2E is the end-to-end latency of this frame through the scheduler:
+	// from dequeuing the input to emitting the result, including all
+	// inter-stage queueing (Timing covers only the compute segments).
+	E2E time.Duration
+	Result
+}
+
+// Stream runs the staged scheduler with the deployment configuration
+// over frames until the input channel closes (results for every accepted
+// frame are flushed, then the returned channel closes) or ctx is
+// canceled (in-flight frames are dropped and the channel closes).
+// Results arrive in input order. The scheduler owns all intermediate
+// buffering; the caller only ever holds one frame and one result.
+//
+// A pipeline without a classifier degrades exactly as Count does: every
+// frame yields a zero Result.
+func (p *Pipeline) Stream(ctx context.Context, frames <-chan geom.Cloud) <-chan StreamResult {
+	return p.StreamWith(ctx, frames, StreamConfig{})
+}
+
+// StreamWith is Stream with an explicit scheduler configuration.
+func (p *Pipeline) StreamWith(ctx context.Context, frames <-chan geom.Cloud, cfg StreamConfig) <-chan StreamResult {
+	cfg = cfg.withDefaults()
+	out := make(chan StreamResult, cfg.QueueDepth)
+	if p.Classifier == nil {
+		go degradeStream(ctx, frames, out)
+		return out
+	}
+	s := &scheduler{
+		p:   p,
+		ctx: ctx,
+		cfg: cfg,
+		in:  frames,
+		out: out,
+		e2e: p.streamHistogram("hawc_stream_e2e_seconds",
+			"end-to-end frame latency through the streaming scheduler (compute + queueing)"),
+	}
+	s.qIngest = p.streamQueue(cfg.QueueDepth, "ingest")
+	s.qCluster = p.streamQueue(cfg.QueueDepth, "cluster")
+	s.qClassify = p.streamQueue(cfg.QueueDepth, "classify")
+	s.qReport = p.streamQueue(cfg.QueueDepth, "report")
+	go s.run()
+	return out
+}
+
+// degradeStream is the nil-classifier path: one zero Result per frame.
+func degradeStream(ctx context.Context, frames <-chan geom.Cloud, out chan<- StreamResult) {
+	defer close(out)
+	var seq uint64
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case _, ok := <-frames:
+			if !ok {
+				return
+			}
+			select {
+			case out <- StreamResult{Seq: seq}:
+				seq++
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+}
+
+// streamQueue builds one bounded inter-stage queue, registering its
+// depth gauge and backpressure counter when the pipeline is instrumented
+// (series hawc_stream_queue_depth{stage=...} and
+// hawc_stream_backpressure_total{stage=...}, plus the pipeline's extra
+// labels).
+func (p *Pipeline) streamQueue(depth int, stage string) *boundedQ {
+	q := &boundedQ{ch: make(chan *streamJob, depth)}
+	if p.reg != nil {
+		labels := append([]obs.Label{obs.L("stage", stage)}, p.extra...)
+		q.depth = p.reg.Gauge("hawc_stream_queue_depth",
+			"frames waiting in one staged-scheduler queue", labels...)
+		q.bp = p.reg.Counter("hawc_stream_backpressure_total",
+			"stage handoffs that blocked on a full downstream queue", labels...)
+	}
+	return q
+}
+
+// streamHistogram registers a scheduler histogram under the pipeline's
+// labels, or returns nil (no-op) when uninstrumented.
+func (p *Pipeline) streamHistogram(name, help string) *obs.Histogram {
+	if p.reg == nil {
+		return nil
+	}
+	return p.reg.Histogram(name, help, obs.LatencyBuckets(), p.extra...)
+}
+
+// boundedQ is a bounded inter-stage channel with queue-depth and
+// backpressure accounting. The gauge tracks occupancy approximately
+// (incremented after a successful send, decremented after receive),
+// which is all a scrape needs.
+type boundedQ struct {
+	ch    chan *streamJob
+	depth *obs.Gauge
+	bp    *obs.Counter
+}
+
+// send enqueues j, blocking under backpressure; it returns false when
+// ctx was canceled before space freed up. A send that cannot complete
+// immediately counts one backpressure event for the queue.
+func (q *boundedQ) send(ctx context.Context, j *streamJob) bool {
+	select {
+	case q.ch <- j:
+		q.depth.Inc()
+		return true
+	default:
+	}
+	q.bp.Inc()
+	select {
+	case q.ch <- j:
+		q.depth.Inc()
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// recv dequeues the next job; ok is false once the queue is closed and
+// drained.
+func (q *boundedQ) recv() (*streamJob, bool) {
+	j, ok := <-q.ch
+	if ok {
+		q.depth.Dec()
+	}
+	return j, ok
+}
+
+// scheduler wires the stage pools together for one Stream call.
+type scheduler struct {
+	p   *Pipeline
+	ctx context.Context
+	cfg StreamConfig
+	in  <-chan geom.Cloud
+	out chan StreamResult
+
+	qIngest, qCluster, qClassify, qReport *boundedQ
+
+	e2e *obs.Histogram
+}
+
+// run starts the stage pools and reports results on the caller's
+// goroutine budget: feeder, three stage pools, and the reorderer. Each
+// pool closes its downstream queue once its upstream is drained, so a
+// closed input cascades into a flushed, closed output.
+func (s *scheduler) run() {
+	go s.feed()
+	go s.pool(s.cfg.IngestWorkers, s.qIngest, s.qCluster, s.p.stageIngest)
+	go s.pool(s.cfg.ClusterWorkers, s.qCluster, s.qClassify, func(j *streamJob) {
+		s.p.stageCluster(j)
+		// The queue-wait clock starts when the frame is ready for
+		// classification; blocking on a full classify queue is exactly
+		// the wait the histogram is meant to surface.
+		j.classifyReady = time.Now()
+	})
+	go s.pool(s.cfg.ClassifyWorkers, s.qClassify, s.qReport, func(j *streamJob) {
+		wait := time.Since(j.classifyReady)
+		s.p.m.queueWait.ObserveDuration(wait)
+		s.p.stageClassify(j, 1)
+		j.res.Timing.QueueWait = wait
+	})
+	s.report()
+}
+
+// feed turns the input channel into sequenced pooled jobs.
+func (s *scheduler) feed() {
+	defer close(s.qIngest.ch)
+	var seq uint64
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case frame, ok := <-s.in:
+			if !ok {
+				return
+			}
+			j := acquireJob()
+			j.seq = seq
+			j.frame = frame
+			j.enqueued = time.Now()
+			seq++
+			if !s.qIngest.send(s.ctx, j) {
+				releaseJob(j)
+				return
+			}
+		}
+	}
+}
+
+// pool runs one stage: workers drain src, apply fn, and hand the job
+// downstream; the last worker out closes dst so the next stage can
+// finish. A send refused by cancelation releases the job — the frame is
+// dropped, which is the documented cancel semantics.
+func (s *scheduler) pool(workers int, src, dst *boundedQ, fn func(*streamJob)) {
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				j, ok := src.recv()
+				if !ok {
+					return
+				}
+				fn(j)
+				if !dst.send(s.ctx, j) {
+					releaseJob(j)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(dst.ch)
+}
+
+// report reorders completed jobs into input order and emits them. The
+// reorder buffer is bounded by the frames in flight (queue depths plus
+// workers), so it cannot grow without bound. On cancelation remaining
+// results are dropped and their jobs released.
+func (s *scheduler) report() {
+	defer close(s.out)
+	pending := make(map[uint64]*streamJob)
+	next := uint64(0)
+	emitting := true
+	for {
+		j, ok := s.qReport.recv()
+		if !ok {
+			break
+		}
+		pending[j.seq] = j
+		for {
+			jj, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if emitting {
+				emitting = s.emit(jj)
+			} else {
+				releaseJob(jj)
+			}
+		}
+	}
+	for _, j := range pending {
+		releaseJob(j)
+	}
+}
+
+// emit observes the frame's instruments, releases the job, and delivers
+// the result; it returns false once the context is canceled.
+func (s *scheduler) emit(j *streamJob) bool {
+	r := StreamResult{Seq: j.seq, E2E: time.Since(j.enqueued), Result: j.res}
+	releaseJob(j)
+	s.p.observeFrame(r.Result)
+	s.e2e.ObserveDuration(r.E2E)
+	select {
+	case s.out <- r:
+		return true
+	case <-s.ctx.Done():
+		return false
+	}
+}

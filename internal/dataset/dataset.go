@@ -10,6 +10,7 @@ package dataset
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 
 	"hawccc/internal/geom"
@@ -161,34 +162,88 @@ func (g *Generator) CrowdFrames(n, minPeople, maxPeople, nObjects int) []Frame {
 		panic(fmt.Sprintf("dataset: maxPeople %d < minPeople %d", maxPeople, minPeople))
 	}
 	frames := make([]Frame, 0, n)
+	var buf []lidarsim.Return
 	for len(frames) < n {
-		k := minPeople + g.rng.Intn(maxPeople-minPeople+1)
-		scene := &lidarsim.Scene{}
-		for i := 0; i < k; i++ {
-			x, y := g.randomWalkwayPos()
-			scene.AddHuman(lidarsim.NewHuman(lidarsim.RandomHumanParams(g.rng, x, y)))
-		}
-		for i := 0; i < nObjects; i++ {
-			x, y := g.randomObjectPos()
-			scene.AddObject(lidarsim.NewObject(g.objectKind(), g.rng, x, y))
-		}
-		returns := g.sensor.Scan(scene)
-		// Ground truth: pedestrians with a visible post-ingest pattern.
-		perHuman := make(map[int]int)
-		for _, r := range returns {
-			if r.Kind == lidarsim.HitHuman && g.roi.Contains(r.Point) && r.Point.Z >= ground.DefaultZMin {
-				perHuman[r.ID]++
-			}
-		}
-		count := 0
-		for _, c := range perHuman {
-			if c >= MinVisiblePoints {
-				count++
-			}
-		}
-		frames = append(frames, Frame{Cloud: lidarsim.CloudOf(returns), Count: count})
+		var f Frame
+		f, buf = g.nextCrowdFrame(minPeople, maxPeople, nObjects, buf)
+		frames = append(frames, f)
 	}
 	return frames
+}
+
+// nextCrowdFrame generates one crowd frame, scanning into buf (recycled
+// across calls) and allocating only the retained frame cloud. It draws
+// from the generator's RNG in exactly the order CrowdFrames historically
+// did, so materialized and streamed datasets from the same seed are
+// identical frame for frame.
+func (g *Generator) nextCrowdFrame(minPeople, maxPeople, nObjects int, buf []lidarsim.Return) (Frame, []lidarsim.Return) {
+	k := minPeople + g.rng.Intn(maxPeople-minPeople+1)
+	scene := &lidarsim.Scene{}
+	for i := 0; i < k; i++ {
+		x, y := g.randomWalkwayPos()
+		scene.AddHuman(lidarsim.NewHuman(lidarsim.RandomHumanParams(g.rng, x, y)))
+	}
+	for i := 0; i < nObjects; i++ {
+		x, y := g.randomObjectPos()
+		scene.AddObject(lidarsim.NewObject(g.objectKind(), g.rng, x, y))
+	}
+	returns := g.sensor.ScanInto(scene, buf)
+	// Ground truth: pedestrians with a visible post-ingest pattern.
+	perHuman := make(map[int]int)
+	for _, r := range returns {
+		if r.Kind == lidarsim.HitHuman && g.roi.Contains(r.Point) && r.Point.Z >= ground.DefaultZMin {
+			perHuman[r.ID]++
+		}
+	}
+	count := 0
+	for _, c := range perHuman {
+		if c >= MinVisiblePoints {
+			count++
+		}
+	}
+	return Frame{Cloud: lidarsim.CloudOf(returns), Count: count}, returns
+}
+
+// CrowdSource streams crowd frames one at a time — the FrameSource the
+// pole node's streaming capture loop consumes. Unlike CrowdFrames it
+// never materializes the frame set: each NextFrame call scans one fresh
+// scene into a recycled returns buffer, so an arbitrarily long run holds
+// one frame at a time. n bounds the stream (io.EOF after n frames);
+// n < 0 streams forever. The source draws from the generator's RNG, so
+// it must not be interleaved with other generation on the same
+// Generator if reproducibility matters, and it is not safe for
+// concurrent NextFrame calls.
+type CrowdSource struct {
+	g                              *Generator
+	remaining                      int
+	minPeople, maxPeople, nObjects int
+	buf                            []lidarsim.Return
+}
+
+// CrowdSource returns a streaming generator of crowd frames with the
+// same per-frame distribution as CrowdFrames(n, ...).
+func (g *Generator) CrowdSource(n, minPeople, maxPeople, nObjects int) *CrowdSource {
+	if maxPeople < minPeople {
+		panic(fmt.Sprintf("dataset: maxPeople %d < minPeople %d", maxPeople, minPeople))
+	}
+	return &CrowdSource{
+		g: g, remaining: n,
+		minPeople: minPeople, maxPeople: maxPeople, nObjects: nObjects,
+	}
+}
+
+// NextFrame yields the next frame, or io.EOF once the bounded stream is
+// exhausted.
+func (s *CrowdSource) NextFrame() (Frame, error) {
+	if s.remaining == 0 {
+		return Frame{}, io.EOF
+	}
+	if s.remaining > 0 {
+		s.remaining--
+	}
+	var f Frame
+	f, s.buf = s.g.nextCrowdFrame(s.minPeople, s.maxPeople, s.nObjects, s.buf)
+	return f, nil
 }
 
 // MinSeparation is the minimum centroid distance between two synthetic

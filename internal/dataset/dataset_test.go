@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"io"
 	"math/rand"
 	"path/filepath"
 	"testing"
@@ -293,6 +294,45 @@ func TestGeneratorDeterminism(t *testing.T) {
 	for i := range a {
 		if a[i].Human != b[i].Human || len(a[i].Cloud) != len(b[i].Cloud) {
 			t.Fatalf("sample %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestCrowdSourceMatchesCrowdFrames(t *testing.T) {
+	want := NewGenerator(51).CrowdFrames(5, 1, 4, 2)
+	src := NewGenerator(51).CrowdSource(5, 1, 4, 2)
+	for i := range want {
+		got, err := src.NextFrame()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Count != want[i].Count || len(got.Cloud) != len(want[i].Cloud) {
+			t.Fatalf("frame %d: streamed count=%d points=%d, batch count=%d points=%d",
+				i, got.Count, len(got.Cloud), want[i].Count, len(want[i].Cloud))
+		}
+		for p := range want[i].Cloud {
+			if got.Cloud[p] != want[i].Cloud[p] {
+				t.Fatalf("frame %d point %d differs", i, p)
+			}
+		}
+	}
+	if _, err := src.NextFrame(); err != io.EOF {
+		t.Fatalf("exhausted source returned %v, want io.EOF", err)
+	}
+}
+
+func TestCrowdSourceUnbounded(t *testing.T) {
+	src := NewGenerator(52).CrowdSource(-1, 1, 3, 1)
+	for i := 0; i < 12; i++ {
+		f, err := src.NextFrame()
+		if err != nil {
+			t.Fatalf("frame %d: unbounded source returned %v", i, err)
+		}
+		if f.Count < 1 || f.Count > 3 {
+			t.Errorf("frame %d: truth %d outside [1, 3]", i, f.Count)
+		}
+		if len(f.Cloud) == 0 {
+			t.Errorf("frame %d: empty capture", i)
 		}
 	}
 }

@@ -379,3 +379,50 @@ func TestParallelBench(t *testing.T) {
 		t.Errorf("stage quantiles lost in round-trip: %v", got)
 	}
 }
+
+func TestStreamBench(t *testing.T) {
+	r := StreamBench(sharedLab)
+	if r.NumCPU < 1 || r.Frames == 0 || r.Trials < 1 || r.Passes < 1 || r.QueueDepth < 1 || len(r.Rows) < 2 {
+		t.Fatalf("degenerate sweep: %+v", r)
+	}
+	if r.Rows[0].Workers != 1 {
+		t.Fatalf("sweep must start at 1 worker, got %d", r.Rows[0].Workers)
+	}
+	for i, row := range r.Rows {
+		if row.LoopFramesPerSec <= 0 || row.StreamFramesPerSec <= 0 {
+			t.Errorf("row %d: missing throughput: %+v", i, row)
+		}
+		if row.LoopP50Ms <= 0 || row.StreamP50Ms <= 0 ||
+			row.LoopP50Ms > row.LoopP99Ms || row.StreamP50Ms > row.StreamP99Ms {
+			t.Errorf("row %d: latency percentiles inconsistent: %+v", i, row)
+		}
+		// The bit-equivalence contract between the loop and the scheduler.
+		if row.StreamMAE != row.LoopMAE {
+			t.Errorf("workers=%d: stream MAE %v differs from loop MAE %v",
+				row.Workers, row.StreamMAE, row.LoopMAE)
+		}
+	}
+	last := r.Rows[len(r.Rows)-1]
+	if r.StreamSpeedupMaxWorkers != last.Speedup {
+		t.Errorf("gate field %v does not match widest row's speedup %v",
+			r.StreamSpeedupMaxWorkers, last.Speedup)
+	}
+
+	if s := FormatStream(r); !strings.Contains(s, "stream speedup at max workers") {
+		t.Error("format output incomplete")
+	}
+	var buf bytes.Buffer
+	if err := WriteStreamJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var decoded StreamBenchResult
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"stream_speedup_max_workers"`) {
+		t.Error("artifact missing the CI gate field")
+	}
+	if decoded.StreamSpeedupMaxWorkers != r.StreamSpeedupMaxWorkers || len(decoded.Rows) != len(r.Rows) {
+		t.Errorf("JSON round-trip lost data: %+v", decoded)
+	}
+}

@@ -37,6 +37,20 @@ func (r ROI) Crop(c geom.Cloud) geom.Cloud {
 	return c.Filter(r.Contains)
 }
 
+// CropInto appends the points of c inside the ROI to dst and returns the
+// extended slice. Callers stream frames through a reused buffer
+// (dst[:0]), keeping steady-state ingest allocation-flat once the buffer
+// has grown to frame size; the selected points and their order are
+// exactly Crop's.
+func (r ROI) CropInto(dst, c geom.Cloud) geom.Cloud {
+	for _, p := range c {
+		if r.Contains(p) {
+			dst = append(dst, p)
+		}
+	}
+	return dst
+}
+
 // DefaultZMin is the ground-segmentation threshold: empirical ground noise
 // extends up to 0.4 m above the walkway, so with ground at −3 m the filter
 // keeps z ≥ −2.6 m (Section III).
@@ -45,6 +59,18 @@ const DefaultZMin = -2.6
 // Segment removes ground returns: only points with z ≥ zMin survive.
 func Segment(c geom.Cloud, zMin float64) geom.Cloud {
 	return c.Filter(func(p geom.Point3) bool { return p.Z >= zMin })
+}
+
+// SegmentInto appends the points of c with z ≥ zMin to dst and returns
+// the extended slice — Segment's pooled-buffer companion, mirroring
+// CropInto.
+func SegmentInto(dst, c geom.Cloud, zMin float64) geom.Cloud {
+	for _, p := range c {
+		if p.Z >= zMin {
+			dst = append(dst, p)
+		}
+	}
+	return dst
 }
 
 // Ingest applies the full ingestion chain — ROI crop then ground

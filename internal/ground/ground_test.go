@@ -76,3 +76,50 @@ func TestIngestChain(t *testing.T) {
 		t.Error("empty ingest should be empty")
 	}
 }
+
+func TestCropIntoMatchesCrop(t *testing.T) {
+	roi := DefaultROI()
+	c := geom.Cloud{
+		geom.P(20, 0, 0),   // inside
+		geom.P(5, 0, 0),    // x below ROI
+		geom.P(25, 1, 1),   // inside
+		geom.P(20, 40, 0),  // y outside
+		geom.P(20, 0, 100), // z outside
+	}
+	want := roi.Crop(c)
+	buf := make(geom.Cloud, 0, 1) // deliberately too small: must grow correctly
+	got := roi.CropInto(buf, c)
+	if len(got) != len(want) {
+		t.Fatalf("CropInto kept %d points, Crop kept %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("point %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	// Reuse: a second call into the grown buffer returns identical points
+	// without losing any.
+	again := roi.CropInto(got[:0], c)
+	if len(again) != len(want) {
+		t.Errorf("reused buffer kept %d points, want %d", len(again), len(want))
+	}
+}
+
+func TestSegmentIntoMatchesSegment(t *testing.T) {
+	c := geom.Cloud{
+		geom.P(20, 0, -2.95), // ground band
+		geom.P(20, 0, -1.0),  // body
+		geom.P(21, 1, 0.5),   // body
+		geom.P(22, 0, -2.71), // ground band edge
+	}
+	want := Segment(c, DefaultZMin)
+	got := SegmentInto(nil, c, DefaultZMin)
+	if len(got) != len(want) {
+		t.Fatalf("SegmentInto kept %d points, Segment kept %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("point %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}

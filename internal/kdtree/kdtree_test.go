@@ -185,3 +185,38 @@ func TestTreeImmutableFromCaller(t *testing.T) {
 		t.Error("tree must copy input cloud at construction")
 	}
 }
+
+// TestAllEquidistantKNN exercises the degenerate geometry where every
+// neighbor is at exactly the same distance (the vertices of a regular
+// octahedron around the query): the heap has no strict ordering to
+// exploit, and pruning must not drop any of the tied points.
+func TestAllEquidistantKNN(t *testing.T) {
+	c := geom.Cloud{
+		geom.P(1, 0, 0), geom.P(-1, 0, 0),
+		geom.P(0, 1, 0), geom.P(0, -1, 0),
+		geom.P(0, 0, 1), geom.P(0, 0, -1),
+	}
+	tree := New(c)
+	for k := 1; k <= len(c); k++ {
+		res := tree.KNN(geom.P(0, 0, 0), k)
+		if len(res) != k {
+			t.Fatalf("k=%d: got %d neighbors", k, len(res))
+		}
+		seen := map[int]bool{}
+		for _, n := range res {
+			if n.Dist2 != 1 {
+				t.Errorf("k=%d: tied neighbor at dist2 %v, want 1", k, n.Dist2)
+			}
+			if seen[n.Index] {
+				t.Errorf("k=%d: index %d returned twice", k, n.Index)
+			}
+			seen[n.Index] = true
+		}
+	}
+	if got := tree.RadiusCount(geom.P(0, 0, 0), 1); got != len(c) {
+		t.Errorf("radius at the tie distance found %d of %d points", got, len(c))
+	}
+	if got := tree.RadiusCount(geom.P(0, 0, 0), 0.999); got != 0 {
+		t.Errorf("radius just inside the tie distance found %d points, want 0", got)
+	}
+}

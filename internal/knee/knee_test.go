@@ -83,3 +83,35 @@ func TestLocateMonotoneGentleCurve(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestLocateFlatCurve covers the all-equidistant k-NN geometry: every
+// sorted neighbor distance is identical, so relative growth is zero
+// everywhere and the argmax degenerates to the first usable index. The
+// returned curve value is still the (single) distance, which is the
+// right ε for a uniformly spaced cloud.
+func TestLocateFlatCurve(t *testing.T) {
+	d := []float64{0.25, 0.25, 0.25, 0.25, 0.25}
+	i, err := Locate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 0 {
+		t.Errorf("flat curve elbow at %d, want 0", i)
+	}
+	if v := Value(d, 9.9); v != 0.25 {
+		t.Errorf("flat curve Value = %v, want the plateau distance", v)
+	}
+}
+
+// TestLocateFlatThenJump pins that a plateau followed by one jump puts
+// the elbow at the end of the plateau, not at the flat start.
+func TestLocateFlatThenJump(t *testing.T) {
+	d := []float64{0.2, 0.2, 0.2, 0.2, 1.0, 1.0}
+	i, err := Locate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 3 {
+		t.Errorf("elbow at %d, want 3 (last plateau sample before the jump)", i)
+	}
+}

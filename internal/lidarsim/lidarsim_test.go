@@ -276,3 +276,39 @@ func TestSensorDeterminism(t *testing.T) {
 		}
 	}
 }
+
+func TestScanIntoMatchesScanAndRecycles(t *testing.T) {
+	build := func() (*Sensor, *Scene) {
+		rng := rand.New(rand.NewSource(77))
+		scene := &Scene{}
+		scene.AddHuman(NewHuman(RandomHumanParams(rng, 18, 0)))
+		scene.AddHuman(NewHuman(RandomHumanParams(rng, 25, 1)))
+		return NewSensor(DefaultSensorConfig(), rng), scene
+	}
+
+	// Same seed through either entry point: identical returns.
+	s1, scene1 := build()
+	want := s1.Scan(scene1)
+	s2, scene2 := build()
+	got := s2.ScanInto(scene2, nil)
+	if len(got) != len(want) {
+		t.Fatalf("ScanInto produced %d returns, Scan %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("return %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+
+	// Recycling the buffer reuses its backing array once grown.
+	s3, scene3 := build()
+	buf := s3.ScanInto(scene3, nil)
+	if len(buf) == 0 {
+		t.Fatal("no returns to recycle")
+	}
+	backing := &buf[0]
+	again := s3.ScanInto(scene3, buf)
+	if len(again) == 0 || &again[0] != backing {
+		t.Error("recycled ScanInto did not reuse the grown buffer")
+	}
+}

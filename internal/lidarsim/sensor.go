@@ -146,7 +146,16 @@ func (s *Sensor) Config() SensorConfig { return s.cfg }
 // Scan casts the full beam fan over the scene and returns the labeled
 // returns. The origin is the sensor position (0,0,0).
 func (s *Sensor) Scan(scene *Scene) []Return {
-	var out []Return
+	return s.ScanInto(scene, nil)
+}
+
+// ScanInto is Scan appending into buf[:0], so a streaming capture loop
+// can recycle one returns buffer across frames instead of allocating a
+// fresh slice per sweep. The stochastic draws (noise, dropout) consume
+// the sensor's RNG identically to Scan, so a given seed produces the
+// same returns through either entry point.
+func (s *Sensor) ScanInto(scene *Scene, buf []Return) []Return {
+	out := buf[:0]
 	origin := geom.Point3{}
 	cfg := s.cfg
 

@@ -77,6 +77,13 @@ func (g *Gauge) SetTime(t time.Time) {
 	g.Set(float64(t.UnixNano()) / 1e9)
 }
 
+// Inc shifts the gauge up by 1 — the queue-depth convention: Inc on
+// enqueue, Dec on dequeue.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec shifts the gauge down by 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
 // Add shifts the gauge by delta (negative to decrement).
 func (g *Gauge) Add(delta float64) {
 	if g == nil {

@@ -22,6 +22,7 @@ import (
 
 	"hawccc/internal/counting"
 	"hawccc/internal/dataset"
+	"hawccc/internal/geom"
 	"hawccc/internal/obs"
 	"hawccc/internal/telemetry"
 	"hawccc/internal/wire"
@@ -72,6 +73,10 @@ type Config struct {
 	// FrameInterval paces the capture loop (0 = process as fast as
 	// possible, used by tests and batch replays).
 	FrameInterval time.Duration
+	// Stream sizes the staged counting scheduler Run drives (per-stage
+	// workers, bounded queue depth). The zero value selects
+	// counting.DefaultStreamConfig.
+	Stream counting.StreamConfig
 	// Telemetry, when non-nil, is streamed alongside count reports (one
 	// reading per frame).
 	Telemetry []telemetry.Reading
@@ -220,29 +225,62 @@ func (n *Node) logf(format string, args ...any) {
 
 // Run processes frames until the source is exhausted or ctx is canceled,
 // then closes the connection. It returns the number of frames processed.
+//
+// Run drives the counting pipeline's staged streaming scheduler: a
+// capture goroutine paces the frame source into the stream while Run
+// delivers finished results to the backend, so capture, counting, and
+// report delivery of consecutive frames overlap instead of running
+// lock-step. The scheduler's bounded queues cap the frames in flight —
+// a backend outage backpressures capture rather than growing a backlog
+// — and delivery stays in frame order and at-least-once exactly as the
+// lock-step loop was.
 func (n *Node) Run(ctx context.Context) (int, error) {
 	defer n.closeConn(true)
 	// Cancel unblocks network I/O by closing the connection and pinning
 	// stopped, so a racing reconnect cannot resurrect it.
 	stop := context.AfterFunc(ctx, func() { n.closeConn(true) })
 	defer stop()
+	// A delivery failure must also stop the capture goroutine and the
+	// scheduler behind it.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Capture loop: pace the source into the stream. srcErr is written
+	// before the channel close that ends the result stream, so reading it
+	// after the results channel closes is race-free.
+	frames := make(chan geom.Cloud)
+	var srcErr error
+	go func() {
+		defer close(frames)
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			frame, err := n.cfg.Source.NextFrame()
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			if err != nil {
+				srcErr = fmt.Errorf("pole: frame source: %w", err)
+				return
+			}
+			select {
+			case frames <- frame.Cloud:
+			case <-ctx.Done():
+				return
+			}
+			if n.cfg.FrameInterval > 0 {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(n.cfg.FrameInterval):
+				}
+			}
+		}
+	}()
 
 	processed := 0
-	for {
-		if err := ctx.Err(); err != nil {
-			return processed, err
-		}
-		frame, err := n.cfg.Source.NextFrame()
-		if errors.Is(err, io.EOF) {
-			return processed, nil
-		}
-		if err != nil {
-			return processed, fmt.Errorf("pole: frame source: %w", err)
-		}
-
-		start := time.Now()
-		result := n.cfg.Pipeline.Count(frame.Cloud)
-		latency := time.Since(start)
+	for result := range n.cfg.Pipeline.StreamWith(ctx, frames, n.cfg.Stream) {
 		n.m.frames.Inc()
 
 		n.mu.Lock()
@@ -255,10 +293,10 @@ func (n *Node) Run(ctx context.Context) (int, error) {
 			Timestamp: time.Now().UTC(),
 			Count:     uint32(result.Count),
 			Clusters:  uint32(result.Clusters),
-			LatencyUS: uint32(latency.Microseconds()),
+			LatencyUS: uint32(result.E2E.Microseconds()),
 		}
 		body := wire.EncodeCountReport(report)
-		err = n.withRetry(ctx, func() error {
+		err := n.withRetry(ctx, func() error {
 			t0 := time.Now()
 			if err := n.wc.Send(wire.MsgCountReport, body); err != nil {
 				return fmt.Errorf("pole: send report: %w", err)
@@ -294,14 +332,11 @@ func (n *Node) Run(ctx context.Context) (int, error) {
 		}
 
 		processed++
-		if n.cfg.FrameInterval > 0 {
-			select {
-			case <-ctx.Done():
-				return processed, ctx.Err()
-			case <-time.After(n.cfg.FrameInterval):
-			}
-		}
 	}
+	if err := ctx.Err(); err != nil {
+		return processed, err
+	}
+	return processed, srcErr
 }
 
 // withRetry runs op, re-dialing the backend between attempts when the
