@@ -8,7 +8,7 @@
 //
 // Experiments: table1 table2 table3 table4 table5 table6 fig4 fig6 fig8
 // (combined 8a+8b; fig8a/fig8b run the individual variants) fig9 fig10
-// fig11 parallel kernels stream, or "all". Presets: quick, standard,
+// fig11 parallel kernels stream cluster, or "all". Presets: quick, standard,
 // full.
 //
 // The parallel experiment sweeps frame-level worker counts and, with
@@ -18,7 +18,11 @@
 // batch sizes 1/8/32 and, with -kernels-out, writes BENCH_kernels.json.
 // The stream experiment compares the staged streaming scheduler against
 // the frame-at-a-time loop per worker count and, with -stream-out,
-// writes BENCH_stream.json.
+// writes BENCH_stream.json. The cluster experiment sweeps the
+// geometry-stage engines (voxel grid with one build per frame vs the
+// per-sub-pass k-d tree path) over crowd density × clutter and, with
+// -cluster-out, writes BENCH_cluster.json with per-row label-equivalence
+// asserted.
 //
 // SIGINT/SIGTERM stop the run between experiments: the current
 // experiment finishes, its output (and any requested JSON artifact
@@ -47,10 +51,11 @@ func main() {
 }
 
 func run() error {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (table1..table6, fig4, fig6, fig8a, fig8b, fig9, fig10, fig11, parallel, kernels, stream, all)")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (table1..table6, fig4, fig6, fig8a, fig8b, fig9, fig10, fig11, parallel, kernels, stream, cluster, all)")
 	parallelOut := flag.String("parallel-out", "", "write the parallel sweep as JSON to this path (e.g. BENCH_parallel.json)")
 	kernelsOut := flag.String("kernels-out", "", "write the kernels sweep as JSON to this path (e.g. BENCH_kernels.json)")
 	streamOut := flag.String("stream-out", "", "write the stream-vs-loop sweep as JSON to this path (e.g. BENCH_stream.json)")
+	clusterOut := flag.String("cluster-out", "", "write the cluster-engine sweep as JSON to this path (e.g. BENCH_cluster.json)")
 	preset := flag.String("preset", "standard", "dataset/training scale: quick, standard, full")
 	seed := flag.Int64("seed", 0, "override the preset's random seed")
 	pnEpochs := flag.Int("pn-epochs", 0, "override the preset's PointNet training epochs")
@@ -283,6 +288,25 @@ func run() error {
 				return fmt.Errorf("stream-out: %w", err)
 			}
 			fmt.Printf("wrote %s\n", *streamOut)
+		}
+	}
+	if runIt("cluster") {
+		header("Cluster — geometry-stage engine sweep (grid vs kdtree)")
+		r := experiments.ClusterBench(lab)
+		fmt.Print(experiments.FormatCluster(r))
+		if *clusterOut != "" {
+			f, err := os.Create(*clusterOut)
+			if err != nil {
+				return fmt.Errorf("cluster-out: %w", err)
+			}
+			if err := experiments.WriteClusterJSON(f, r); err != nil {
+				f.Close()
+				return fmt.Errorf("cluster-out: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("cluster-out: %w", err)
+			}
+			fmt.Printf("wrote %s\n", *clusterOut)
 		}
 	}
 	if runIt("fig11") {

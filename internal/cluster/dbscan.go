@@ -4,6 +4,16 @@
 // elbow), single-linkage hierarchical clustering, k-means, and Gaussian
 // mixture clustering. HAWC-CC uses adaptive DBSCAN; the rest are the
 // baselines of Table IV.
+//
+// The density-based algorithms run against internal/spatial's
+// NeighborIndex: by default a uniform voxel grid built once per frame and
+// shared by the adaptive-ε kNN curve, the structure-gap coarse pass, and
+// DBSCAN expansion (Scratch, GridIndex); the k-d tree engine
+// (KDTreeIndex) remains available as the equivalence reference and
+// benchmark baseline, rebuilding per sub-pass the way the pre-grid
+// pipeline did. Both engines produce identical labels — see the
+// neighbor-ordering contract in internal/kdtree — which the property
+// tests in this package pin.
 package cluster
 
 import (
@@ -14,6 +24,7 @@ import (
 	"hawccc/internal/geom"
 	"hawccc/internal/kdtree"
 	"hawccc/internal/knee"
+	"hawccc/internal/spatial"
 )
 
 // Noise is the label assigned to points not belonging to any cluster.
@@ -28,6 +39,11 @@ type Result struct {
 	// Epsilon is the neighborhood radius that produced this result, when
 	// the algorithm is density-based (0 otherwise).
 	Epsilon float64
+	// Sizes[c], when non-nil, is the point count of cluster c. The
+	// density-based algorithms precount sizes so Clusters/ClustersInto can
+	// materialize sub-clouds at exact capacity; algorithms that don't
+	// precount leave it nil and materialization falls back to pure append.
+	Sizes []int
 }
 
 // Clusters materializes the clustered sub-clouds, dropping noise points.
@@ -37,6 +53,11 @@ func (r Result) Clusters(cloud geom.Cloud) []geom.Cloud {
 		panic(fmt.Sprintf("cluster: labels/cloud length mismatch %d vs %d", len(r.Labels), len(cloud)))
 	}
 	out := make([]geom.Cloud, r.NumClusters)
+	if r.Sizes != nil {
+		for c := range out {
+			out[c] = make(geom.Cloud, 0, r.Sizes[c])
+		}
+	}
 	for i, lbl := range r.Labels {
 		if lbl == Noise {
 			continue
@@ -51,9 +72,11 @@ func (r Result) Clusters(cloud geom.Cloud) []geom.Cloud {
 // capacity allows, the backing arrays of its cloud entries. Streaming
 // callers pass each frame's buffer back in, so steady-state cluster
 // materialization stops allocating once the buffers have grown to
-// match the traffic. Points and their order are exactly Clusters'; the
-// returned clouds alias dst's storage, so the caller must not reuse dst
-// until it is done with them.
+// match the traffic. When the result carries precounted Sizes, an entry
+// that must grow is allocated at exact capacity up front instead of
+// through append's doubling. Points and their order are exactly
+// Clusters'; the returned clouds alias dst's storage, so the caller must
+// not reuse dst until it is done with them.
 func (r Result) ClustersInto(cloud geom.Cloud, dst []geom.Cloud) []geom.Cloud {
 	if len(r.Labels) != len(cloud) {
 		panic(fmt.Sprintf("cluster: labels/cloud length mismatch %d vs %d", len(r.Labels), len(cloud)))
@@ -67,6 +90,9 @@ func (r Result) ClustersInto(cloud geom.Cloud, dst []geom.Cloud) []geom.Cloud {
 	}
 	for i := range dst {
 		dst[i] = dst[i][:0]
+		if r.Sizes != nil && cap(dst[i]) < r.Sizes[i] {
+			dst[i] = make(geom.Cloud, 0, r.Sizes[i])
+		}
 	}
 	for i, lbl := range r.Labels {
 		if lbl == Noise {
@@ -88,40 +114,144 @@ func (r Result) NoiseCount() int {
 	return n
 }
 
+// IndexKind selects the spatial index engine a Scratch runs density
+// queries against.
+type IndexKind int
+
+const (
+	// GridIndex (the default) is the voxel grid of internal/spatial,
+	// built once per top-level call and shared by every sub-pass: the
+	// adaptive-ε kNN curve, the structure-gap coarse DBSCAN (whose result
+	// is reused when the final ε lands on the fallback), and the final
+	// expansion.
+	GridIndex IndexKind = iota
+	// KDTreeIndex is the k-d tree engine, faithful to the pre-grid
+	// pipeline's cost structure: a fresh tree per sub-pass and no
+	// coarse-result reuse. It produces identical labels to GridIndex and
+	// serves as the equivalence reference and benchmark baseline.
+	KDTreeIndex
+)
+
+// Scratch holds the reusable state of the density-based clustering path:
+// the per-frame spatial index plus every working buffer DBSCAN and the
+// adaptive-ε search need. A zero Scratch is ready to use (GridIndex).
+// Reusing one Scratch across frames makes the steady state
+// allocation-free once the buffers have grown to the traffic.
+//
+// Results returned by Scratch methods alias the Scratch's buffers:
+// Labels and Sizes are valid only until the Scratch's next use. Callers
+// that retain results across frames (or the package-level convenience
+// functions, which use a throwaway Scratch) get freshly allocated
+// buffers by construction. A Scratch is not safe for concurrent use.
+type Scratch struct {
+	// Kind selects the index engine; the zero value is GridIndex.
+	Kind IndexKind
+
+	grid spatial.Grid
+
+	// Query and expansion buffers.
+	nbuf    []int
+	knnb    []spatial.Neighbor
+	queue   []int
+	visited []bool
+	labels  []int
+	sizes   []int
+	dists   []float64
+
+	// Coarse-pass cache: structureGap's DBSCAN at the fallback ε, kept so
+	// Adaptive can return it directly when the final ε is the fallback —
+	// the fallback-ε pass is then paid once per frame instead of twice.
+	coarseValid  bool
+	coarseEps    float64
+	coarseMinPts int
+	coarseNum    int
+	coarseLabels []int
+	coarseSizes  []int
+
+	// structureGap working buffers.
+	sums      []geom.Point3
+	centroids geom.Cloud
+	gaps      []float64
+}
+
+// index builds the query engine for one sub-pass over cloud. GridIndex
+// rebuilds the scratch-owned grid in place (allocation-free in steady
+// state) with the given cell edge; KDTreeIndex allocates a fresh tree,
+// reproducing the pre-grid pipeline it benchmarks against.
+func (s *Scratch) index(cloud geom.Cloud, cell float64) spatial.NeighborIndex {
+	if s.Kind == KDTreeIndex {
+		return kdtree.New(cloud)
+	}
+	s.grid.Reset(cloud, cell)
+	return &s.grid
+}
+
 // DBSCAN clusters the cloud with the classic density-based algorithm:
 // a point is a core point when at least minPts points (itself included)
 // lie within eps; clusters are the connected components of core points
-// plus their border neighbors. Runs in O(n log n) expected time using a
-// k-d tree for region queries.
+// plus their border neighbors. The voxel-grid engine makes each region
+// query a 27-cell scan (Ester et al. 1996), so a frame clusters in
+// near-linear time.
 func DBSCAN(cloud geom.Cloud, eps float64, minPts int) Result {
+	var s Scratch
+	return s.DBSCAN(cloud, eps, minPts)
+}
+
+// DBSCAN is the Scratch-backed form of the package-level DBSCAN: same
+// labels, but the index and every working buffer come from the Scratch.
+// The result aliases the Scratch's buffers (see Scratch).
+func (s *Scratch) DBSCAN(cloud geom.Cloud, eps float64, minPts int) Result {
 	n := len(cloud)
-	labels := make([]int, n)
+	s.labels = growInts(s.labels, n)
+	if n == 0 || eps <= 0 || minPts < 1 {
+		for i := range s.labels {
+			s.labels[i] = Noise
+		}
+		return Result{Labels: s.labels, Epsilon: eps}
+	}
+	idx := s.index(cloud, eps)
+	num := s.expand(idx, cloud, eps, minPts, s.labels)
+	s.sizes = countSizes(s.labels, growInts(s.sizes, num))
+	return Result{Labels: s.labels, NumClusters: num, Epsilon: eps, Sizes: s.sizes}
+}
+
+// expand runs the DBSCAN expansion over cloud against idx, writing
+// cluster ids (or Noise) into labels and returning the cluster count.
+// The BFS queue is dequeued by advancing a cursor over a single reused
+// buffer — the seed implementation's queue[1:] re-slicing kept the full
+// backing array live and degraded to O(n²) copying under adversarial
+// expansion orders.
+//
+// Labels depend only on the neighbor *sets* idx returns, not their
+// order: every member of a cluster's queue gets the same id, and the
+// visited set of one expansion is the core-reachable component of its
+// seed. Any NeighborIndex therefore yields identical labels.
+func (s *Scratch) expand(idx spatial.NeighborIndex, cloud geom.Cloud, eps float64, minPts int, labels []int) int {
 	for i := range labels {
 		labels[i] = Noise
 	}
-	if n == 0 || eps <= 0 || minPts < 1 {
-		return Result{Labels: labels, Epsilon: eps}
+	s.visited = growBools(s.visited, len(cloud))
+	visited := s.visited
+	for i := range visited {
+		visited[i] = false
 	}
-
-	tree := kdtree.New(cloud)
-	visited := make([]bool, n)
+	queue := s.queue[:0]
+	nbuf := s.nbuf
 	next := 0
-
-	for i := 0; i < n; i++ {
+	for i := range cloud {
 		if visited[i] {
 			continue
 		}
 		visited[i] = true
-		neighbors := tree.Radius(cloud[i], eps)
-		if len(neighbors) < minPts {
+		nbuf = idx.RadiusInto(nbuf[:0], cloud[i], eps)
+		if len(nbuf) < minPts {
 			continue // noise (may be claimed later as a border point)
 		}
 		// Start a new cluster and expand it breadth-first.
 		labels[i] = next
-		queue := append([]int(nil), neighbors...)
-		for len(queue) > 0 {
-			j := queue[0]
-			queue = queue[1:]
+		queue = append(queue[:0], nbuf...)
+		for cur := 0; cur < len(queue); cur++ {
+			j := queue[cur]
 			if labels[j] == Noise {
 				labels[j] = next // border point
 			}
@@ -130,14 +260,44 @@ func DBSCAN(cloud geom.Cloud, eps float64, minPts int) Result {
 			}
 			visited[j] = true
 			labels[j] = next
-			jn := tree.Radius(cloud[j], eps)
-			if len(jn) >= minPts {
-				queue = append(queue, jn...)
+			nbuf = idx.RadiusInto(nbuf[:0], cloud[j], eps)
+			if len(nbuf) >= minPts {
+				queue = append(queue, nbuf...)
 			}
 		}
 		next++
 	}
-	return Result{Labels: labels, NumClusters: next, Epsilon: eps}
+	s.queue = queue
+	s.nbuf = nbuf
+	return next
+}
+
+// countSizes tallies per-cluster point counts into sizes, whose length
+// is the cluster count.
+func countSizes(labels, sizes []int) []int {
+	for c := range sizes {
+		sizes[c] = 0
+	}
+	for _, l := range labels {
+		if l != Noise {
+			sizes[l]++
+		}
+	}
+	return sizes
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
 }
 
 // AdaptiveConfig parameterizes adaptive DBSCAN. The zero value is not
@@ -167,22 +327,46 @@ func DefaultAdaptiveConfig() AdaptiveConfig {
 	return AdaptiveConfig{K: 4, MinPts: 5, FallbackEps: 0.3, MinEps: 0.2, MaxEps: 0.5}
 }
 
+// frameCell picks the grid cell edge for one adaptive frame: the
+// fallback ε sits inside the [MinEps, MaxEps] band, so one grid at that
+// edge serves the kNN curve, the coarse pass, and whatever final ε the
+// elbow lands on. A non-positive fallback defers to AutoCell.
+func frameCell(cfg AdaptiveConfig) float64 {
+	return cfg.FallbackEps
+}
+
 // OptimalEpsilon computes the per-capture ε: sort every point's K-th
 // nearest-neighbor distance ascending and take the curve value at the
 // elbow (paper Section IV), with the elbow search restricted to the
 // [MinEps, MaxEps] band. It returns the fallback for degenerate clouds.
 func OptimalEpsilon(cloud geom.Cloud, cfg AdaptiveConfig) float64 {
+	var s Scratch
+	return s.OptimalEpsilon(cloud, cfg)
+}
+
+// OptimalEpsilon is the Scratch-backed form of the package-level
+// OptimalEpsilon; with GridIndex the kNN curve and the structure-gap
+// pass share one grid build.
+func (s *Scratch) OptimalEpsilon(cloud geom.Cloud, cfg AdaptiveConfig) float64 {
+	s.coarseValid = false
 	if cfg.K < 1 || len(cloud) < cfg.K+2 {
 		return cfg.FallbackEps
 	}
-	tree := kdtree.New(cloud)
-	dists := make([]float64, 0, len(cloud))
-	for _, p := range cloud {
+	return s.optimalEpsilon(s.index(cloud, frameCell(cfg)), cloud, cfg)
+}
+
+// optimalEpsilon runs the elbow search and structural refinement against
+// an already-built index.
+func (s *Scratch) optimalEpsilon(idx spatial.NeighborIndex, cloud geom.Cloud, cfg AdaptiveConfig) float64 {
+	dists := growFloats(s.dists, len(cloud))
+	knnb := s.knnb
+	for i, p := range cloud {
 		// k+1 because the query point itself is returned at distance 0.
-		nn := tree.KNN(p, cfg.K+1)
-		d2 := nn[len(nn)-1].Dist2
-		dists = append(dists, math.Sqrt(d2))
+		knnb = idx.KNNInto(knnb[:0], p, cfg.K+1)
+		dists[i] = math.Sqrt(knnb[len(knnb)-1].Dist2)
 	}
+	s.knnb = knnb
+	s.dists = dists
 	sort.Float64s(dists)
 	// Restrict the elbow search to the physical band.
 	lo := sort.SearchFloat64s(dists, cfg.MinEps)
@@ -211,7 +395,7 @@ func OptimalEpsilon(cloud geom.Cloud, cfg AdaptiveConfig) float64 {
 	// "adjusts to point cloud structure and density" behavior of
 	// Section IV operationalized for scenes denser than the training
 	// walkway.
-	if gap, ok := structureGap(cloud, cfg); ok {
+	if gap, ok := s.structureGap(idx, cloud, cfg); ok {
 		cap := gap / 3
 		if cap < cfg.MinEps {
 			cap = cfg.MinEps
@@ -223,33 +407,62 @@ func OptimalEpsilon(cloud geom.Cloud, cfg AdaptiveConfig) float64 {
 	return eps
 }
 
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
 // structureGap estimates the separation scale between substantial
 // structures: a coarse DBSCAN pass at the fallback ε, then the 10th
 // percentile of nearest-centroid distances among clusters with at least
 // structureMinPts points. ok is false when the scene has fewer than two
-// such structures.
-func structureGap(cloud geom.Cloud, cfg AdaptiveConfig) (float64, bool) {
+// such structures. With GridIndex the coarse result is cached on the
+// Scratch so Adaptive can reuse it when the final ε is the fallback.
+func (s *Scratch) structureGap(idx spatial.NeighborIndex, cloud geom.Cloud, cfg AdaptiveConfig) (float64, bool) {
 	const structureMinPts = 15
-	res := DBSCAN(cloud, cfg.FallbackEps, cfg.MinPts)
-	var centroids geom.Cloud
-	counts := make([]int, res.NumClusters)
-	sums := make([]geom.Point3, res.NumClusters)
-	for i, l := range res.Labels {
-		if l == Noise {
-			continue
-		}
-		counts[l]++
-		sums[l] = sums[l].Add(cloud[i])
+
+	// The coarse pass. With the shared grid the expansion runs against
+	// the frame index already built; the k-d tree engine rebuilds, as the
+	// pre-grid pipeline's nested DBSCAN call did.
+	coarseIdx := idx
+	if s.Kind == KDTreeIndex {
+		coarseIdx = kdtree.New(cloud)
 	}
-	for c := range counts {
-		if counts[c] >= structureMinPts {
-			centroids = append(centroids, sums[c].Scale(1/float64(counts[c])))
+	s.coarseLabels = growInts(s.coarseLabels, len(cloud))
+	num := s.expand(coarseIdx, cloud, cfg.FallbackEps, cfg.MinPts, s.coarseLabels)
+	s.coarseSizes = countSizes(s.coarseLabels, growInts(s.coarseSizes, num))
+	if s.Kind == GridIndex {
+		s.coarseValid = true
+		s.coarseEps = cfg.FallbackEps
+		s.coarseMinPts = cfg.MinPts
+		s.coarseNum = num
+	}
+
+	if cap(s.sums) < num {
+		s.sums = make([]geom.Point3, num)
+	}
+	sums := s.sums[:num]
+	for c := range sums {
+		sums[c] = geom.Point3{}
+	}
+	for i, l := range s.coarseLabels {
+		if l != Noise {
+			sums[l] = sums[l].Add(cloud[i])
 		}
 	}
+	centroids := s.centroids[:0]
+	for c, cnt := range s.coarseSizes {
+		if cnt >= structureMinPts {
+			centroids = append(centroids, sums[c].Scale(1/float64(cnt)))
+		}
+	}
+	s.centroids = centroids
 	if len(centroids) < 2 {
 		return 0, false
 	}
-	gaps := make([]float64, 0, len(centroids))
+	gaps := s.gaps[:0]
 	for i, p := range centroids {
 		best := math.Inf(1)
 		for j, q := range centroids {
@@ -262,6 +475,7 @@ func structureGap(cloud geom.Cloud, cfg AdaptiveConfig) (float64, bool) {
 		}
 		gaps = append(gaps, best)
 	}
+	s.gaps = gaps
 	sort.Float64s(gaps)
 	return gaps[len(gaps)/10], true
 }
@@ -301,6 +515,36 @@ func lastSignificantJump(band []float64, fallback float64) float64 {
 // Adaptive runs the paper's adaptive clustering: pick ε for this capture
 // via OptimalEpsilon, then run DBSCAN with it.
 func Adaptive(cloud geom.Cloud, cfg AdaptiveConfig) Result {
-	eps := OptimalEpsilon(cloud, cfg)
-	return DBSCAN(cloud, eps, cfg.MinPts)
+	var s Scratch
+	return s.Adaptive(cloud, cfg)
+}
+
+// Adaptive is the Scratch-backed form of the package-level Adaptive and
+// the geometry stage's per-frame entry point. With GridIndex the frame's
+// grid is built exactly once and shared by the kNN curve, the coarse
+// structure pass, and the final expansion — and when the elbow lands on
+// the fallback ε, the coarse pass *is* the final result and no second
+// expansion runs. The result aliases the Scratch's buffers (see
+// Scratch). Labels are identical to the package-level Adaptive's for
+// every IndexKind.
+func (s *Scratch) Adaptive(cloud geom.Cloud, cfg AdaptiveConfig) Result {
+	s.coarseValid = false
+	if cfg.K < 1 || len(cloud) < cfg.K+2 {
+		return s.DBSCAN(cloud, cfg.FallbackEps, cfg.MinPts)
+	}
+	idx := s.index(cloud, frameCell(cfg))
+	eps := s.optimalEpsilon(idx, cloud, cfg)
+	if s.coarseValid && eps == s.coarseEps && cfg.MinPts == s.coarseMinPts {
+		// The elbow landed on the fallback ε: the coarse structure pass
+		// already computed exactly this clustering.
+		return Result{Labels: s.coarseLabels, NumClusters: s.coarseNum, Epsilon: eps, Sizes: s.coarseSizes}
+	}
+	if s.Kind == KDTreeIndex {
+		return s.DBSCAN(cloud, eps, cfg.MinPts)
+	}
+	// Same frame index, final ε.
+	s.labels = growInts(s.labels, len(cloud))
+	num := s.expand(idx, cloud, eps, cfg.MinPts, s.labels)
+	s.sizes = countSizes(s.labels, growInts(s.sizes, num))
+	return Result{Labels: s.labels, NumClusters: num, Epsilon: eps, Sizes: s.sizes}
 }

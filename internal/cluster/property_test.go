@@ -1,0 +1,251 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"hawccc/internal/geom"
+)
+
+// sceneSpec names one generated point layout for the cross-engine
+// property tests.
+type sceneSpec struct {
+	name  string
+	cloud geom.Cloud
+}
+
+// propertyScenes builds the layouts the grid-vs-kdtree equivalence
+// property must hold on: seeded random crowds, all-noise scatter, one
+// dense cluster, and points placed exactly at ε boundaries where the
+// inclusive-radius contract decides membership.
+func propertyScenes(rng *rand.Rand) []sceneSpec {
+	scenes := []sceneSpec{}
+
+	// Seeded random scenes: blobs of varying tightness plus scatter.
+	for s := 0; s < 4; s++ {
+		n := 80 + rng.Intn(400)
+		cloud := make(geom.Cloud, 0, n)
+		blobs := 1 + rng.Intn(6)
+		for b := 0; b < blobs; b++ {
+			cx, cy := rng.Float64()*8-4, rng.Float64()*8-4
+			m := 10 + rng.Intn(40)
+			for i := 0; i < m; i++ {
+				cloud = append(cloud, geom.Point3{
+					X: cx + rng.NormFloat64()*0.12,
+					Y: cy + rng.NormFloat64()*0.12,
+					Z: 0.9 + rng.NormFloat64()*0.3,
+				})
+			}
+		}
+		for len(cloud) < n {
+			cloud = append(cloud, geom.Point3{
+				X: rng.Float64()*10 - 5,
+				Y: rng.Float64()*10 - 5,
+				Z: rng.Float64() * 2,
+			})
+		}
+		scenes = append(scenes, sceneSpec{name: "random", cloud: cloud})
+	}
+
+	// All noise: uniform scatter too sparse for any core point.
+	noise := make(geom.Cloud, 60)
+	for i := range noise {
+		noise[i] = geom.Point3{
+			X: float64(i%8) * 5,
+			Y: float64(i/8) * 5,
+			Z: float64(i%3) * 5,
+		}
+	}
+	scenes = append(scenes, sceneSpec{name: "all-noise", cloud: noise})
+
+	// Single dense cluster.
+	single := make(geom.Cloud, 120)
+	for i := range single {
+		single[i] = geom.Point3{
+			X: rng.NormFloat64() * 0.1,
+			Y: rng.NormFloat64() * 0.1,
+			Z: 1 + rng.NormFloat64()*0.1,
+		}
+	}
+	scenes = append(scenes, sceneSpec{name: "single-cluster", cloud: single})
+
+	// Boundary of ε: chains of points spaced at exactly the query radius
+	// (0.3 below), where the inclusive <= boundary decides connectivity,
+	// plus duplicate points forcing distance ties.
+	var boundary geom.Cloud
+	for i := 0; i < 12; i++ {
+		boundary = append(boundary, geom.Point3{X: float64(i) * 0.3})
+	}
+	for i := 0; i < 12; i++ {
+		boundary = append(boundary, geom.Point3{X: float64(i) * 0.3, Y: 2.5})
+		if i%3 == 0 {
+			boundary = append(boundary, geom.Point3{X: float64(i) * 0.3, Y: 2.5})
+		}
+	}
+	scenes = append(scenes, sceneSpec{name: "epsilon-boundary", cloud: boundary})
+
+	return scenes
+}
+
+func equalLabels(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkResult verifies internal consistency of a Result: Sizes matches
+// Labels, NumClusters covers every label.
+func checkResult(t *testing.T, scene string, r Result) {
+	t.Helper()
+	counts := make([]int, r.NumClusters)
+	for _, l := range r.Labels {
+		if l == Noise {
+			continue
+		}
+		if l < 0 || l >= r.NumClusters {
+			t.Fatalf("%s: label %d out of range [0,%d)", scene, l, r.NumClusters)
+		}
+		counts[l]++
+	}
+	if r.Sizes == nil {
+		return
+	}
+	if len(r.Sizes) != r.NumClusters {
+		t.Fatalf("%s: len(Sizes)=%d, NumClusters=%d", scene, len(r.Sizes), r.NumClusters)
+	}
+	for c, want := range counts {
+		if r.Sizes[c] != want {
+			t.Fatalf("%s: Sizes[%d]=%d, counted %d", scene, c, r.Sizes[c], want)
+		}
+	}
+}
+
+// TestDBSCANGridMatchesKDTree is the cross-engine property test: on
+// every scene the voxel-grid engine and the k-d tree engine produce
+// identical labels — not merely the same partition up to renumbering,
+// because both expand clusters in ascending seed order over identical
+// neighbor sets.
+func TestDBSCANGridMatchesKDTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	grid := &Scratch{Kind: GridIndex}
+	tree := &Scratch{Kind: KDTreeIndex}
+	for _, scene := range propertyScenes(rng) {
+		for _, eps := range []float64{0.15, 0.3, 0.45} {
+			for _, minPts := range []int{3, 5} {
+				g := grid.DBSCAN(scene.cloud, eps, minPts)
+				checkResult(t, scene.name, g)
+				gl := append([]int(nil), g.Labels...)
+				gn := g.NumClusters
+				k := tree.DBSCAN(scene.cloud, eps, minPts)
+				checkResult(t, scene.name, k)
+				if gn != k.NumClusters || !equalLabels(gl, k.Labels) {
+					t.Fatalf("%s eps=%g minPts=%d: grid labels differ from kdtree\ngrid %v (%d clusters)\ntree %v (%d clusters)",
+						scene.name, eps, minPts, gl, gn, k.Labels, k.NumClusters)
+				}
+			}
+		}
+	}
+}
+
+// TestAdaptiveGridMatchesKDTree extends the property to the full
+// adaptive path: elbow ε, structure-gap refinement, coarse-result reuse
+// and all.
+func TestAdaptiveGridMatchesKDTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	cfg := DefaultAdaptiveConfig()
+	grid := &Scratch{Kind: GridIndex}
+	tree := &Scratch{Kind: KDTreeIndex}
+	for _, scene := range propertyScenes(rng) {
+		g := grid.Adaptive(scene.cloud, cfg)
+		checkResult(t, scene.name, g)
+		gl := append([]int(nil), g.Labels...)
+		gn, ge := g.NumClusters, g.Epsilon
+		k := tree.Adaptive(scene.cloud, cfg)
+		checkResult(t, scene.name, k)
+		if ge != k.Epsilon {
+			t.Fatalf("%s: grid eps %g != kdtree eps %g", scene.name, ge, k.Epsilon)
+		}
+		if gn != k.NumClusters || !equalLabels(gl, k.Labels) {
+			t.Fatalf("%s: adaptive grid labels differ from kdtree\ngrid %v (%d)\ntree %v (%d)",
+				scene.name, gl, gn, k.Labels, k.NumClusters)
+		}
+	}
+}
+
+// TestScratchMatchesPackageLevel pins that a reused Scratch produces the
+// same results as the package-level one-shot functions across a sequence
+// of different clouds — the steady-state streaming pattern.
+func TestScratchMatchesPackageLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	cfg := DefaultAdaptiveConfig()
+	var s Scratch
+	for _, scene := range propertyScenes(rng) {
+		want := Adaptive(scene.cloud, cfg)
+		got := s.Adaptive(scene.cloud, cfg)
+		if want.Epsilon != got.Epsilon || want.NumClusters != got.NumClusters ||
+			!equalLabels(want.Labels, got.Labels) {
+			t.Fatalf("%s: scratch Adaptive diverges from package-level", scene.name)
+		}
+		wantEps := OptimalEpsilon(scene.cloud, cfg)
+		if gotEps := s.OptimalEpsilon(scene.cloud, cfg); gotEps != wantEps {
+			t.Fatalf("%s: scratch OptimalEpsilon %g != %g", scene.name, gotEps, wantEps)
+		}
+	}
+}
+
+// TestAdaptiveCoarseReuse forces the fallback-ε outcome (tiny band) and
+// checks the reused coarse result matches a fresh DBSCAN at that ε.
+func TestAdaptiveCoarseReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	// Two dense blobs: the elbow lands inside the clamped band, and with
+	// the default config most crowd scenes resolve to the fallback via
+	// clamping or the structure cap. Whether or not reuse triggers, the
+	// result must equal the one-shot path at the same ε.
+	var cloud geom.Cloud
+	for b := 0; b < 2; b++ {
+		cx := float64(b) * 1.5
+		for i := 0; i < 60; i++ {
+			cloud = append(cloud, geom.Point3{
+				X: cx + rng.NormFloat64()*0.08,
+				Y: rng.NormFloat64() * 0.08,
+				Z: 1 + rng.NormFloat64()*0.2,
+			})
+		}
+	}
+	cfg := DefaultAdaptiveConfig()
+	var s Scratch
+	got := s.Adaptive(cloud, cfg)
+	want := DBSCAN(cloud, got.Epsilon, cfg.MinPts)
+	if got.NumClusters != want.NumClusters || !equalLabels(got.Labels, want.Labels) {
+		t.Fatalf("adaptive result at eps=%g differs from direct DBSCAN", got.Epsilon)
+	}
+	checkResult(t, "coarse-reuse", got)
+}
+
+// TestAdaptiveSteadyStateAllocs pins the zero-alloc guarantee of the
+// grid-backed geometry stage: after warm-up, a full Adaptive pass —
+// grid build, kNN curve, coarse pass, final expansion — performs no
+// heap allocation.
+func TestAdaptiveSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	scenes := propertyScenes(rng)
+	cfg := DefaultAdaptiveConfig()
+	var s Scratch
+	for _, scene := range scenes {
+		s.Adaptive(scene.cloud, cfg) // warm the buffers
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		for _, scene := range scenes {
+			s.Adaptive(scene.cloud, cfg)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Adaptive allocates: %.1f allocs/run", allocs)
+	}
+}

@@ -31,12 +31,24 @@ type Clusterer interface {
 	Cluster(cloud geom.Cloud) cluster.Result
 }
 
+// ScratchClusterer is the optional Clusterer extension the streaming
+// pipeline prefers: clustering against a caller-owned cluster.Scratch,
+// so the spatial index and every working buffer are recycled with the
+// pooled frame job and the steady-state geometry stage performs no heap
+// allocation. The returned result may alias the Scratch's buffers; the
+// pipeline materializes clusters out of it before the next frame reuses
+// the job.
+type ScratchClusterer interface {
+	Clusterer
+	ClusterScratch(s *cluster.Scratch, cloud geom.Cloud) cluster.Result
+}
+
 // AdaptiveClusterer is the paper's adaptive-ε DBSCAN (Section IV).
 type AdaptiveClusterer struct {
 	Config cluster.AdaptiveConfig
 }
 
-var _ Clusterer = AdaptiveClusterer{}
+var _ ScratchClusterer = AdaptiveClusterer{}
 
 // NewAdaptiveClusterer returns the deployment configuration.
 func NewAdaptiveClusterer() AdaptiveClusterer {
@@ -51,13 +63,18 @@ func (a AdaptiveClusterer) Cluster(cloud geom.Cloud) cluster.Result {
 	return cluster.Adaptive(cloud, a.Config)
 }
 
+// ClusterScratch implements ScratchClusterer.
+func (a AdaptiveClusterer) ClusterScratch(s *cluster.Scratch, cloud geom.Cloud) cluster.Result {
+	return s.Adaptive(cloud, a.Config)
+}
+
 // FixedEpsClusterer is DBSCAN with a fixed ε (Table IV baseline).
 type FixedEpsClusterer struct {
 	Eps    float64
 	MinPts int
 }
 
-var _ Clusterer = FixedEpsClusterer{}
+var _ ScratchClusterer = FixedEpsClusterer{}
 
 // Name implements Clusterer.
 func (f FixedEpsClusterer) Name() string { return fmt.Sprintf("fixed-eps(%.1f)", f.Eps) }
@@ -69,6 +86,15 @@ func (f FixedEpsClusterer) Cluster(cloud geom.Cloud) cluster.Result {
 		minPts = cluster.DefaultAdaptiveConfig().MinPts
 	}
 	return cluster.DBSCAN(cloud, f.Eps, minPts)
+}
+
+// ClusterScratch implements ScratchClusterer.
+func (f FixedEpsClusterer) ClusterScratch(s *cluster.Scratch, cloud geom.Cloud) cluster.Result {
+	minPts := f.MinPts
+	if minPts == 0 {
+		minPts = cluster.DefaultAdaptiveConfig().MinPts
+	}
+	return s.DBSCAN(cloud, f.Eps, minPts)
 }
 
 // HierarchicalClusterer is single-linkage clustering cut at a distance
@@ -284,6 +310,10 @@ type streamJob struct {
 	// of those meeting MinClusterPoints.
 	clusters []geom.Cloud
 	kept     []geom.Cloud
+	// scratch carries the geometry stage's per-frame spatial index and
+	// working buffers; recycled with the job so steady-state clustering
+	// (ScratchClusterer path) allocates nothing.
+	scratch cluster.Scratch
 	// res accumulates the frame's Result as stages run.
 	res Result
 }
@@ -355,10 +385,17 @@ func (p *Pipeline) stageIngest(j *streamJob) {
 }
 
 // stageCluster partitions the ingested cloud and materializes the cluster
-// clouds into the job's recycled buffers.
+// clouds into the job's recycled buffers. Clusterers that support the
+// Scratch path run against the job's recycled spatial index and buffers;
+// the rest fall back to their allocating Cluster method.
 func (p *Pipeline) stageCluster(j *streamJob) {
 	t0 := time.Now()
-	cr := p.Clusterer.Cluster(j.ingested)
+	var cr cluster.Result
+	if sc, ok := p.Clusterer.(ScratchClusterer); ok {
+		cr = sc.ClusterScratch(&j.scratch, j.ingested)
+	} else {
+		cr = p.Clusterer.Cluster(j.ingested)
+	}
 	j.clusters = cr.ClustersInto(j.ingested, j.clusters)
 	j.res.Timing.Cluster = time.Since(t0)
 	j.res.Noise = cr.NoiseCount()

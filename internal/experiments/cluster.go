@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"hawccc/internal/cluster"
+	"hawccc/internal/dataset"
+	"hawccc/internal/geom"
+	"hawccc/internal/ground"
+)
+
+// ClusterRow compares the two geometry-stage engines on one scene
+// shape: the voxel grid with one build per frame (the production path)
+// against the k-d tree path the pipeline ran before internal/spatial —
+// a fresh tree per sub-pass (ε curve, coarse structure pass, final
+// expansion) and no coarse-result reuse.
+type ClusterRow struct {
+	// People and Objects parameterize the generated scenes; MeanPoints is
+	// the resulting mean ingested cloud size (after ROI crop and ground
+	// removal) — the size the geometry stage actually clusters.
+	People     int     `json:"people"`
+	Objects    int     `json:"objects"`
+	Frames     int     `json:"frames"`
+	MeanPoints float64 `json:"mean_points"`
+	// Per-frame adaptive-clustering latency quantiles (nearest-rank over
+	// every trial's samples) and best-trial throughput ratio.
+	GridP50Ms   float64 `json:"grid_p50_ms"`
+	GridP95Ms   float64 `json:"grid_p95_ms"`
+	GridP99Ms   float64 `json:"grid_p99_ms"`
+	KDTreeP50Ms float64 `json:"kdtree_p50_ms"`
+	KDTreeP95Ms float64 `json:"kdtree_p95_ms"`
+	KDTreeP99Ms float64 `json:"kdtree_p99_ms"`
+	// Speedup is best-trial k-d tree wall time over best-trial grid wall
+	// time for the row's frame set.
+	Speedup float64 `json:"speedup"`
+	// LabelEquivalent reports whether both engines produced identical
+	// cluster labels and ε on every frame of the row — checked on the
+	// results the timed runs computed, not a separate pass.
+	LabelEquivalent bool `json:"label_equivalent"`
+}
+
+// ClusterBenchResult is the full sweep plus the CI gate fields.
+type ClusterBenchResult struct {
+	NumCPU int          `json:"num_cpu"`
+	Trials int          `json:"trials"`
+	Rows   []ClusterRow `json:"rows"`
+	// GridSpeedupLargest is the Speedup of the row with the largest mean
+	// ingested cloud — the number CI gates on: the grid must not lose to
+	// the k-d tree path where the paper's real-time claim is hardest.
+	GridSpeedupLargest float64 `json:"grid_speedup_largest"`
+	// LabelEquivalent is the conjunction over all rows.
+	LabelEquivalent bool `json:"label_equivalent"`
+}
+
+// clusterBenchTrials is how many independently timed runs each engine
+// gets per row; the best trial is the reported wall time.
+const clusterBenchTrials = 3
+
+// clusterBenchFrames is how many scenes each row generates.
+const clusterBenchFrames = 10
+
+// clusterBenchPeople and clusterBenchObjects define the density sweep:
+// crowd sizes crossed with clutter levels, spanning the single-walker
+// calibration scene up to the dense-crowd regime of Table VI.
+var (
+	clusterBenchPeople  = []int{1, 2, 4, 8}
+	clusterBenchObjects = []int{2, 6}
+)
+
+// ClusterBench measures what the voxel grid and the one-build-per-frame
+// geometry stage buy over the k-d tree path, sweeping cloud size ×
+// crowd density. Every timed frame's labels are compared across engines;
+// a mismatch anywhere flips the row's (and the result's) equivalence
+// flag, so the artifact asserts correctness and speed together.
+func ClusterBench(l *Lab) ClusterBenchResult {
+	cfg := cluster.DefaultAdaptiveConfig()
+	roi := ground.DefaultROI()
+	res := ClusterBenchResult{
+		NumCPU:          runtime.NumCPU(),
+		Trials:          clusterBenchTrials,
+		LabelEquivalent: true,
+	}
+	largestPoints := -1.0
+	for _, objects := range clusterBenchObjects {
+		for _, people := range clusterBenchPeople {
+			l.logf("cluster bench: %d people, %d objects, grid vs kdtree, best of %d trials over %d frames...",
+				people, objects, clusterBenchTrials, clusterBenchFrames)
+			// A fresh generator per row keeps rows independent of sweep
+			// order; min=max pins the crowd size.
+			gen := dataset.NewGenerator(l.Cfg.Seed + 7 + int64(people*100+objects))
+			frames := gen.CrowdFrames(clusterBenchFrames, people, people, objects)
+			clouds := make([]geom.Cloud, len(frames))
+			var points int
+			for i := range frames {
+				clouds[i] = ground.Segment(roi.Crop(frames[i].Cloud), ground.DefaultZMin)
+				points += len(clouds[i])
+			}
+			row := benchClusterRow(clouds, cfg)
+			row.People, row.Objects, row.Frames = people, objects, clusterBenchFrames
+			row.MeanPoints = float64(points) / float64(len(clouds))
+			res.Rows = append(res.Rows, row)
+			res.LabelEquivalent = res.LabelEquivalent && row.LabelEquivalent
+			if row.MeanPoints > largestPoints {
+				largestPoints = row.MeanPoints
+				res.GridSpeedupLargest = row.Speedup
+			}
+		}
+	}
+	return res
+}
+
+// benchClusterRow times both engines over one frame set. Each engine
+// reuses one Scratch across the row (the steady-state streaming
+// pattern); the k-d tree engine still rebuilds its trees per sub-pass by
+// construction. Labels from the final trial are compared frame by frame.
+func benchClusterRow(clouds []geom.Cloud, cfg cluster.AdaptiveConfig) ClusterRow {
+	row := ClusterRow{LabelEquivalent: true}
+
+	gridLabels := make([][]int, len(clouds))
+	gridEps := make([]float64, len(clouds))
+	grid := &cluster.Scratch{Kind: cluster.GridIndex}
+	gridBest, gridLat := benchClusterEngine(grid, clouds, cfg, func(i int, r cluster.Result) {
+		gridLabels[i] = append(gridLabels[i][:0], r.Labels...)
+		gridEps[i] = r.Epsilon
+	})
+	row.GridP50Ms, row.GridP95Ms, row.GridP99Ms = p50p95p99(gridLat)
+
+	tree := &cluster.Scratch{Kind: cluster.KDTreeIndex}
+	treeBest, treeLat := benchClusterEngine(tree, clouds, cfg, func(i int, r cluster.Result) {
+		if r.Epsilon != gridEps[i] || !sameLabels(r.Labels, gridLabels[i]) {
+			row.LabelEquivalent = false
+		}
+	})
+	row.KDTreeP50Ms, row.KDTreeP95Ms, row.KDTreeP99Ms = p50p95p99(treeLat)
+
+	if gridBest > 0 {
+		row.Speedup = treeBest.Seconds() / gridBest.Seconds()
+	}
+	return row
+}
+
+// benchClusterEngine runs clusterBenchTrials timed passes of one engine
+// over the frame set, returning the best wall time and every per-frame
+// latency sample. check sees each frame's result on every trial.
+func benchClusterEngine(s *cluster.Scratch, clouds []geom.Cloud, cfg cluster.AdaptiveConfig, check func(int, cluster.Result)) (time.Duration, []float64) {
+	var best time.Duration
+	lat := make([]float64, 0, len(clouds)*clusterBenchTrials)
+	for trial := 0; trial < clusterBenchTrials; trial++ {
+		start := time.Now()
+		for i, cloud := range clouds {
+			t0 := time.Now()
+			r := s.Adaptive(cloud, cfg)
+			lat = append(lat, ms(time.Since(t0)))
+			check(i, r)
+		}
+		if total := time.Since(start); best == 0 || total < best {
+			best = total
+		}
+	}
+	return best, lat
+}
+
+func sameLabels(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// p50p95p99 returns the 50th, 95th and 99th percentile of the samples
+// (nearest-rank on the sorted slice; the slice is sorted in place).
+func p50p95p99(samples []float64) (p50, p95, p99 float64) {
+	if len(samples) == 0 {
+		return 0, 0, 0
+	}
+	sort.Float64s(samples)
+	rank := func(q float64) float64 {
+		i := int(q*float64(len(samples))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(samples) {
+			i = len(samples) - 1
+		}
+		return samples[i]
+	}
+	return rank(0.50), rank(0.95), rank(0.99)
+}
+
+// FormatCluster renders the sweep as a console table.
+func FormatCluster(r ClusterBenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "host: %d cores, best of %d trials, %d frames per row, adaptive DBSCAN per ingested frame\n",
+		r.NumCPU, r.Trials, clusterBenchFrames)
+	fmt.Fprintf(&b, "%-7s %-7s %9s %10s %10s %10s %10s %10s %10s %8s %6s\n",
+		"People", "Objects", "Points", "Grid p50", "Grid p95", "Grid p99",
+		"Tree p50", "Tree p95", "Tree p99", "Speedup", "Equal")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-7d %-7d %9.0f %9.3fms %9.3fms %9.3fms %9.3fms %9.3fms %9.3fms %7.2fx %6v\n",
+			row.People, row.Objects, row.MeanPoints,
+			row.GridP50Ms, row.GridP95Ms, row.GridP99Ms,
+			row.KDTreeP50Ms, row.KDTreeP95Ms, row.KDTreeP99Ms,
+			row.Speedup, row.LabelEquivalent)
+	}
+	fmt.Fprintf(&b, "grid speedup at largest cloud: %.2fx, label-equivalent: %v\n",
+		r.GridSpeedupLargest, r.LabelEquivalent)
+	return b.String()
+}
+
+// WriteClusterJSON writes the sweep as the BENCH_cluster.json artifact
+// consumed by CI.
+func WriteClusterJSON(w io.Writer, r ClusterBenchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,16 +1,19 @@
 // Package kdtree implements a static 3-dimensional k-d tree over LiDAR
-// point clouds. HAWC-CC uses it in three places: the adaptive-clustering
+// point clouds. HAWC-CC uses it for the adaptive-clustering
 // k-nearest-neighbor distance curve (Section IV), DBSCAN's ε-range queries,
 // and the height-aware projection's per-point neighborhood height variance
-// (Section V).
+// (Section V) — either directly or as the reference engine behind
+// internal/spatial's NeighborIndex interface, whose voxel grid is the
+// default on the per-frame hot path.
 //
 // The tree is built once over an immutable cloud; queries are read-only and
-// safe for concurrent use.
+// safe for concurrent use. KNN results follow the package-wide neighbor
+// ordering contract: ascending (Dist2, Index), with distance ties broken by
+// the lower original cloud index, so every NeighborIndex implementation
+// returns bit-identical neighbor sets.
 package kdtree
 
 import (
-	"sort"
-
 	"hawccc/internal/geom"
 )
 
@@ -145,22 +148,35 @@ type Neighbor struct {
 	Dist2 float64
 }
 
-// KNN returns the k nearest neighbors of q in ascending distance order.
-// If the tree holds fewer than k points, all points are returned. The query
-// point itself is included if it is in the tree; callers that want strict
-// neighbors of an indexed point typically ask for k+1 and drop the first.
+// KNN returns the k nearest neighbors of q in ascending (Dist2, Index)
+// order. If the tree holds fewer than k points, all points are returned.
+// The query point itself is included if it is in the tree; callers that
+// want strict neighbors of an indexed point typically ask for k+1 and drop
+// the first.
 func (t *Tree) KNN(q geom.Point3, k int) []Neighbor {
 	if t == nil || k <= 0 || len(t.pts) == 0 {
 		return nil
 	}
+	return t.KNNInto(nil, q, k)
+}
+
+// KNNInto is KNN reusing dst's backing array for the result (and as the
+// search heap), following the Into convention of ground, cluster, and
+// lidarsim: the returned slice starts at dst[:0] and grows only when
+// cap(dst) < k, so steady-state callers stop allocating once the buffer
+// has grown to the largest k they ask for. Results are identical to KNN's.
+func (t *Tree) KNNInto(dst []Neighbor, q geom.Point3, k int) []Neighbor {
+	dst = dst[:0]
+	if t == nil || k <= 0 || len(t.pts) == 0 {
+		return dst
+	}
 	if k > len(t.pts) {
 		k = len(t.pts)
 	}
-	h := neighborHeap{max: k}
+	h := neighborHeap{items: dst, max: k}
 	t.knn(0, len(t.pts), q, &h)
-	res := h.items
-	sort.Slice(res, func(i, j int) bool { return res[i].Dist2 < res[j].Dist2 })
-	return res
+	SortNeighbors(h.items)
+	return h.items
 }
 
 func (t *Tree) knn(lo, hi int, q geom.Point3, h *neighborHeap) {
@@ -176,16 +192,19 @@ func (t *Tree) knn(lo, hi int, q geom.Point3, h *neighborHeap) {
 	ax := int(t.axis[mid])
 	h.offer(Neighbor{t.idx[mid], q.Dist2(t.pts[mid])})
 	delta := q.Coord(ax) - t.pts[mid].Coord(ax)
-	// Search the near side first, then the far side only if the splitting
-	// plane is closer than the current k-th best distance.
+	// Search the near side first, then the far side unless the splitting
+	// plane is strictly farther than the current k-th best distance. The
+	// far side is still explored on exact ties so that an equal-distance,
+	// lower-index point beyond the plane can claim its slot — the
+	// deterministic tie-break every NeighborIndex shares.
 	if delta < 0 {
 		t.knn(lo, mid, q, h)
-		if !h.full() || delta*delta < h.worst() {
+		if !h.full() || delta*delta <= h.worst() {
 			t.knn(mid+1, hi, q, h)
 		}
 	} else {
 		t.knn(mid+1, hi, q, h)
-		if !h.full() || delta*delta < h.worst() {
+		if !h.full() || delta*delta <= h.worst() {
 			t.knn(lo, mid, q, h)
 		}
 	}
@@ -197,9 +216,18 @@ func (t *Tree) Radius(q geom.Point3, r float64) []int {
 	if t == nil || len(t.pts) == 0 || r < 0 {
 		return nil
 	}
-	var out []int
-	t.radius(0, len(t.pts), q, r*r, &out)
-	return out
+	return t.radius(0, len(t.pts), q, r*r, nil)
+}
+
+// RadiusInto is Radius appending into dst (callers typically pass
+// dst[:0]), mirroring the Into buffer-reuse convention: once dst has
+// grown to the densest neighborhood, repeated queries stop allocating.
+// Contents and order are exactly Radius's.
+func (t *Tree) RadiusInto(dst []int, q geom.Point3, r float64) []int {
+	if t == nil || len(t.pts) == 0 || r < 0 {
+		return dst
+	}
+	return t.radius(0, len(t.pts), q, r*r, dst)
 }
 
 // RadiusCount returns the number of points within radius r of q without
@@ -211,34 +239,35 @@ func (t *Tree) RadiusCount(q geom.Point3, r float64) int {
 	return t.radiusCount(0, len(t.pts), q, r*r)
 }
 
-func (t *Tree) radius(lo, hi int, q geom.Point3, r2 float64, out *[]int) {
+func (t *Tree) radius(lo, hi int, q geom.Point3, r2 float64, out []int) []int {
 	n := hi - lo
 	if n <= 0 {
-		return
+		return out
 	}
 	if n == 1 {
 		if q.Dist2(t.pts[lo]) <= r2 {
-			*out = append(*out, t.idx[lo])
+			out = append(out, t.idx[lo])
 		}
-		return
+		return out
 	}
 	mid := lo + n/2
 	ax := int(t.axis[mid])
 	if q.Dist2(t.pts[mid]) <= r2 {
-		*out = append(*out, t.idx[mid])
+		out = append(out, t.idx[mid])
 	}
 	delta := q.Coord(ax) - t.pts[mid].Coord(ax)
 	if delta < 0 {
-		t.radius(lo, mid, q, r2, out)
+		out = t.radius(lo, mid, q, r2, out)
 		if delta*delta <= r2 {
-			t.radius(mid+1, hi, q, r2, out)
+			out = t.radius(mid+1, hi, q, r2, out)
 		}
 	} else {
-		t.radius(mid+1, hi, q, r2, out)
+		out = t.radius(mid+1, hi, q, r2, out)
 		if delta*delta <= r2 {
-			t.radius(lo, mid, q, r2, out)
+			out = t.radius(lo, mid, q, r2, out)
 		}
 	}
+	return out
 }
 
 func (t *Tree) radiusCount(lo, hi int, q geom.Point3, r2 float64) int {
@@ -273,7 +302,27 @@ func (t *Tree) radiusCount(lo, hi int, q geom.Point3, r2 float64) int {
 	return count
 }
 
-// neighborHeap is a bounded max-heap keyed on Dist2; it keeps the `max`
+// Less is the package-wide total order on neighbors: ascending distance,
+// ties broken by the lower original cloud index. A total order makes the
+// k-nearest set a pure function of the cloud and query — independent of
+// traversal order — which is what lets the k-d tree and the voxel grid
+// (internal/spatial) promise bit-identical results.
+func Less(a, b Neighbor) bool {
+	return a.Dist2 < b.Dist2 || (a.Dist2 == b.Dist2 && a.Index < b.Index)
+}
+
+// SortNeighbors orders ns ascending under Less. Insertion sort: k is
+// single digits on every hot path, and unlike sort.Slice it performs no
+// heap allocation, which the Into query variants rely on.
+func SortNeighbors(ns []Neighbor) {
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && Less(ns[j], ns[j-1]); j-- {
+			ns[j], ns[j-1] = ns[j-1], ns[j]
+		}
+	}
+}
+
+// neighborHeap is a bounded max-heap under Less; it keeps the `max`
 // smallest candidates seen so far.
 type neighborHeap struct {
 	items []Neighbor
@@ -292,7 +341,7 @@ func (h *neighborHeap) offer(n Neighbor) {
 		h.up(len(h.items) - 1)
 		return
 	}
-	if n.Dist2 >= h.items[0].Dist2 {
+	if !Less(n, h.items[0]) {
 		return
 	}
 	h.items[0] = n
@@ -302,7 +351,7 @@ func (h *neighborHeap) offer(n Neighbor) {
 func (h *neighborHeap) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if h.items[parent].Dist2 >= h.items[i].Dist2 {
+		if !Less(h.items[parent], h.items[i]) {
 			return
 		}
 		h.items[parent], h.items[i] = h.items[i], h.items[parent]
@@ -315,10 +364,10 @@ func (h *neighborHeap) down(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		largest := i
-		if l < n && h.items[l].Dist2 > h.items[largest].Dist2 {
+		if l < n && Less(h.items[largest], h.items[l]) {
 			largest = l
 		}
-		if r < n && h.items[r].Dist2 > h.items[largest].Dist2 {
+		if r < n && Less(h.items[largest], h.items[r]) {
 			largest = r
 		}
 		if largest == i {

@@ -1,0 +1,85 @@
+package projection
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hawccc/internal/geom"
+	"hawccc/internal/kdtree"
+)
+
+// refHeightVariation is the pre-grid σz implementation: a fresh k-d
+// tree per cluster. Kept as the reference the pooled-grid path must
+// reproduce bit-for-bit.
+func refHeightVariation(cloud geom.Cloud, k int) []float64 {
+	tree := kdtree.New(cloud)
+	out := make([]float64, len(cloud))
+	for i, p := range cloud {
+		nn := tree.KNN(p, k)
+		var mean float64
+		for _, n := range nn {
+			mean += cloud[n.Index].Z
+		}
+		mean /= float64(len(nn))
+		var v float64
+		for _, n := range nn {
+			d := cloud[n.Index].Z - mean
+			v += d * d
+		}
+		out[i] = math.Sqrt(v / float64(len(nn)))
+	}
+	return out
+}
+
+// viewportCloud approximates one classifier input: a person-shaped blob
+// in the ±ViewportWindow frame, with duplicated points mixed in so
+// distance ties exercise the cross-engine ordering contract.
+func viewportCloud(rng *rand.Rand, n int) geom.Cloud {
+	cloud := make(geom.Cloud, 0, n)
+	for len(cloud) < n {
+		if len(cloud) > 0 && rng.Intn(6) == 0 {
+			cloud = append(cloud, cloud[rng.Intn(len(cloud))])
+			continue
+		}
+		cloud = append(cloud, geom.Point3{
+			X: rng.NormFloat64() * 0.25,
+			Y: rng.NormFloat64() * 0.25,
+			Z: 3 + rng.Float64()*1.7,
+		})
+	}
+	return cloud
+}
+
+// TestHeightVariationMatchesKDTree pins that moving σz from a
+// per-cluster k-d tree to the pooled voxel grid changed nothing: the
+// neighbor sets, their iteration order, and therefore every float
+// operation are identical.
+func TestHeightVariationMatchesKDTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{16, 256, 1024} {
+		cloud := viewportCloud(rng, n)
+		want := refHeightVariation(cloud, KNeighbors)
+		got := heightVariation(cloud, KNeighbors)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d point %d: grid σz %v != kdtree σz %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDADensityMatchesKDTree pins the same for DA's density channel.
+func TestDADensityMatchesKDTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cloud := viewportCloud(rng, 256)
+	c := canonical(cloud)
+	tree := kdtree.New(c)
+	im := DA{}.Project(cloud)
+	for i, p := range c {
+		want := float32(float64(tree.RadiusCount(p, DensityRadius)-1) / float64(KNeighbors))
+		if got := im.Data[i*3+2]; got != want {
+			t.Fatalf("point %d: grid density %v != kdtree density %v", i, got, want)
+		}
+	}
+}

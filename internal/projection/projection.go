@@ -10,10 +10,21 @@ package projection
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"hawccc/internal/geom"
-	"hawccc/internal/kdtree"
+	"hawccc/internal/spatial"
 )
+
+// indexPool recycles the spatial indexes behind the neighborhood
+// channels (HAP's σz, DA's density). Projection runs per candidate
+// cluster on the classify stage's worker pool, so the pool hands each
+// worker a warm index whose buffers are already grown — the voxel grid
+// replaces the per-cluster k-d tree build that used to dominate the
+// channel's cost. Results are identical to the tree's: both engines
+// honor the neighbor-ordering contract of internal/kdtree, so the
+// neighbor sets and their iteration order are bit-for-bit the same.
+var indexPool = sync.Pool{New: func() any { return new(spatial.FrameIndex) }}
 
 // Image is a D×D multi-channel raster in channel-last layout:
 // Data[(row*D+col)*C + ch].
@@ -100,10 +111,12 @@ func Viewport(padded geom.Cloud, center geom.Point3, window float64) geom.Cloud 
 // heightVariation computes σ_z per point: the standard deviation of the
 // z-coordinates of the point's K nearest neighbors (Section V).
 func heightVariation(cloud geom.Cloud, k int) []float64 {
-	tree := kdtree.New(cloud)
+	fi := indexPool.Get().(*spatial.FrameIndex)
+	defer indexPool.Put(fi)
+	fi.Build(cloud, 0)
 	out := make([]float64, len(cloud))
 	for i, p := range cloud {
-		nn := tree.KNN(p, k)
+		nn := fi.KNN(p, k)
 		var mean float64
 		for _, n := range nn {
 			mean += cloud[n.Index].Z
@@ -263,10 +276,12 @@ func (DA) Channels() int { return 3 }
 // Project implements Projector.
 func (DA) Project(cloud geom.Cloud) Image {
 	c := canonical(cloud)
-	tree := kdtree.New(c)
+	fi := indexPool.Get().(*spatial.FrameIndex)
+	defer indexPool.Put(fi)
+	fi.Build(c, DensityRadius)
 	density := make([]float64, len(c))
 	for i, p := range c {
-		density[i] = float64(tree.RadiusCount(p, DensityRadius)-1) / float64(KNeighbors)
+		density[i] = float64(fi.RadiusCount(p, DensityRadius)-1) / float64(KNeighbors)
 	}
 	d := side(len(c))
 	im := Image{D: d, C: 3, Data: make([]float32, len(c)*3)}

@@ -1,0 +1,84 @@
+package spatial
+
+import (
+	"math/rand"
+	"testing"
+
+	"hawccc/internal/geom"
+	"hawccc/internal/kdtree"
+)
+
+// benchCloud approximates one ingested frame: a few person-sized blobs
+// plus ground scatter, at the point counts the ROI crop leaves behind.
+func benchCloud(n int) geom.Cloud {
+	rng := rand.New(rand.NewSource(42))
+	return randomCloud(rng, n)
+}
+
+const (
+	benchRadius = 0.3 // DefaultAdaptiveConfig's FallbackEps
+	benchK      = 5   // adaptive-ε curve asks for K+1
+)
+
+func BenchmarkGridBuild(b *testing.B) {
+	cloud := benchCloud(2000)
+	g := &Grid{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Reset(cloud, benchRadius)
+	}
+}
+
+func BenchmarkKDTreeBuild(b *testing.B) {
+	cloud := benchCloud(2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = kdtree.New(cloud)
+	}
+}
+
+func BenchmarkGridRadius(b *testing.B) {
+	cloud := benchCloud(2000)
+	g := NewGrid(cloud, benchRadius)
+	var buf []int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.RadiusInto(buf[:0], cloud[i%len(cloud)], benchRadius)
+	}
+}
+
+func BenchmarkKDTreeRadius(b *testing.B) {
+	cloud := benchCloud(2000)
+	tr := kdtree.New(cloud)
+	var buf []int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = tr.RadiusInto(buf[:0], cloud[i%len(cloud)], benchRadius)
+	}
+}
+
+func BenchmarkGridKNN(b *testing.B) {
+	cloud := benchCloud(2000)
+	g := NewGrid(cloud, benchRadius)
+	var buf []Neighbor
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.KNNInto(buf[:0], cloud[i%len(cloud)], benchK)
+	}
+}
+
+func BenchmarkKDTreeKNN(b *testing.B) {
+	cloud := benchCloud(2000)
+	tr := kdtree.New(cloud)
+	var buf []Neighbor
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = tr.KNNInto(buf[:0], cloud[i%len(cloud)], benchK)
+	}
+}

@@ -1,0 +1,414 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hawccc/internal/geom"
+	"hawccc/internal/kdtree"
+)
+
+// randomCloud builds a cloud with clustered structure plus uniform
+// scatter, including exact duplicates so distance ties exercise the
+// (Dist2, Index) tie-break.
+func randomCloud(rng *rand.Rand, n int) geom.Cloud {
+	cloud := make(geom.Cloud, 0, n)
+	for len(cloud) < n {
+		switch rng.Intn(4) {
+		case 0: // tight blob
+			cx, cy, cz := rng.Float64()*10-5, rng.Float64()*10-5, rng.Float64()*2
+			for i := 0; i < 5 && len(cloud) < n; i++ {
+				cloud = append(cloud, geom.Point3{
+					X: cx + rng.NormFloat64()*0.1,
+					Y: cy + rng.NormFloat64()*0.1,
+					Z: cz + rng.NormFloat64()*0.1,
+				})
+			}
+		case 1: // exact duplicate of an existing point
+			if len(cloud) > 0 {
+				cloud = append(cloud, cloud[rng.Intn(len(cloud))])
+			} else {
+				cloud = append(cloud, geom.Point3{})
+			}
+		default: // uniform scatter
+			cloud = append(cloud, geom.Point3{
+				X: rng.Float64()*12 - 6,
+				Y: rng.Float64()*12 - 6,
+				Z: rng.Float64() * 3,
+			})
+		}
+	}
+	return cloud
+}
+
+// bruteRadius is the reference radius query: linear scan, inclusive
+// boundary, ascending index order.
+func bruteRadius(cloud geom.Cloud, q geom.Point3, r float64) []int {
+	r2 := r * r
+	var out []int
+	for i, p := range cloud {
+		if q.Dist2(p) <= r2 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// bruteKNN is the reference kNN: full sort under the (Dist2, Index)
+// contract, first k taken.
+func bruteKNN(cloud geom.Cloud, q geom.Point3, k int) []Neighbor {
+	ns := make([]Neighbor, len(cloud))
+	for i, p := range cloud {
+		ns[i] = Neighbor{Index: i, Dist2: q.Dist2(p)}
+	}
+	sort.Slice(ns, func(i, j int) bool { return kdtree.Less(ns[i], ns[j]) })
+	if k > len(ns) {
+		k = len(ns)
+	}
+	return ns[:k]
+}
+
+func sortedCopy(ids []int) []int {
+	out := append([]int(nil), ids...)
+	sort.Ints(out)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalNeighbors(a, b []Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// queryPoints yields a mix of indexed points, perturbed points, and
+// far-outside-bounds points.
+func queryPoints(rng *rand.Rand, cloud geom.Cloud, n int) []geom.Point3 {
+	qs := make([]geom.Point3, 0, n)
+	for len(qs) < n {
+		switch rng.Intn(3) {
+		case 0:
+			qs = append(qs, cloud[rng.Intn(len(cloud))])
+		case 1:
+			p := cloud[rng.Intn(len(cloud))]
+			qs = append(qs, geom.Point3{
+				X: p.X + rng.NormFloat64()*0.3,
+				Y: p.Y + rng.NormFloat64()*0.3,
+				Z: p.Z + rng.NormFloat64()*0.3,
+			})
+		default:
+			qs = append(qs, geom.Point3{
+				X: rng.Float64()*60 - 30,
+				Y: rng.Float64()*60 - 30,
+				Z: rng.Float64()*20 - 10,
+			})
+		}
+	}
+	return qs
+}
+
+func TestGridRadiusMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 7, 64, 400} {
+		cloud := randomCloud(rng, n)
+		for _, cell := range []float64{0.15, 0.5, 2.0} {
+			g := NewGrid(cloud, cell)
+			var buf []int
+			for _, q := range queryPoints(rng, cloud, 30) {
+				for _, r := range []float64{0, 0.2, 0.5, 3.0} {
+					want := bruteRadius(cloud, q, r)
+					buf = g.RadiusInto(buf[:0], q, r)
+					got := sortedCopy(buf)
+					if !equalInts(got, want) {
+						t.Fatalf("n=%d cell=%g q=%v r=%g: radius mismatch\ngot  %v\nwant %v",
+							n, cell, q, r, got, want)
+					}
+					if c := g.RadiusCount(q, r); c != len(want) {
+						t.Fatalf("n=%d cell=%g q=%v r=%g: RadiusCount=%d want %d",
+							n, cell, q, r, c, len(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGridKNNMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{1, 7, 64, 400} {
+		cloud := randomCloud(rng, n)
+		for _, cell := range []float64{0.15, 0.5, 2.0} {
+			g := NewGrid(cloud, cell)
+			var buf []Neighbor
+			for _, q := range queryPoints(rng, cloud, 30) {
+				for _, k := range []int{1, 4, 9, n + 3} {
+					want := bruteKNN(cloud, q, k)
+					buf = g.KNNInto(buf[:0], q, k)
+					if !equalNeighbors(buf, want) {
+						t.Fatalf("n=%d cell=%g q=%v k=%d: kNN mismatch\ngot  %v\nwant %v",
+							n, cell, q, k, buf, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGridMatchesKDTree pins the cross-engine contract the cluster
+// package relies on: the grid and the k-d tree return bit-identical
+// results for every query type.
+func TestGridMatchesKDTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	cloud := randomCloud(rng, 500)
+	g := NewGrid(cloud, 0.3)
+	tr := kdtree.New(cloud)
+	var gids, tids []int
+	var gn, tn []Neighbor
+	for _, q := range queryPoints(rng, cloud, 60) {
+		for _, r := range []float64{0.1, 0.3, 1.5} {
+			gids = g.RadiusInto(gids[:0], q, r)
+			tids = tr.RadiusInto(tids[:0], q, r)
+			if !equalInts(sortedCopy(gids), sortedCopy(tids)) {
+				t.Fatalf("q=%v r=%g: grid radius %v != kdtree %v", q, r, gids, tids)
+			}
+			if gc, tc := g.RadiusCount(q, r), tr.RadiusCount(q, r); gc != tc {
+				t.Fatalf("q=%v r=%g: grid count %d != kdtree %d", q, r, gc, tc)
+			}
+		}
+		for _, k := range []int{1, 5, 12} {
+			gn = g.KNNInto(gn[:0], q, k)
+			tn = tr.KNNInto(tn[:0], q, k)
+			if !equalNeighbors(gn, tn) {
+				t.Fatalf("q=%v k=%d: grid kNN %v != kdtree %v", q, k, gn, tn)
+			}
+		}
+	}
+}
+
+// TestKDTreeIntoMatchesAllocating pins that the Into variants added for
+// buffer reuse return exactly what the allocating variants do, including
+// reuse of a dirty buffer across queries.
+func TestKDTreeIntoMatchesAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	cloud := randomCloud(rng, 300)
+	tr := kdtree.New(cloud)
+	var ids []int
+	var ns []Neighbor
+	for _, q := range queryPoints(rng, cloud, 40) {
+		for _, r := range []float64{0, 0.25, 1.0} {
+			want := tr.Radius(q, r)
+			ids = tr.RadiusInto(ids[:0], q, r)
+			if !equalInts(sortedCopy(ids), sortedCopy(append([]int(nil), want...))) {
+				t.Fatalf("q=%v r=%g: RadiusInto %v != Radius %v", q, r, ids, want)
+			}
+		}
+		for _, k := range []int{1, 6, 20} {
+			want := tr.KNN(q, k)
+			ns = tr.KNNInto(ns[:0], q, k)
+			if !equalNeighbors(ns, want) {
+				t.Fatalf("q=%v k=%d: KNNInto %v != KNN %v", q, k, ns, want)
+			}
+		}
+	}
+}
+
+func TestGridDegenerateClouds(t *testing.T) {
+	q := geom.Point3{X: 1, Y: 2, Z: 3}
+
+	var empty *Grid
+	if got := empty.Radius(q, 1); got != nil {
+		t.Fatalf("nil grid Radius = %v, want nil", got)
+	}
+	if got := empty.KNN(q, 3); got != nil {
+		t.Fatalf("nil grid KNN = %v, want nil", got)
+	}
+	if empty.Len() != 0 {
+		t.Fatalf("nil grid Len = %d", empty.Len())
+	}
+
+	g := NewGrid(nil, 0.5)
+	if got := g.RadiusInto(nil, q, 1); len(got) != 0 {
+		t.Fatalf("empty grid radius = %v", got)
+	}
+	if got := g.KNNInto(nil, q, 2); len(got) != 0 {
+		t.Fatalf("empty grid kNN = %v", got)
+	}
+
+	// All points coincident.
+	dup := geom.Cloud{{X: 1, Y: 1, Z: 1}, {X: 1, Y: 1, Z: 1}, {X: 1, Y: 1, Z: 1}}
+	g = NewGrid(dup, 0) // AutoCell path on zero-extent cloud
+	got := g.KNN(geom.Point3{X: 1, Y: 1, Z: 1}, 2)
+	want := []Neighbor{{Index: 0, Dist2: 0}, {Index: 1, Dist2: 0}}
+	if !equalNeighbors(got, want) {
+		t.Fatalf("coincident kNN = %v, want %v", got, want)
+	}
+	if c := g.RadiusCount(geom.Point3{X: 1, Y: 1, Z: 1}, 0); c != 3 {
+		t.Fatalf("coincident RadiusCount = %d, want 3", c)
+	}
+
+	// Flat (planar) cloud: zero volume, AutoCell fallback.
+	flat := make(geom.Cloud, 50)
+	rng := rand.New(rand.NewSource(15))
+	for i := range flat {
+		flat[i] = geom.Point3{X: rng.Float64() * 5, Y: rng.Float64() * 5, Z: 1.5}
+	}
+	g = NewGrid(flat, 0)
+	for _, r := range []float64{0.3, 2.0} {
+		want := bruteRadius(flat, q, r)
+		if got := sortedCopy(g.Radius(q, r)); !equalInts(got, want) {
+			t.Fatalf("flat cloud radius r=%g: got %v want %v", r, got, want)
+		}
+	}
+
+	// Negative radius.
+	if got := g.Radius(q, -1); got != nil {
+		t.Fatalf("negative radius = %v, want nil", got)
+	}
+	if c := g.RadiusCount(q, -1); c != 0 {
+		t.Fatalf("negative RadiusCount = %d", c)
+	}
+}
+
+// TestGridCellBudget forces the maxGridCells doubling path with a cloud
+// whose extent would demand billions of fine cells, and checks queries
+// stay exact.
+func TestGridCellBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	cloud := make(geom.Cloud, 200)
+	for i := range cloud {
+		cloud[i] = geom.Point3{
+			X: rng.Float64() * 1e4,
+			Y: rng.Float64() * 1e4,
+			Z: rng.Float64() * 1e4,
+		}
+	}
+	g := NewGrid(cloud, 0.01) // naive lattice would be 1e18 cells
+	if cells := int64(g.nx) * int64(g.ny) * int64(g.nz); cells > maxGridCells {
+		t.Fatalf("cell budget not enforced: %d cells", cells)
+	}
+	if g.Cell() <= 0.01 {
+		t.Fatalf("cell edge not grown: %g", g.Cell())
+	}
+	for _, q := range queryPoints(rng, cloud, 10) {
+		want := bruteRadius(cloud, q, 500)
+		if got := sortedCopy(g.Radius(q, 500)); !equalInts(got, want) {
+			t.Fatalf("capped grid radius mismatch: got %v want %v", got, want)
+		}
+		wantK := bruteKNN(cloud, q, 5)
+		if got := g.KNN(q, 5); !equalNeighbors(got, wantK) {
+			t.Fatalf("capped grid kNN mismatch: got %v want %v", got, wantK)
+		}
+	}
+}
+
+// TestGridResetReuse pins the one-build-per-frame contract: rebuilding
+// over changing clouds keeps queries exact and, once the buffers have
+// grown, allocation-free.
+func TestGridResetReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := &Grid{}
+	for round := 0; round < 5; round++ {
+		cloud := randomCloud(rng, 100+round*50)
+		g.Reset(cloud, 0.4)
+		for _, q := range queryPoints(rng, cloud, 10) {
+			want := bruteRadius(cloud, q, 0.6)
+			if got := sortedCopy(g.Radius(q, 0.6)); !equalInts(got, want) {
+				t.Fatalf("round %d: radius mismatch: got %v want %v", round, got, want)
+			}
+		}
+	}
+
+	// Steady state: same-size cloud rebuilt into warm buffers.
+	cloud := randomCloud(rng, 300)
+	g.Reset(cloud, 0.4)
+	q := cloud[0]
+	nbuf := make([]int, 0, 64)
+	kbuf := make([]Neighbor, 0, 16)
+	allocs := testing.AllocsPerRun(100, func() {
+		g.Reset(cloud, 0.4)
+		nbuf = g.RadiusInto(nbuf[:0], q, 0.6)
+		kbuf = g.KNNInto(kbuf[:0], q, 8)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Reset+query allocates: %.1f allocs/op", allocs)
+	}
+}
+
+func TestFrameIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	cloud := randomCloud(rng, 250)
+	var fi FrameIndex
+	fi.Build(cloud, 0.3)
+	if fi.Len() != len(cloud) {
+		t.Fatalf("Len = %d, want %d", fi.Len(), len(cloud))
+	}
+	for _, q := range queryPoints(rng, cloud, 20) {
+		want := bruteRadius(cloud, q, 0.5)
+		if got := sortedCopy(fi.Radius(q, 0.5)); !equalInts(got, want) {
+			t.Fatalf("FrameIndex radius mismatch: got %v want %v", got, want)
+		}
+		if c := fi.RadiusCount(q, 0.5); c != len(want) {
+			t.Fatalf("FrameIndex RadiusCount = %d, want %d", c, len(want))
+		}
+		wantK := bruteKNN(cloud, q, 6)
+		if got := fi.KNN(q, 6); !equalNeighbors(got, wantK) {
+			t.Fatalf("FrameIndex kNN mismatch: got %v want %v", got, wantK)
+		}
+	}
+
+	// Rebuild + query in steady state is allocation-free.
+	fi.Build(cloud, 0.3)
+	q := cloud[0]
+	_ = fi.Radius(q, 0.5)
+	_ = fi.KNN(q, 8)
+	allocs := testing.AllocsPerRun(100, func() {
+		fi.Build(cloud, 0.3)
+		_ = fi.Radius(q, 0.5)
+		_ = fi.KNN(q, 8)
+		_ = fi.RadiusCount(q, 0.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state FrameIndex allocates: %.1f allocs/op", allocs)
+	}
+}
+
+func TestAutoCell(t *testing.T) {
+	if c := AutoCell(nil, 8); c != 1 {
+		t.Fatalf("empty cloud AutoCell = %g, want 1", c)
+	}
+	dup := geom.Cloud{{X: 2, Y: 2, Z: 2}, {X: 2, Y: 2, Z: 2}}
+	if c := AutoCell(dup, 8); c != 1 {
+		t.Fatalf("coincident AutoCell = %g, want 1", c)
+	}
+	rng := rand.New(rand.NewSource(19))
+	cloud := randomCloud(rng, 500)
+	c := AutoCell(cloud, 8)
+	if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+		t.Fatalf("AutoCell = %g", c)
+	}
+	// Sanity: the target density of ~8 points per 27-cell neighborhood
+	// should put the cell well below the cloud extent.
+	size := cloud.Bounds().Size()
+	if c >= size.X && c >= size.Y && c >= size.Z {
+		t.Fatalf("AutoCell %g not smaller than extents %v", c, size)
+	}
+}

@@ -1,0 +1,94 @@
+// Package spatial provides the fixed-radius neighbor indexes behind the
+// geometry stage of the counting pipeline: a uniform voxel grid tuned for
+// DBSCAN-style ε-range queries, and the NeighborIndex interface that lets
+// the clustering and projection code run against either the grid or the
+// k-d tree (internal/kdtree) interchangeably.
+//
+// The grid follows the classic observation of the DBSCAN literature
+// (Ester et al. 1996): when the query radius ε is known up front,
+// bucketing points into ε-sized voxels turns every region query into a
+// 3×3×3 cell scan — no tree descent, no log factor, and with the Into
+// query variants no per-query allocation. The index is built once per
+// frame (see FrameIndex) and shared by the adaptive-ε kNN curve, the
+// structure-gap coarse pass, DBSCAN expansion, and the projection
+// neighborhoods.
+//
+// Every implementation honors one neighbor-ordering contract, defined in
+// internal/kdtree: k-nearest-neighbor sets are the k smallest candidates
+// under ascending (Dist2, Index), ties broken by the lower cloud index,
+// and radius queries include points at exactly radius r. Under that
+// contract the grid and the tree return bit-identical results, which is
+// what the cluster package's partition-equivalence property tests pin.
+package spatial
+
+import (
+	"math"
+
+	"hawccc/internal/geom"
+	"hawccc/internal/kdtree"
+)
+
+// Neighbor is a kNN query result: the cloud index of the point and its
+// squared distance from the query point. It is the k-d tree's Neighbor
+// type, aliased so both index implementations share one query signature.
+type Neighbor = kdtree.Neighbor
+
+// NeighborIndex is the small query surface the geometry stage needs from
+// a spatial index. Both *Grid and *kdtree.Tree implement it.
+//
+// The Into variants append into dst (callers typically pass dst[:0]) and
+// are allocation-free once dst has grown to the result size; RadiusInto's
+// result order is implementation-defined, KNNInto's is ascending
+// (Dist2, Index). Radius results include points at exactly distance r.
+type NeighborIndex interface {
+	// Len returns the number of indexed points.
+	Len() int
+	// RadiusInto appends the indices of all points within r of q
+	// (inclusive) to dst and returns the extended slice.
+	RadiusInto(dst []int, q geom.Point3, r float64) []int
+	// RadiusCount returns the number of points within r of q without
+	// materializing them.
+	RadiusCount(q geom.Point3, r float64) int
+	// KNNInto appends the k nearest neighbors of q in ascending
+	// (Dist2, Index) order to dst[:0] and returns the result. If the
+	// index holds fewer than k points, all points are returned.
+	KNNInto(dst []Neighbor, q geom.Point3, k int) []Neighbor
+}
+
+var (
+	_ NeighborIndex = (*Grid)(nil)
+	_ NeighborIndex = (*kdtree.Tree)(nil)
+)
+
+// AutoCell picks a voxel edge length for kNN-style workloads over cloud:
+// under a uniform-density assumption it targets about k points per 3×3×3
+// cell neighborhood, so an expanding-ring k-nearest search usually
+// terminates within its first shell. Degenerate clouds (flat, collinear,
+// or all-duplicate) fall back to extent- and count-based estimates; the
+// result is always positive for a non-empty cloud.
+func AutoCell(cloud geom.Cloud, k int) float64 {
+	n := len(cloud)
+	if n == 0 {
+		return 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	size := cloud.Bounds().Size()
+	if vol := size.X * size.Y * size.Z; vol > 0 {
+		return math.Cbrt(vol * float64(k) / (27 * float64(n)))
+	}
+	// Flat or collinear cloud: scale the largest extent by the per-axis
+	// point budget instead.
+	ext := size.X
+	if size.Y > ext {
+		ext = size.Y
+	}
+	if size.Z > ext {
+		ext = size.Z
+	}
+	if ext <= 0 {
+		return 1 // all points coincide; any cell works
+	}
+	return ext * math.Cbrt(float64(k)/float64(n))
+}
