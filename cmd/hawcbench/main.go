@@ -8,8 +8,8 @@
 //
 // Experiments: table1 table2 table3 table4 table5 table6 fig4 fig6 fig8
 // (combined 8a+8b; fig8a/fig8b run the individual variants) fig9 fig10
-// fig11 parallel kernels stream cluster, or "all". Presets: quick, standard,
-// full.
+// fig11 parallel kernels stream cluster fleet, or "all". Presets: quick,
+// standard, full.
 //
 // The parallel experiment sweeps frame-level worker counts and, with
 // -parallel-out, writes the machine-readable BENCH_parallel.json consumed
@@ -22,7 +22,11 @@
 // geometry-stage engines (voxel grid with one build per frame vs the
 // per-sub-pass k-d tree path) over crowd density × clutter and, with
 // -cluster-out, writes BENCH_cluster.json with per-row label-equivalence
-// asserted.
+// asserted. The fleet experiment stands up the campus backend per pole
+// count (10/100/1k/10k), streams synthetic reports from a multiplexed
+// fleet while dashboard query workers hammer the snapshot-served HTTP
+// query API, and, with -fleet-out, writes BENCH_fleet.json (reports/sec,
+// query QPS, p99 ingest and query latency, report-conservation check).
 //
 // SIGINT/SIGTERM stop the run between experiments: the current
 // experiment finishes, its output (and any requested JSON artifact
@@ -51,11 +55,12 @@ func main() {
 }
 
 func run() error {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (table1..table6, fig4, fig6, fig8a, fig8b, fig9, fig10, fig11, parallel, kernels, stream, cluster, all)")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (table1..table6, fig4, fig6, fig8a, fig8b, fig9, fig10, fig11, parallel, kernels, stream, cluster, fleet, all)")
 	parallelOut := flag.String("parallel-out", "", "write the parallel sweep as JSON to this path (e.g. BENCH_parallel.json)")
 	kernelsOut := flag.String("kernels-out", "", "write the kernels sweep as JSON to this path (e.g. BENCH_kernels.json)")
 	streamOut := flag.String("stream-out", "", "write the stream-vs-loop sweep as JSON to this path (e.g. BENCH_stream.json)")
 	clusterOut := flag.String("cluster-out", "", "write the cluster-engine sweep as JSON to this path (e.g. BENCH_cluster.json)")
+	fleetOut := flag.String("fleet-out", "", "write the fleet-scale backend sweep as JSON to this path (e.g. BENCH_fleet.json)")
 	preset := flag.String("preset", "standard", "dataset/training scale: quick, standard, full")
 	seed := flag.Int64("seed", 0, "override the preset's random seed")
 	pnEpochs := flag.Int("pn-epochs", 0, "override the preset's PointNet training epochs")
@@ -307,6 +312,25 @@ func run() error {
 				return fmt.Errorf("cluster-out: %w", err)
 			}
 			fmt.Printf("wrote %s\n", *clusterOut)
+		}
+	}
+	if runIt("fleet") {
+		header("Fleet — sharded backend + query API at 10/100/1k/10k poles")
+		r := experiments.FleetBench(lab)
+		fmt.Print(experiments.FormatFleet(r))
+		if *fleetOut != "" {
+			f, err := os.Create(*fleetOut)
+			if err != nil {
+				return fmt.Errorf("fleet-out: %w", err)
+			}
+			if err := experiments.WriteFleetJSON(f, r); err != nil {
+				f.Close()
+				return fmt.Errorf("fleet-out: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("fleet-out: %w", err)
+			}
+			fmt.Printf("wrote %s\n", *fleetOut)
 		}
 	}
 	if runIt("fig11") {

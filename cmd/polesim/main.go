@@ -5,6 +5,22 @@
 //
 //	polesim -poles 3 -frames 10 -crowding-limit 8
 //
+// With -synthetic it becomes a fleet-scale load generator instead: no
+// model is trained and no LiDAR pipeline runs — -poles simulated poles
+// (10000 works) stream synthetic count reports over a bounded number of
+// multiplexed connections, optionally with per-connection staggered
+// phases (-stagger) and pacing (-interval), while -query-workers
+// dashboard clients hammer the snapshot-served campus query API. The
+// run prints reports/sec, ack-RTT percentiles, and query latency — the
+// same measurements the hawcbench fleet experiment records.
+//
+//	polesim -synthetic -poles 10000 -reports 5 -query-workers 4
+//
+// Poles are assigned round-robin to -zones campus zones; the backend's
+// query API (served on -api-addr, and mounted at /api/ on the metrics
+// listener when -metrics-addr is set) rolls counts up per pole, per
+// zone, and campus-wide, with top-K busiest poles.
+//
 // With -metrics-addr the whole campus exposes one Prometheus /metrics
 // endpoint plus net/http/pprof: backend connection and alert counters,
 // per-pole report counters and last-seen gauges, pipeline stage
@@ -36,6 +52,7 @@ import (
 	"hawccc/internal/backend"
 	"hawccc/internal/counting"
 	"hawccc/internal/dataset"
+	"hawccc/internal/fleet"
 	"hawccc/internal/models"
 	"hawccc/internal/obs"
 	"hawccc/internal/pole"
@@ -50,15 +67,22 @@ func main() {
 }
 
 func run() error {
-	poles := flag.Int("poles", 3, "number of pole nodes")
+	poles := flag.Int("poles", 3, "number of pole nodes (simulated poles in -synthetic mode)")
 	frames := flag.Int("frames", 8, "frames per pole")
 	maxPeople := flag.Int("max-people", 6, "maximum pedestrians per frame")
 	epochs := flag.Int("epochs", 10, "HAWC training epochs")
 	perClass := flag.Int("train", 250, "training samples per class")
 	crowding := flag.Int("crowding-limit", 6, "backend crowding alert threshold (0 = off)")
-	interval := flag.Duration("interval", 0, "pacing between frames (0 = as fast as possible)")
+	interval := flag.Duration("interval", 0, "pacing between frames (per report round in -synthetic mode; 0 = as fast as possible)")
 	seed := flag.Int64("seed", 7, "random seed")
 	reconnects := flag.Int("reconnects", 3, "re-dial attempts per pole when the backend connection drops (0 = fail fast)")
+	zones := flag.Int("zones", 4, "campus zones poles are assigned to round-robin")
+	apiAddr := flag.String("api-addr", "", "serve the campus query API on this address (e.g. 127.0.0.1:8080; empty = off unless -query-workers needs it)")
+	synthetic := flag.Bool("synthetic", false, "fleet load-generator mode: skip training and the LiDAR pipeline, stream synthetic reports")
+	reports := flag.Int("reports", 50, "reports per simulated pole in -synthetic mode")
+	conns := flag.Int("conns", 0, "TCP connections the synthetic fleet is multiplexed over (0 = min(poles, 64))")
+	stagger := flag.Duration("stagger", 0, "maximum random initial phase offset per connection in -synthetic mode")
+	queryWorkers := flag.Int("query-workers", 0, "concurrent query-API clients during a -synthetic run (0 = off)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9100; empty = off)")
 	metricsDump := flag.String("metrics-dump", "", "after the run, scrape /metrics and write the exposition text to this file (implies -metrics-addr 127.0.0.1:0 if unset)")
 	flag.Parse()
@@ -74,30 +98,21 @@ func run() error {
 	}
 
 	var reg *obs.Registry
-	var ms *obs.MetricsServer
 	if *metricsAddr == "" && *metricsDump != "" {
 		*metricsAddr = "127.0.0.1:0"
 	}
 	if *metricsAddr != "" {
 		reg = obs.NewRegistry()
-		var err error
-		ms, err = obs.Serve(*metricsAddr, reg)
-		if err != nil {
-			return err
-		}
-		defer ms.Close()
-		fmt.Println("metrics on", ms.URL())
 	}
 
-	fmt.Printf("training HAWC on %d samples/class (%d epochs)...\n", *perClass, *epochs)
-	g := dataset.NewGenerator(*seed)
-	clf := models.NewHAWC()
-	if err := clf.Train(g.Classification(*perClass), models.TrainConfig{Epochs: *epochs, Seed: *seed}); err != nil {
-		return err
+	// The query API needs an address when query load is requested.
+	if *apiAddr == "" && *queryWorkers > 0 {
+		*apiAddr = "127.0.0.1:0"
 	}
 
 	srv, err := backend.Listen(backend.Config{
 		Addr:          "127.0.0.1:0",
+		APIAddr:       *apiAddr,
 		CrowdingLimit: *crowding,
 		OverheatLimit: 50,
 		Obs:           reg,
@@ -108,31 +123,92 @@ func run() error {
 	}
 	defer srv.Close()
 	fmt.Println("backend listening on", srv.Addr())
+	if srv.APIAddr() != "" {
+		fmt.Println("query API on http://" + srv.APIAddr() + "/api/campus")
+	}
+
+	var ms *obs.MetricsServer
+	if *metricsAddr != "" {
+		// The query API rides the metrics listener too, so one diagnostics
+		// port serves /metrics, /debug/pprof, and /api/....
+		ms, err = obs.ServeMounts(*metricsAddr, reg, map[string]http.Handler{"/api/": srv.APIHandler()})
+		if err != nil {
+			return err
+		}
+		defer ms.Close()
+		fmt.Println("metrics on", ms.URL())
+	}
 
 	// SIGINT/SIGTERM cancel every pole's Run: streams drain, connections
 	// close, and the run falls through to the snapshot and metrics dump.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
+	if *synthetic {
+		if err := runSynthetic(ctx, srv, syntheticConfig{
+			poles: *poles, reports: *reports, conns: *conns,
+			interval: *interval, stagger: *stagger,
+			zones: *zones, seed: *seed, queryWorkers: *queryWorkers,
+		}); err != nil {
+			return err
+		}
+	} else {
+		if err := runCampus(ctx, srv, reg, campusConfig{
+			poles: *poles, frames: *frames, maxPeople: *maxPeople,
+			epochs: *epochs, perClass: *perClass, interval: *interval,
+			seed: *seed, reconnects: *reconnects, zones: *zones,
+		}, logf); err != nil {
+			return err
+		}
+	}
+
+	printSnapshot(srv)
+
+	if *metricsDump != "" {
+		if err := dumpMetrics(ms.URL(), *metricsDump); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *metricsDump)
+	}
+	return nil
+}
+
+type campusConfig struct {
+	poles, frames, maxPeople, epochs, perClass, reconnects, zones int
+	interval                                                      time.Duration
+	seed                                                          int64
+}
+
+// runCampus is the full-pipeline mode: train one HAWC, launch N pole
+// nodes that scan, count on the edge, and report upstream.
+func runCampus(ctx context.Context, srv *backend.Server, reg *obs.Registry, cfg campusConfig, logf func(string, ...any)) error {
+	fmt.Printf("training HAWC on %d samples/class (%d epochs)...\n", cfg.perClass, cfg.epochs)
+	g := dataset.NewGenerator(cfg.seed)
+	clf := models.NewHAWC()
+	if err := clf.Train(g.Classification(cfg.perClass), models.TrainConfig{Epochs: cfg.epochs, Seed: cfg.seed}); err != nil {
+		return err
+	}
+
 	readings := telemetry.Simulate(telemetry.SummerConfig())
 	start := time.Now()
 	var wg sync.WaitGroup
-	for id := 1; id <= *poles; id++ {
+	for id := 1; id <= cfg.poles; id++ {
 		// Each pole owns a seeded generator and streams frames from it on
 		// demand — the staged scheduler pulls as capacity frees up, so no
 		// pole ever materializes its whole frame set.
-		src := dataset.NewGenerator(*seed+int64(id)).CrowdSource(*frames, 1, *maxPeople, 2)
+		src := dataset.NewGenerator(cfg.seed+int64(id)).CrowdSource(cfg.frames, 1, cfg.maxPeople, 2)
 		// All poles share the registry: pipeline stage histograms aggregate
 		// campus-wide, while pole-level series carry a pole="<id>" label.
 		node, err := pole.Dial(pole.Config{
 			PoleID:        uint32(id),
 			Location:      fmt.Sprintf("walkway-%d", id),
+			Zone:          fleet.ZoneName(uint32(id), cfg.zones),
 			BackendAddr:   srv.Addr(),
 			Pipeline:      counting.New(clf).Instrument(reg),
 			Source:        src,
-			FrameInterval: *interval,
+			FrameInterval: cfg.interval,
 			Telemetry:     readings[400*id:],
-			MaxReconnects: *reconnects,
+			MaxReconnects: cfg.reconnects,
 			Obs:           reg,
 			Logf:          func(f string, a ...any) { logf("[pole] "+f, a...) },
 		})
@@ -156,20 +232,81 @@ func run() error {
 	} else {
 		fmt.Printf("\nall poles finished in %v\n", time.Since(start).Round(time.Millisecond))
 	}
-	fmt.Println("campus snapshot:")
-	for _, p := range srv.Snapshot() {
-		fmt.Printf("  pole %d (%s): reports %d, last %d, peak %d, total %d, maxTemp %.1f°C\n",
-			p.PoleID, p.Location, p.Reports, p.LastCount, p.PeakCount, p.TotalCount, p.MaxTemp)
-	}
-	fmt.Printf("alerts: %d, campus count: %d\n", len(srv.Alerts()), srv.CampusCount())
+	return nil
+}
 
-	if *metricsDump != "" {
-		if err := dumpMetrics(ms.URL(), *metricsDump); err != nil {
-			return err
-		}
-		fmt.Println("wrote", *metricsDump)
+type syntheticConfig struct {
+	poles, reports, conns, zones, queryWorkers int
+	interval, stagger                          time.Duration
+	seed                                       int64
+}
+
+// runSynthetic is the load-generator mode: a multiplexed synthetic
+// fleet plus optional dashboard query load, no LiDAR pipeline at all.
+func runSynthetic(ctx context.Context, srv *backend.Server, cfg syntheticConfig) error {
+	fmt.Printf("synthetic fleet: %d poles × %d reports (%d zones)\n", cfg.poles, cfg.reports, cfg.zones)
+
+	qctx, stopQueries := context.WithCancel(ctx)
+	defer stopQueries()
+	queryDone := make(chan fleet.QueryResult, 1)
+	if cfg.queryWorkers > 0 {
+		go func() {
+			queryDone <- fleet.Query(qctx, fleet.QueryConfig{
+				BaseURL: "http://" + srv.APIAddr(),
+				Workers: cfg.queryWorkers,
+				Poles:   cfg.poles,
+				Zones:   cfg.zones,
+				Seed:    cfg.seed + 1,
+			})
+		}()
+	}
+
+	rep, err := fleet.Report(ctx, fleet.ReportConfig{
+		Addr:           srv.Addr(),
+		Poles:          cfg.poles,
+		ReportsPerPole: cfg.reports,
+		Conns:          cfg.conns,
+		Interval:       cfg.interval,
+		Stagger:        cfg.stagger,
+		Zones:          cfg.zones,
+		Seed:           cfg.seed,
+	})
+	stopQueries()
+	if err != nil && ctx.Err() == nil {
+		return err
+	}
+
+	fmt.Printf("\nreports: %d over %d conns in %v — %.0f reports/s, ack RTT p50 %.3fms p99 %.3fms, %d alerts\n",
+		rep.Reports, rep.Conns, rep.Elapsed.Round(time.Millisecond),
+		rep.ReportsPerSec, rep.AckRTT.P50Ms, rep.AckRTT.P99Ms, rep.Alerts)
+	if cfg.queryWorkers > 0 {
+		q := <-queryDone
+		fmt.Printf("queries: %d from %d workers — %.0f QPS, p50 %.3fms p99 %.3fms, %d errors\n",
+			q.Queries, q.Workers, q.QPS, q.Latency.P50Ms, q.Latency.P99Ms, q.Errors+q.NonOK)
+	}
+	if ctx.Err() != nil {
+		fmt.Println("interrupted — campus shut down gracefully")
 	}
 	return nil
+}
+
+// printSnapshot forces a fresh campus snapshot and prints the per-pole
+// (small fleets), per-zone, and campus rollups.
+func printSnapshot(srv *backend.Server) {
+	snap := srv.RebuildSnapshot()
+	fmt.Println("campus snapshot:")
+	if len(snap.Poles) <= 16 {
+		for _, p := range snap.Poles {
+			fmt.Printf("  pole %d (%s, %s): reports %d, last %d, peak %d, total %d, maxTemp %.1f°C\n",
+				p.PoleID, p.Location, p.Zone, p.Reports, p.LastCount, p.PeakCount, p.TotalCount, p.MaxTemp)
+		}
+	}
+	for _, z := range snap.Zones {
+		fmt.Printf("  zone %s: %d poles, count %d, reports %d, alerts %d\n",
+			z.Zone, z.Poles, z.Count, z.Reports, z.Alerts)
+	}
+	fmt.Printf("campus: %d poles, count %d, reports %d, alerts %d (snapshot seq %d)\n",
+		snap.Campus.Poles, snap.Campus.Count, snap.Campus.Reports, snap.Campus.Alerts, snap.Seq)
 }
 
 // dumpMetrics scrapes the simulator's own /metrics endpoint and writes the

@@ -1,0 +1,214 @@
+// The campus query API: an HTTP/JSON surface over the backend's
+// immutable snapshots for dashboards and safety staff — how crowded is
+// it, where? Every endpoint reads the current snapshot with a single
+// atomic load and serializes from that private copy, so heavy read
+// traffic (thousands of QPS of dashboard polling) contends with the
+// report ingest path on nothing at all: zero shard-lock acquisitions on
+// the read path, pinned by test.
+package backend
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"hawccc/internal/obs"
+	"hawccc/internal/wire"
+)
+
+// apiObs instruments the query API; nil fields make updates no-ops.
+type apiObs struct {
+	requests map[string]*obs.Counter
+	errors   *obs.Counter
+	latency  *obs.Histogram
+}
+
+// apiEndpoints is the label set under backend_api_requests_total.
+var apiEndpoints = []string{"campus", "poles", "pole", "zones", "zone", "top", "alerts"}
+
+func newAPIObs(reg *obs.Registry) apiObs {
+	m := apiObs{requests: make(map[string]*obs.Counter, len(apiEndpoints))}
+	if reg == nil {
+		return m
+	}
+	for _, ep := range apiEndpoints {
+		m.requests[ep] = reg.Counter("backend_api_requests_total", "query API requests served, by endpoint", obs.L("endpoint", ep))
+	}
+	m.errors = reg.Counter("backend_api_errors_total", "query API requests answered with a non-2xx status")
+	m.latency = reg.Histogram("backend_api_request_seconds", "query API request handling latency", obs.LatencyBuckets())
+	return m
+}
+
+// snapshotMeta stamps every response with the snapshot it was served
+// from, so a dashboard can detect staleness and correlate pages.
+type snapshotMeta struct {
+	SnapshotSeq uint64    `json:"snapshot_seq"`
+	BuiltAt     time.Time `json:"built_at"`
+	AgeMS       float64   `json:"age_ms"`
+}
+
+func meta(snap *Snapshot) snapshotMeta {
+	return snapshotMeta{
+		SnapshotSeq: snap.Seq,
+		BuiltAt:     snap.BuiltAt,
+		AgeMS:       float64(time.Since(snap.BuiltAt).Microseconds()) / 1e3,
+	}
+}
+
+// APIHandler returns the campus query API:
+//
+//	GET /api/campus        campus-wide rollup
+//	GET /api/poles         every pole's aggregates (by pole ID)
+//	GET /api/poles/{id}    one pole
+//	GET /api/zones         per-zone rollups (by zone name)
+//	GET /api/zones/{zone}  one zone's rollup plus its poles
+//	GET /api/top?k=N       the N busiest poles by current count (default 10)
+//	GET /api/alerts?limit=N  the most recent alerts (default 100)
+//
+// All endpoints are served entirely from the current snapshot; the only
+// lock any of them may touch is the alert log's own mutex (the /api/alerts
+// copy), never a registry shard lock.
+func (s *Server) APIHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/campus", s.api("campus", func(w http.ResponseWriter, r *http.Request, snap *Snapshot) (int, any) {
+		return http.StatusOK, struct {
+			snapshotMeta
+			Campus CampusStats `json:"campus"`
+		}{meta(snap), snap.Campus}
+	}))
+	mux.HandleFunc("GET /api/poles", s.api("poles", func(w http.ResponseWriter, r *http.Request, snap *Snapshot) (int, any) {
+		return http.StatusOK, struct {
+			snapshotMeta
+			Poles []PoleStats `json:"poles"`
+		}{meta(snap), snap.Poles}
+	}))
+	mux.HandleFunc("GET /api/poles/{id}", s.api("pole", func(w http.ResponseWriter, r *http.Request, snap *Snapshot) (int, any) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 32)
+		if err != nil {
+			return http.StatusBadRequest, apiError{Error: "pole id must be a uint32"}
+		}
+		p, ok := snap.Pole(uint32(id))
+		if !ok {
+			return http.StatusNotFound, apiError{Error: fmt.Sprintf("pole %d not in snapshot", id)}
+		}
+		return http.StatusOK, struct {
+			snapshotMeta
+			Pole PoleStats `json:"pole"`
+		}{meta(snap), p}
+	}))
+	mux.HandleFunc("GET /api/zones", s.api("zones", func(w http.ResponseWriter, r *http.Request, snap *Snapshot) (int, any) {
+		return http.StatusOK, struct {
+			snapshotMeta
+			Zones []ZoneStats `json:"zones"`
+		}{meta(snap), snap.Zones}
+	}))
+	mux.HandleFunc("GET /api/zones/{zone}", s.api("zone", func(w http.ResponseWriter, r *http.Request, snap *Snapshot) (int, any) {
+		name := r.PathValue("zone")
+		z, ok := snap.Zone(name)
+		if !ok {
+			return http.StatusNotFound, apiError{Error: fmt.Sprintf("zone %q not in snapshot", name)}
+		}
+		return http.StatusOK, struct {
+			snapshotMeta
+			Zone  ZoneStats   `json:"zone"`
+			Poles []PoleStats `json:"poles"`
+		}{meta(snap), z, snap.ZonePoles(name)}
+	}))
+	mux.HandleFunc("GET /api/top", s.api("top", func(w http.ResponseWriter, r *http.Request, snap *Snapshot) (int, any) {
+		k := 10
+		if v := r.URL.Query().Get("k"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return http.StatusBadRequest, apiError{Error: "k must be a positive integer"}
+			}
+			k = n
+		}
+		return http.StatusOK, struct {
+			snapshotMeta
+			K     int         `json:"k"`
+			Poles []PoleStats `json:"poles"`
+		}{meta(snap), k, snap.TopK(k)}
+	}))
+	mux.HandleFunc("GET /api/alerts", s.api("alerts", func(w http.ResponseWriter, r *http.Request, snap *Snapshot) (int, any) {
+		limit := 100
+		if v := r.URL.Query().Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return http.StatusBadRequest, apiError{Error: "limit must be a positive integer"}
+			}
+			limit = n
+		}
+		total, alerts := s.recentAlerts(limit)
+		return http.StatusOK, struct {
+			snapshotMeta
+			Total  int          `json:"total"`
+			Alerts []wire.Alert `json:"alerts"`
+		}{meta(snap), total, alerts}
+	}))
+	return mux
+}
+
+// apiError is the JSON body of a non-2xx answer.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// api wraps an endpoint with snapshot resolution, JSON serialization,
+// and instrumentation.
+func (s *Server) api(endpoint string, h func(http.ResponseWriter, *http.Request, *Snapshot) (int, any)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		status, body := h(w, r, s.Current())
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(body)
+		s.apiM.requests[endpoint].Inc()
+		if status >= 300 {
+			s.apiM.errors.Inc()
+		}
+		s.apiM.latency.ObserveDuration(time.Since(t0))
+	}
+}
+
+// recentAlerts copies the newest limit alerts (and the total count) out
+// of the alert log under its own mutex — never a shard lock.
+func (s *Server) recentAlerts(limit int) (int, []wire.Alert) {
+	s.alertMu.Lock()
+	defer s.alertMu.Unlock()
+	total := len(s.alerts)
+	start := total - limit
+	if start < 0 {
+		start = 0
+	}
+	return total, append([]wire.Alert(nil), s.alerts[start:]...)
+}
+
+// serveAPI binds addr and serves the query API on it until Close.
+func (s *Server) serveAPI(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("backend: api listener: %w", err)
+	}
+	s.apiLn = ln
+	s.apiSrv = &http.Server{Handler: s.APIHandler()}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		_ = s.apiSrv.Serve(ln)
+	}()
+	return nil
+}
+
+// APIAddr returns the bound query API address, or "" when the API was
+// not configured.
+func (s *Server) APIAddr() string {
+	if s.apiLn == nil {
+		return ""
+	}
+	return s.apiLn.Addr().String()
+}

@@ -3,6 +3,14 @@
 // the smart blue light poles, keeps per-pole aggregates, and raises alerts
 // on unusual crowding (the safety scenario the paper's introduction
 // motivates) and on compartment overheating (Section VII-D).
+//
+// State is held in a sharded pole registry (registry.go): pole IDs hash
+// to one of N independently locked shards, so report streams from a
+// 10k-pole fleet contend only when two poles collide on a shard. Reads
+// never touch the shards — a background loop periodically collects the
+// registry into an immutable campus Snapshot (snapshot.go) published
+// through one atomic pointer, and the HTTP/JSON query API (api.go)
+// answers every dashboard request from that snapshot alone.
 package backend
 
 import (
@@ -11,9 +19,10 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"sort"
+	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hawccc/internal/obs"
@@ -24,6 +33,18 @@ import (
 type Config struct {
 	// Addr is the listen address, e.g. "127.0.0.1:0".
 	Addr string
+	// APIAddr, when non-empty, serves the HTTP/JSON campus query API on
+	// this address (see APIHandler for the endpoints). Empty leaves the
+	// API unbound; APIHandler can still be mounted on an external mux.
+	APIAddr string
+	// Shards is the pole-registry shard count, rounded up to a power of
+	// two (0 selects DefaultShards).
+	Shards int
+	// SnapshotInterval is the cadence of the background snapshot rebuild
+	// serving the query API. 0 selects DefaultSnapshotInterval; negative
+	// disables the background loop entirely (snapshots then rebuild only
+	// through RebuildSnapshot, which tests use for determinism).
+	SnapshotInterval time.Duration
 	// CrowdingLimit raises AlertCrowding when a single report's count
 	// meets or exceeds it (0 disables).
 	CrowdingLimit int
@@ -33,8 +54,8 @@ type Config struct {
 	OverheatLimit float64
 	// Obs, when non-nil, registers the backend's metrics: per-pole report
 	// and alert counters, last-seen timestamps, compartment temperature,
-	// connection counts, wire traffic, and the edge latency each report
-	// carries.
+	// connection counts, wire traffic, the edge latency each report
+	// carries, snapshot rebuild counters, and query API counters.
 	Obs *obs.Registry
 	// Logf, if non-nil, receives diagnostic output; defaults to a no-op.
 	// The server serializes calls, so handlers for concurrent pole
@@ -44,34 +65,39 @@ type Config struct {
 
 // PoleStats aggregates one pole's reports.
 type PoleStats struct {
-	PoleID     uint32
-	Location   string
-	Reports    int
-	LastCount  int
-	TotalCount int64
-	PeakCount  int
-	LastSeen   time.Time
-	LastTemp   float64
-	MaxTemp    float64
-	Alerts     int
+	PoleID     uint32    `json:"pole_id"`
+	Location   string    `json:"location"`
+	Zone       string    `json:"zone"`
+	Reports    int       `json:"reports"`
+	LastCount  int       `json:"last_count"`
+	TotalCount int64     `json:"total_count"`
+	PeakCount  int       `json:"peak_count"`
+	LastSeen   time.Time `json:"last_seen"`
+	LastTemp   float64   `json:"last_temp"`
+	MaxTemp    float64   `json:"max_temp"`
+	Alerts     int       `json:"alerts"`
 }
 
 // backendObs is the server-wide instrument set; nil fields (no registry)
 // make every update a no-op.
 type backendObs struct {
-	connsActive *obs.Gauge
-	connsTotal  *obs.Counter
-	bytesIn     *obs.Counter
-	bytesOut    *obs.Counter
-	msgsIn      *obs.Counter
-	msgsOut     *obs.Counter
-	crowding    *obs.Counter
-	overheat    *obs.Counter
-	edgeLatency *obs.Histogram
+	connsActive    *obs.Gauge
+	connsTotal     *obs.Counter
+	bytesIn        *obs.Counter
+	bytesOut       *obs.Counter
+	msgsIn         *obs.Counter
+	msgsOut        *obs.Counter
+	crowding       *obs.Counter
+	overheat       *obs.Counter
+	edgeLatency    *obs.Histogram
+	snapshotBuilds *obs.Counter
+	snapshotPoles  *obs.Gauge
+	snapshotBuilt  *obs.Gauge
 }
 
 // poleObs is the per-pole instrument set, created when a pole is first
-// seen and cached so the report path does no registry lookups.
+// seen and cached in its registry entry so the report path does no
+// registry lookups.
 type poleObs struct {
 	reports  *obs.Counter
 	alerts   *obs.Counter
@@ -82,18 +108,29 @@ type poleObs struct {
 
 // Server is the campus backend.
 type Server struct {
-	cfg Config
-	ln  net.Listener
-	m   backendObs
+	cfg  Config
+	ln   net.Listener
+	m    backendObs
+	apiM apiObs
 
 	logMu sync.Mutex
 
-	mu     sync.Mutex
-	poles  map[uint32]*PoleStats
-	pobs   map[uint32]*poleObs
-	alerts []wire.Alert
+	// reg is the sharded write-path state; snap the read-path view.
+	reg  *registry
+	snap atomic.Pointer[Snapshot]
+	// buildMu serializes snapshot builders; buildSeq is owned by it.
+	buildMu         sync.Mutex
+	buildSeq        uint64
+	lastBuildWrites atomic.Uint64
+
+	alertMu sync.Mutex
+	alerts  []wire.Alert
+
+	apiLn  net.Listener
+	apiSrv *http.Server
 
 	wg       sync.WaitGroup
+	loopCtx  context.Context
 	shutdown context.CancelFunc
 	done     chan struct{}
 }
@@ -111,22 +148,42 @@ func Listen(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		ln:       ln,
-		poles:    make(map[uint32]*PoleStats),
-		pobs:     make(map[uint32]*poleObs),
+		reg:      newRegistry(cfg.Shards),
+		loopCtx:  ctx,
 		shutdown: cancel,
 		done:     make(chan struct{}),
 	}
+	s.snap.Store(newSnapshot(0, time.Now(), nil))
 	if reg := cfg.Obs; reg != nil {
 		s.m = backendObs{
-			connsActive: reg.Gauge("backend_connections_active", "pole connections currently open"),
-			connsTotal:  reg.Counter("backend_connections_total", "pole connections accepted since start"),
-			bytesIn:     reg.Counter("backend_wire_bytes_received_total", "framed bytes received from poles"),
-			bytesOut:    reg.Counter("backend_wire_bytes_sent_total", "framed bytes sent to poles"),
-			msgsIn:      reg.Counter("backend_wire_messages_received_total", "framed messages received from poles"),
-			msgsOut:     reg.Counter("backend_wire_messages_sent_total", "framed messages sent to poles"),
-			crowding:    reg.Counter("backend_alerts_total", "alerts raised, by kind", obs.L("kind", "crowding")),
-			overheat:    reg.Counter("backend_alerts_total", "alerts raised, by kind", obs.L("kind", "overheat")),
-			edgeLatency: reg.Histogram("backend_report_edge_latency_seconds", "per-frame edge processing latency carried by count reports", obs.LatencyBuckets()),
+			connsActive:    reg.Gauge("backend_connections_active", "pole connections currently open"),
+			connsTotal:     reg.Counter("backend_connections_total", "pole connections accepted since start"),
+			bytesIn:        reg.Counter("backend_wire_bytes_received_total", "framed bytes received from poles"),
+			bytesOut:       reg.Counter("backend_wire_bytes_sent_total", "framed bytes sent to poles"),
+			msgsIn:         reg.Counter("backend_wire_messages_received_total", "framed messages received from poles"),
+			msgsOut:        reg.Counter("backend_wire_messages_sent_total", "framed messages sent to poles"),
+			crowding:       reg.Counter("backend_alerts_total", "alerts raised, by kind", obs.L("kind", "crowding")),
+			overheat:       reg.Counter("backend_alerts_total", "alerts raised, by kind", obs.L("kind", "overheat")),
+			edgeLatency:    reg.Histogram("backend_report_edge_latency_seconds", "per-frame edge processing latency carried by count reports", obs.LatencyBuckets()),
+			snapshotBuilds: reg.Counter("backend_snapshot_builds_total", "campus snapshots rebuilt from the sharded registry"),
+			snapshotPoles:  reg.Gauge("backend_snapshot_poles", "poles in the current campus snapshot"),
+			snapshotBuilt:  reg.Gauge("backend_snapshot_built_timestamp_seconds", "unix time the current campus snapshot was built"),
+		}
+	}
+	s.apiM = newAPIObs(cfg.Obs)
+	interval := cfg.SnapshotInterval
+	if interval == 0 {
+		interval = DefaultSnapshotInterval
+	}
+	if interval > 0 {
+		s.wg.Add(1)
+		go s.snapshotLoop(interval)
+	}
+	if cfg.APIAddr != "" {
+		if err := s.serveAPI(cfg.APIAddr); err != nil {
+			cancel()
+			ln.Close()
+			return nil, err
 		}
 	}
 	s.wg.Add(1)
@@ -144,11 +201,14 @@ func (s *Server) logf(format string, args ...any) {
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops accepting, closes all connections, and waits for handler
-// goroutines to exit.
+// Close stops accepting, closes all connections and the query API, and
+// waits for handler goroutines to exit.
 func (s *Server) Close() error {
 	s.shutdown()
 	err := s.ln.Close()
+	if s.apiSrv != nil {
+		s.apiSrv.Close()
+	}
 	s.wg.Wait()
 	close(s.done)
 	return err
@@ -200,6 +260,7 @@ func (s *Server) handle(conn net.Conn) error {
 			poleID = h.PoleID
 			s.withPole(h.PoleID, func(p *PoleStats, m *poleObs) {
 				p.Location = h.Location
+				p.Zone = h.Zone
 				p.LastSeen = time.Now()
 				m.lastSeen.SetTime(p.LastSeen)
 			})
@@ -244,15 +305,13 @@ func (s *Server) handle(conn net.Conn) error {
 }
 
 func (s *Server) alert(wc *wire.Conn, a wire.Alert) error {
-	s.mu.Lock()
+	s.alertMu.Lock()
 	s.alerts = append(s.alerts, a)
-	if p, ok := s.poles[a.PoleID]; ok {
+	s.alertMu.Unlock()
+	s.withPole(a.PoleID, func(p *PoleStats, m *poleObs) {
 		p.Alerts++
-	}
-	if m, ok := s.pobs[a.PoleID]; ok {
 		m.alerts.Inc()
-	}
-	s.mu.Unlock()
+	})
 	switch a.Kind {
 	case wire.AlertCrowding:
 		s.m.crowding.Inc()
@@ -263,22 +322,11 @@ func (s *Server) alert(wc *wire.Conn, a wire.Alert) error {
 	return wc.Send(wire.MsgAlert, wire.EncodeAlert(a))
 }
 
-// withPole runs f with the pole's aggregate record and instrument set,
-// creating both on first sight of the pole.
+// withPole runs f with the pole's aggregate record and instrument set
+// under the owning shard's lock, creating both on first sight of the
+// pole.
 func (s *Server) withPole(id uint32, f func(*PoleStats, *poleObs)) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p, ok := s.poles[id]
-	if !ok {
-		p = &PoleStats{PoleID: id}
-		s.poles[id] = p
-	}
-	m, ok := s.pobs[id]
-	if !ok {
-		m = s.newPoleObs(id)
-		s.pobs[id] = m
-	}
-	f(p, m)
+	s.reg.withPole(id, s.newPoleObs, f)
 }
 
 // newPoleObs creates the per-pole instruments; all nil without a registry.
@@ -325,32 +373,23 @@ func (s *Server) recordTelemetry(t wire.Telemetry) {
 	})
 }
 
-// Snapshot returns per-pole aggregates sorted by pole id.
+// Snapshot returns fresh per-pole aggregates sorted by pole id: it
+// forces a rebuild and returns the new snapshot's rows. Scrape-style
+// consumers that must never touch shard locks should read Current()
+// instead and accept the configured staleness bound.
 func (s *Server) Snapshot() []PoleStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]PoleStats, 0, len(s.poles))
-	for _, p := range s.poles {
-		out = append(out, *p)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].PoleID < out[j].PoleID })
-	return out
+	return append([]PoleStats(nil), s.RebuildSnapshot().Poles...)
 }
 
 // Alerts returns a copy of all raised alerts in order.
 func (s *Server) Alerts() []wire.Alert {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.alertMu.Lock()
+	defer s.alertMu.Unlock()
 	return append([]wire.Alert(nil), s.alerts...)
 }
 
-// CampusCount returns the most recent total count across all poles.
+// CampusCount returns the most recent total count across all poles
+// (forcing a snapshot rebuild, like Snapshot).
 func (s *Server) CampusCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	total := 0
-	for _, p := range s.poles {
-		total += p.LastCount
-	}
-	return total
+	return s.RebuildSnapshot().Campus.Count
 }

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"hawccc/internal/backend"
+	"hawccc/internal/fleet"
+)
+
+// FleetRow is one pole-count point of the fleet sweep: a fresh backend
+// is stood up, a synthetic fleet of Poles poles streams ReportsPerPole
+// reports each over Conns multiplexed connections, and dashboard query
+// workers hammer the HTTP query API the whole time. Reports/sec and the
+// ack round trip measure the sharded ingest path; QPS and query latency
+// measure the snapshot-served read path under concurrent writes.
+type FleetRow struct {
+	Poles          int     `json:"poles"`
+	Conns          int     `json:"conns"`
+	ReportsPerPole int     `json:"reports_per_pole"`
+	Reports        int     `json:"reports"`
+	ReportsPerSec  float64 `json:"reports_per_sec"`
+	ReportP50Ms    float64 `json:"report_p50_ms"`
+	ReportP99Ms    float64 `json:"report_p99_ms"`
+	Queries        int     `json:"queries"`
+	QueryQPS       float64 `json:"query_qps"`
+	QueryP50Ms     float64 `json:"query_p50_ms"`
+	QueryP99Ms     float64 `json:"query_p99_ms"`
+	QueryErrors    int     `json:"query_errors"`
+	// CampusCount and SnapshotPoles come from a final forced snapshot;
+	// AllReportsRecorded is the end-to-end conservation check — every
+	// report sent must be aggregated exactly once (no drops under shard
+	// contention, no double counting).
+	CampusCount        int  `json:"campus_count"`
+	SnapshotPoles      int  `json:"snapshot_poles"`
+	AllReportsRecorded bool `json:"all_reports_recorded"`
+}
+
+// FleetBenchResult is the full sweep plus the CI gate fields.
+type FleetBenchResult struct {
+	NumCPU       int        `json:"num_cpu"`
+	QueryWorkers int        `json:"query_workers"`
+	Rows         []FleetRow `json:"rows"`
+	// LargestPoles is the biggest fleet swept; ReportsPerSecLargest its
+	// ingest throughput. ReportsPerSecPeak is the best row's throughput —
+	// CI gates on largest/peak, so sharding must hold up at 10k poles
+	// instead of collapsing once the registry outgrows a single lock.
+	LargestPoles          int     `json:"largest_poles"`
+	ReportsPerSecLargest  float64 `json:"reports_per_sec_largest"`
+	ReportsPerSecPeak     float64 `json:"reports_per_sec_peak"`
+	ReportP99MsLargest    float64 `json:"report_p99_ms_largest"`
+	QueryP99MsLargest     float64 `json:"query_p99_ms_largest"`
+	AllReportsRecorded    bool    `json:"all_reports_recorded"`
+	ScaleRetention        float64 `json:"scale_retention"` // largest / peak
+	TotalReportsDelivered int     `json:"total_reports_delivered"`
+}
+
+// fleetPoleCounts is the sweep the ROADMAP names: four decades up to the
+// 10k-pole campus.
+var fleetPoleCounts = []int{10, 100, 1000, 10000}
+
+// fleetQueryWorkers is the concurrent dashboard-client count per row.
+const fleetQueryWorkers = 4
+
+// fleetQueryGrace extends the query phase past the last report.
+const fleetQueryGrace = 250 * time.Millisecond
+
+// fleetTargetReports scales the per-row report volume with the preset
+// (quick keeps CI fast; standard/full give smoother percentiles).
+func fleetTargetReports(cfg Config) int {
+	return 200 * cfg.CrowdFrames // quick: 6k, standard: 20k, full: 60k
+}
+
+// FleetBench stands up one backend per pole count and measures ingest
+// and query performance under combined load. No model is trained — the
+// fleet is synthetic by design, which is exactly what lets one benchmark
+// process impersonate a 10k-pole campus.
+func FleetBench(l *Lab) FleetBenchResult {
+	res := FleetBenchResult{
+		NumCPU:             runtime.NumCPU(),
+		QueryWorkers:       fleetQueryWorkers,
+		AllReportsRecorded: true,
+	}
+	target := fleetTargetReports(l.Cfg)
+	for _, poles := range fleetPoleCounts {
+		reportsPerPole := target / poles
+		if reportsPerPole < 2 {
+			reportsPerPole = 2
+		}
+		l.logf("fleet bench: %d poles × %d reports, %d query workers...",
+			poles, reportsPerPole, fleetQueryWorkers)
+		row := benchFleetRow(l, poles, reportsPerPole)
+		res.Rows = append(res.Rows, row)
+		res.AllReportsRecorded = res.AllReportsRecorded && row.AllReportsRecorded
+		res.TotalReportsDelivered += row.Reports
+		if row.ReportsPerSec > res.ReportsPerSecPeak {
+			res.ReportsPerSecPeak = row.ReportsPerSec
+		}
+		if poles > res.LargestPoles {
+			res.LargestPoles = poles
+			res.ReportsPerSecLargest = row.ReportsPerSec
+			res.ReportP99MsLargest = row.ReportP99Ms
+			res.QueryP99MsLargest = row.QueryP99Ms
+		}
+	}
+	if res.ReportsPerSecPeak > 0 {
+		res.ScaleRetention = res.ReportsPerSecLargest / res.ReportsPerSecPeak
+	}
+	return res
+}
+
+// benchFleetRow runs one pole-count point end to end.
+func benchFleetRow(l *Lab, poles, reportsPerPole int) FleetRow {
+	srv, err := backend.Listen(backend.Config{
+		Addr:    "127.0.0.1:0",
+		APIAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: fleet backend: %v", err))
+	}
+	defer srv.Close()
+
+	rcfg := fleet.ReportConfig{
+		Addr:           srv.Addr(),
+		Poles:          poles,
+		ReportsPerPole: reportsPerPole,
+		Seed:           l.Cfg.Seed + int64(poles),
+	}
+
+	// Query load runs for the whole report phase; canceling the context
+	// when reports finish ends the row.
+	qctx, stopQueries := context.WithCancel(context.Background())
+	queryDone := make(chan fleet.QueryResult, 1)
+	go func() {
+		queryDone <- fleet.Query(qctx, fleet.QueryConfig{
+			BaseURL: "http://" + srv.APIAddr(),
+			Workers: fleetQueryWorkers,
+			Poles:   poles,
+			Seed:    l.Cfg.Seed + int64(poles) + 1,
+		})
+	}()
+
+	rep, err := fleet.Report(context.Background(), rcfg)
+	// Let the dashboard load run on briefly after the last report so the
+	// query percentiles have a usable sample count even on rows whose
+	// report phase finishes in well under a second.
+	time.Sleep(fleetQueryGrace)
+	stopQueries()
+	if err != nil {
+		panic(fmt.Sprintf("experiments: fleet report load: %v", err))
+	}
+	qres := <-queryDone
+
+	snap := srv.RebuildSnapshot()
+	expected := int64(poles * reportsPerPole)
+	return FleetRow{
+		Poles:              poles,
+		Conns:              rep.Conns,
+		ReportsPerPole:     reportsPerPole,
+		Reports:            rep.Reports,
+		ReportsPerSec:      rep.ReportsPerSec,
+		ReportP50Ms:        rep.AckRTT.P50Ms,
+		ReportP99Ms:        rep.AckRTT.P99Ms,
+		Queries:            qres.Queries,
+		QueryQPS:           qres.QPS,
+		QueryP50Ms:         qres.Latency.P50Ms,
+		QueryP99Ms:         qres.Latency.P99Ms,
+		QueryErrors:        qres.Errors + qres.NonOK,
+		CampusCount:        snap.Campus.Count,
+		SnapshotPoles:      snap.Campus.Poles,
+		AllReportsRecorded: snap.Campus.Reports == expected && snap.Campus.Poles == poles,
+	}
+}
+
+// FormatFleet renders the sweep as a console table.
+func FormatFleet(r FleetBenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "host: %d cores, %d query workers per row, reports multiplexed over bounded conns\n",
+		r.NumCPU, r.QueryWorkers)
+	fmt.Fprintf(&b, "%-7s %-6s %9s %11s %9s %9s %9s %9s %9s %9s %6s\n",
+		"Poles", "Conns", "Reports", "Reports/s", "Ack p50", "Ack p99",
+		"Queries", "QPS", "Qry p50", "Qry p99", "OK")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-7d %-6d %9d %11.0f %7.3fms %7.3fms %9d %9.0f %7.3fms %7.3fms %6v\n",
+			row.Poles, row.Conns, row.Reports, row.ReportsPerSec,
+			row.ReportP50Ms, row.ReportP99Ms,
+			row.Queries, row.QueryQPS, row.QueryP50Ms, row.QueryP99Ms,
+			row.AllReportsRecorded)
+	}
+	fmt.Fprintf(&b, "at %d poles: %.0f reports/s (%.0f%% of peak), query p99 %.3fms, all reports recorded: %v\n",
+		r.LargestPoles, r.ReportsPerSecLargest, r.ScaleRetention*100,
+		r.QueryP99MsLargest, r.AllReportsRecorded)
+	return b.String()
+}
+
+// WriteFleetJSON writes the sweep as the BENCH_fleet.json artifact
+// consumed by CI.
+func WriteFleetJSON(w io.Writer, r FleetBenchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,460 @@
+// Package fleet is the fleet-scale load generator behind polesim's
+// synthetic mode and the hawcbench fleet experiment: it drives the
+// campus backend with report streams from thousands of simulated poles
+// and with dashboard-style query traffic against the HTTP query API —
+// without running the LiDAR pipeline, so a single process can stand in
+// for a 10k-pole campus.
+//
+// Simulated poles are multiplexed over a bounded number of TCP
+// connections (the wire protocol carries the pole ID in every message,
+// so a connection is a pipe, not an identity — the same aggregation
+// gateways would do in a real deployment). Each connection pipelines
+// reports under a bounded in-flight window and measures the send→ack
+// round trip of every report, which is the backend's ingest latency as
+// a pole observes it.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hawccc/internal/wire"
+)
+
+// Defaults for the zero values of ReportConfig.
+const (
+	DefaultConns  = 64
+	DefaultWindow = 32
+	DefaultZones  = 4
+)
+
+// ReportConfig parameterizes a synthetic report run.
+type ReportConfig struct {
+	// Addr is the backend's TCP address.
+	Addr string
+	// Poles is the simulated fleet size.
+	Poles int
+	// ReportsPerPole is how many count reports each pole sends.
+	ReportsPerPole int
+	// Conns bounds the TCP connections the fleet is multiplexed over
+	// (0 selects min(Poles, DefaultConns)).
+	Conns int
+	// Window bounds the unacked reports in flight per connection
+	// (0 selects DefaultWindow).
+	Window int
+	// Interval paces each connection between report rounds (0 = as fast
+	// as possible).
+	Interval time.Duration
+	// Stagger is the maximum random initial phase offset per connection,
+	// so a fleet does not fire in lockstep (0 = none).
+	Stagger time.Duration
+	// Zones is how many campus zones pole IDs are assigned to
+	// round-robin, named zone-0 … zone-N-1 (0 selects DefaultZones).
+	Zones int
+	// Seed drives the synthetic count streams.
+	Seed int64
+}
+
+// LatencyStats summarizes a latency sample set in milliseconds.
+type LatencyStats struct {
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+// ReportResult is what a report run measured.
+type ReportResult struct {
+	Poles         int           `json:"poles"`
+	Conns         int           `json:"conns"`
+	Reports       int           `json:"reports"`
+	Elapsed       time.Duration `json:"-"`
+	ElapsedMS     float64       `json:"elapsed_ms"`
+	ReportsPerSec float64       `json:"reports_per_sec"`
+	// AckRTT is the send→ack round trip per report: the ingest latency
+	// the backend imposes, including any shard contention.
+	AckRTT LatencyStats `json:"ack_rtt"`
+	// Alerts counts backend alerts delivered during the run.
+	Alerts int `json:"alerts"`
+}
+
+// ZoneName returns the zone a pole ID is assigned to by this generator.
+func ZoneName(poleID uint32, zones int) string {
+	if zones <= 0 {
+		zones = DefaultZones
+	}
+	return fmt.Sprintf("zone-%d", int(poleID)%zones)
+}
+
+// syntheticCount is the per-report crowd count: a per-pole sinusoid (a
+// walkway's ebb and flow, phase-shifted per pole) plus seeded noise.
+func syntheticCount(poleID uint32, round int, rng *rand.Rand) uint32 {
+	base := 2 + float64(poleID%7)
+	phase := float64(poleID%16) / 16 * 2 * math.Pi
+	wave := 3 * math.Sin(2*math.Pi*float64(round)/16+phase)
+	c := base + wave + float64(rng.Intn(3))
+	if c < 0 {
+		c = 0
+	}
+	return uint32(c)
+}
+
+// Report drives cfg.Poles simulated poles against the backend and
+// returns the measured throughput and ingest latency. It returns early
+// with ctx's error if the context is canceled.
+func Report(ctx context.Context, cfg ReportConfig) (ReportResult, error) {
+	if cfg.Poles <= 0 || cfg.ReportsPerPole <= 0 {
+		return ReportResult{}, errors.New("fleet: Poles and ReportsPerPole must be positive")
+	}
+	conns := cfg.Conns
+	if conns <= 0 {
+		conns = DefaultConns
+	}
+	if conns > cfg.Poles {
+		conns = cfg.Poles
+	}
+	window := cfg.Window
+	if window <= 0 {
+		window = DefaultWindow
+	}
+
+	res := ReportResult{Poles: cfg.Poles, Conns: conns}
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+		alerts   atomic.Int64
+		sampleMu sync.Mutex
+		samples  []float64
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil && err != nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+
+	start := time.Now()
+	for c := 0; c < conns; c++ {
+		// Pole p reports over connection p % conns.
+		var poles []uint32
+		for p := c; p < cfg.Poles; p += conns {
+			poles = append(poles, uint32(p+1))
+		}
+		wg.Add(1)
+		go func(connIdx int, poles []uint32) {
+			defer wg.Done()
+			rtts, alertCount, err := runConn(ctx, cfg, connIdx, poles, window)
+			alerts.Add(int64(alertCount))
+			if err != nil && ctx.Err() == nil {
+				fail(fmt.Errorf("fleet: conn %d: %w", connIdx, err))
+			}
+			sampleMu.Lock()
+			samples = append(samples, rtts...)
+			sampleMu.Unlock()
+		}(c, poles)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.ElapsedMS = float64(res.Elapsed.Microseconds()) / 1e3
+	res.Reports = len(samples)
+	if res.Elapsed > 0 {
+		res.ReportsPerSec = float64(res.Reports) / res.Elapsed.Seconds()
+	}
+	res.AckRTT = Percentiles(samples)
+	res.Alerts = int(alerts.Load())
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	return res, firstErr
+}
+
+// runConn drives one multiplexed connection: a writer pipelines reports
+// for its poles under the in-flight window while a reader collects acks
+// (measuring each report's RTT) and alerts.
+func runConn(ctx context.Context, cfg ReportConfig, connIdx int, poles []uint32, window int) ([]float64, int, error) {
+	d := net.Dialer{}
+	conn, err := d.DialContext(ctx, "tcp", cfg.Addr)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	wc := wire.NewConn(conn)
+
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(connIdx)*7919))
+	if cfg.Stagger > 0 {
+		select {
+		case <-time.After(time.Duration(rng.Int63n(int64(cfg.Stagger)))):
+		case <-ctx.Done():
+			return nil, 0, ctx.Err()
+		}
+	}
+	for _, id := range poles {
+		hello := wire.Hello{
+			PoleID:   id,
+			Location: fmt.Sprintf("walkway-%d", id),
+			Zone:     ZoneName(id, cfg.Zones),
+		}
+		if err := wc.Send(wire.MsgHello, wire.EncodeHello(hello)); err != nil {
+			return nil, 0, err
+		}
+	}
+
+	total := len(poles) * cfg.ReportsPerPole
+	// sendNanos[seq-1] is the send time of the connection-local sequence
+	// number seq; the writer stores before sending, the reader loads
+	// after the backend's ack — atomics make the handoff race-free.
+	sendNanos := make([]atomic.Int64, total)
+	slots := make(chan struct{}, window)
+	rtts := make([]float64, 0, total)
+	alerts := 0
+
+	// done unblocks the writer's window wait when the reader bails out
+	// early (broken connection, protocol error), so no goroutine is left
+	// parked on a slot that will never drain.
+	done := make(chan struct{})
+	defer close(done)
+	writeErr := make(chan error, 1)
+	go func() {
+		seq := uint64(0)
+		for round := 0; round < cfg.ReportsPerPole; round++ {
+			for _, id := range poles {
+				select {
+				case slots <- struct{}{}:
+				case <-ctx.Done():
+					writeErr <- ctx.Err()
+					return
+				case <-done:
+					writeErr <- nil
+					return
+				}
+				seq++
+				r := wire.CountReport{
+					PoleID:    id,
+					Seq:       seq,
+					Timestamp: time.Now().UTC(),
+					Count:     syntheticCount(id, round, rng),
+					Clusters:  1,
+					LatencyUS: 1000,
+				}
+				sendNanos[seq-1].Store(time.Now().UnixNano())
+				if err := wc.Send(wire.MsgCountReport, wire.EncodeCountReport(r)); err != nil {
+					writeErr <- err
+					return
+				}
+			}
+			if cfg.Interval > 0 {
+				select {
+				case <-time.After(cfg.Interval):
+				case <-ctx.Done():
+					writeErr <- ctx.Err()
+					return
+				case <-done:
+					writeErr <- nil
+					return
+				}
+			}
+		}
+		writeErr <- nil
+	}()
+
+	acked := 0
+	for acked < total {
+		t, body, err := wc.Recv()
+		if err != nil {
+			return rtts, alerts, err
+		}
+		switch t {
+		case wire.MsgAck:
+			ack, err := wire.DecodeAck(body)
+			if err != nil {
+				return rtts, alerts, err
+			}
+			if ack.Seq == 0 || ack.Seq > uint64(total) {
+				return rtts, alerts, fmt.Errorf("ack for unknown seq %d", ack.Seq)
+			}
+			sent := sendNanos[ack.Seq-1].Load()
+			rtts = append(rtts, float64(time.Now().UnixNano()-sent)/1e6)
+			acked++
+			<-slots
+		case wire.MsgAlert:
+			if _, err := wire.DecodeAlert(body); err != nil {
+				return rtts, alerts, err
+			}
+			alerts++
+		default:
+			return rtts, alerts, fmt.Errorf("unexpected message type %d", t)
+		}
+	}
+	return rtts, alerts, <-writeErr
+}
+
+// Percentiles computes nearest-rank latency percentiles over samples in
+// milliseconds; the slice is sorted in place.
+func Percentiles(samples []float64) LatencyStats {
+	if len(samples) == 0 {
+		return LatencyStats{}
+	}
+	sort.Float64s(samples)
+	rank := func(q float64) float64 {
+		i := int(q*float64(len(samples))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(samples) {
+			i = len(samples) - 1
+		}
+		return samples[i]
+	}
+	return LatencyStats{
+		P50Ms: rank(0.50),
+		P95Ms: rank(0.95),
+		P99Ms: rank(0.99),
+		MaxMs: samples[len(samples)-1],
+	}
+}
+
+// QueryConfig parameterizes dashboard-style query load against the
+// campus query API.
+type QueryConfig struct {
+	// BaseURL is the query API root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Workers is the concurrent client count (0 selects 4).
+	Workers int
+	// Poles is the pole-ID space sampled by per-pole queries.
+	Poles int
+	// Zones matches the report generator's zone count (0 selects
+	// DefaultZones).
+	Zones int
+	// Seed drives endpoint sampling.
+	Seed int64
+}
+
+// QueryResult is what a query run measured.
+type QueryResult struct {
+	Workers   int           `json:"workers"`
+	Queries   int           `json:"queries"`
+	Elapsed   time.Duration `json:"-"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+	QPS       float64       `json:"qps"`
+	Latency   LatencyStats  `json:"latency"`
+	// Errors are transport failures; NonOK are non-200 responses.
+	Errors int `json:"errors"`
+	NonOK  int `json:"non_ok"`
+}
+
+// Query hammers the query API from cfg.Workers concurrent clients until
+// ctx is canceled, mixing campus, top-K, per-pole, per-zone, and
+// full-listing requests the way a dashboard fleet would.
+func Query(ctx context.Context, cfg QueryConfig) QueryResult {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	if cfg.Poles <= 0 {
+		cfg.Poles = 1
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: workers,
+	}}
+	defer client.CloseIdleConnections()
+
+	var (
+		wg       sync.WaitGroup
+		sampleMu sync.Mutex
+		samples  []float64
+		errsN    atomic.Int64
+		nonOK    atomic.Int64
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*104729))
+			local := make([]float64, 0, 1024)
+			for ctx.Err() == nil {
+				url := pickEndpoint(cfg, rng)
+				t0 := time.Now()
+				ok, status := getOnce(ctx, client, url)
+				if ctx.Err() != nil {
+					break // a canceled request measures shutdown, not the API
+				}
+				local = append(local, float64(time.Since(t0).Microseconds())/1e3)
+				if !ok {
+					errsN.Add(1)
+				} else if status != http.StatusOK {
+					nonOK.Add(1)
+				}
+			}
+			sampleMu.Lock()
+			samples = append(samples, local...)
+			sampleMu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	res := QueryResult{
+		Workers:   workers,
+		Queries:   len(samples),
+		Elapsed:   elapsed,
+		ElapsedMS: float64(elapsed.Microseconds()) / 1e3,
+		Errors:    int(errsN.Load()),
+		NonOK:     int(nonOK.Load()),
+		Latency:   Percentiles(samples),
+	}
+	if elapsed > 0 {
+		res.QPS = float64(res.Queries) / elapsed.Seconds()
+	}
+	return res
+}
+
+// pickEndpoint samples the dashboard query mix: mostly cheap rollups,
+// occasionally the expensive full pole listing.
+func pickEndpoint(cfg QueryConfig, rng *rand.Rand) string {
+	switch p := rng.Intn(100); {
+	case p < 40:
+		return cfg.BaseURL + "/api/campus"
+	case p < 60:
+		return cfg.BaseURL + "/api/top?k=10"
+	case p < 80:
+		return fmt.Sprintf("%s/api/poles/%d", cfg.BaseURL, 1+rng.Intn(cfg.Poles))
+	case p < 95:
+		zones := cfg.Zones
+		if zones <= 0 {
+			zones = DefaultZones
+		}
+		return fmt.Sprintf("%s/api/zones/zone-%d", cfg.BaseURL, rng.Intn(zones))
+	default:
+		return cfg.BaseURL + "/api/poles"
+	}
+}
+
+// getOnce performs one GET, draining the body so the connection is
+// reused. ok reports transport success; status the HTTP code.
+func getOnce(ctx context.Context, client *http.Client, url string) (ok bool, status int) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false, 0
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return false, 0
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return true, resp.StatusCode
+}

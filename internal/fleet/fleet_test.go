@@ -1,0 +1,171 @@
+package fleet
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hawccc/internal/backend"
+)
+
+func TestZoneName(t *testing.T) {
+	if got := ZoneName(5, 4); got != "zone-1" {
+		t.Errorf("ZoneName(5, 4) = %q", got)
+	}
+	if got := ZoneName(8, 4); got != "zone-0" {
+		t.Errorf("ZoneName(8, 4) = %q", got)
+	}
+	// Zero falls back to the default zone count instead of dividing by it.
+	if got := ZoneName(3, 0); got != ZoneName(3, DefaultZones) {
+		t.Errorf("ZoneName(3, 0) = %q", got)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	if got := Percentiles(nil); got != (LatencyStats{}) {
+		t.Errorf("empty samples: %+v", got)
+	}
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = float64(i + 1) // 1..100ms
+	}
+	rand.New(rand.NewSource(1)).Shuffle(len(samples), func(i, j int) {
+		samples[i], samples[j] = samples[j], samples[i]
+	})
+	got := Percentiles(samples)
+	if got.P50Ms != 50 || got.P95Ms != 95 || got.P99Ms != 99 || got.MaxMs != 100 {
+		t.Errorf("percentiles over 1..100: %+v", got)
+	}
+}
+
+func TestSyntheticCountNonNegativeAndVaried(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	seen := map[uint32]bool{}
+	for round := 0; round < 32; round++ {
+		c := syntheticCount(42, round, rng)
+		seen[c] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("synthetic counts degenerate: only %d distinct values over 32 rounds", len(seen))
+	}
+}
+
+// TestReportDeliversEveryReport runs a small multiplexed fleet against a
+// real backend and checks conservation end to end: every report sent is
+// acked with a measured RTT and lands exactly once in the campus totals.
+func TestReportDeliversEveryReport(t *testing.T) {
+	srv, err := backend.Listen(backend.Config{Addr: "127.0.0.1:0", SnapshotInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const (
+		poles          = 50
+		reportsPerPole = 20
+		conns          = 8
+	)
+	res, err := Report(context.Background(), ReportConfig{
+		Addr:           srv.Addr(),
+		Poles:          poles,
+		ReportsPerPole: reportsPerPole,
+		Conns:          conns,
+		Zones:          3,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Conns != conns {
+		t.Errorf("ran over %d conns, want %d", res.Conns, conns)
+	}
+	if res.Reports != poles*reportsPerPole {
+		t.Errorf("measured %d reports, want %d", res.Reports, poles*reportsPerPole)
+	}
+	if res.AckRTT.P50Ms <= 0 || res.AckRTT.MaxMs < res.AckRTT.P99Ms {
+		t.Errorf("implausible RTT stats: %+v", res.AckRTT)
+	}
+
+	snap := srv.RebuildSnapshot()
+	if snap.Campus.Poles != poles {
+		t.Errorf("backend saw %d poles, want %d", snap.Campus.Poles, poles)
+	}
+	if want := int64(poles * reportsPerPole); snap.Campus.Reports != want {
+		t.Errorf("backend aggregated %d reports, want %d", snap.Campus.Reports, want)
+	}
+	if snap.Campus.Zones != 3 {
+		t.Errorf("backend saw %d zones, want 3", snap.Campus.Zones)
+	}
+}
+
+// TestReportHonorsCancel cancels mid-run: Report must return promptly
+// with the context error instead of hanging on window slots or reads.
+func TestReportHonorsCancel(t *testing.T) {
+	srv, err := backend.Listen(backend.Config{Addr: "127.0.0.1:0", SnapshotInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan error, 1)
+	go func() {
+		// A run large enough that it cannot finish before the deadline
+		// check below without the cancel being honored.
+		_, err := Report(ctx, ReportConfig{
+			Addr: srv.Addr(), Poles: 1000, ReportsPerPole: 1000,
+			Interval: time.Second, Seed: 1,
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("canceled run returned nil error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Report did not return after cancel")
+	}
+}
+
+// TestQueryAgainstLiveBackend seeds a fleet, then runs query load for a
+// bounded window: all requests must succeed (the generator only asks for
+// poles and zones the report phase created).
+func TestQueryAgainstLiveBackend(t *testing.T) {
+	srv, err := backend.Listen(backend.Config{
+		Addr: "127.0.0.1:0", APIAddr: "127.0.0.1:0", SnapshotInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const poles = 20
+	if _, err := Report(context.Background(), ReportConfig{
+		Addr: srv.Addr(), Poles: poles, ReportsPerPole: 2, Zones: 2, Seed: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv.RebuildSnapshot()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	res := Query(ctx, QueryConfig{
+		BaseURL: "http://" + srv.APIAddr(),
+		Workers: 2,
+		Poles:   poles,
+		Zones:   2,
+		Seed:    1,
+	})
+	if res.Queries == 0 {
+		t.Fatal("query run measured zero requests")
+	}
+	if res.Errors != 0 || res.NonOK != 0 {
+		t.Errorf("query run against fully seeded campus: %d transport errors, %d non-200s", res.Errors, res.NonOK)
+	}
+	if res.QPS <= 0 || res.Latency.P50Ms <= 0 {
+		t.Errorf("implausible query stats: %+v", res)
+	}
+}

@@ -134,11 +134,24 @@ type MetricsServer struct {
 // Serve binds addr (e.g. "127.0.0.1:0") and serves /metrics and
 // /debug/pprof on it until Close.
 func Serve(addr string, r *Registry) (*MetricsServer, error) {
+	return ServeMounts(addr, r, nil)
+}
+
+// ServeMounts is Serve with extra handlers mounted on the same listener
+// — the pattern behind polesim's single diagnostics port, where the
+// campus query API (/api/...) rides next to /metrics and the profiler.
+// Patterns use net/http ServeMux syntax; they must not collide with
+// /metrics or /debug/pprof.
+func ServeMounts(addr string, r *Registry, mounts map[string]http.Handler) (*MetricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: metrics listener: %w", err)
 	}
-	srv := &http.Server{Handler: NewMux(r)}
+	mux := NewMux(r)
+	for pattern, h := range mounts {
+		mux.Handle(pattern, h)
+	}
+	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()
 	return &MetricsServer{ln: ln, srv: srv}, nil
 }

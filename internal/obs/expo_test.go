@@ -100,6 +100,38 @@ func TestServeMetricsAndPprof(t *testing.T) {
 	}
 }
 
+// TestServeMountsExtraHandlers mounts an extra handler next to /metrics
+// on one listener — the single-diagnostics-port pattern polesim uses to
+// serve the campus query API beside the scrape target.
+func TestServeMountsExtraHandlers(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total", "").Inc()
+	srv, err := ServeMounts("127.0.0.1:0", r, map[string]http.Handler{
+		"/api/": http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			io.WriteString(w, "campus "+req.URL.Path)
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for path, want := range map[string]string{
+		"/metrics":    "up_total 1",
+		"/api/campus": "campus /api/campus",
+	} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 || !strings.Contains(string(body), want) {
+			t.Errorf("%s: status %d, body %.80s (want %q)", path, resp.StatusCode, body, want)
+		}
+	}
+}
+
 func TestQuantilesMs(t *testing.T) {
 	h := NewHistogram([]float64{0.001, 0.002, 0.004})
 	for i := 0; i < 100; i++ {

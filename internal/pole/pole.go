@@ -64,6 +64,9 @@ type Config struct {
 	PoleID uint32
 	// Location is the human-readable walkway name.
 	Location string
+	// Zone is the campus zone this pole belongs to; the backend rolls
+	// zone aggregates up for the query API. May be empty.
+	Zone string
 	// BackendAddr is the campus backend's TCP address.
 	BackendAddr string
 	// Pipeline is the counting framework run on each frame.
@@ -185,7 +188,7 @@ func (n *Node) connect() error {
 	}
 	wc := wire.NewConn(conn)
 	wc.Instrument(n.m.bytesOut, n.m.bytesIn, n.m.msgsOut, n.m.msgsIn)
-	hello := wire.Hello{PoleID: n.cfg.PoleID, Location: n.cfg.Location}
+	hello := wire.Hello{PoleID: n.cfg.PoleID, Location: n.cfg.Location, Zone: n.cfg.Zone}
 	if err := wc.Send(wire.MsgHello, wire.EncodeHello(hello)); err != nil {
 		conn.Close()
 		return fmt.Errorf("pole: hello: %w", err)

@@ -40,6 +40,7 @@ const (
 type Hello struct {
 	PoleID   uint32
 	Location string // human-readable walkway name
+	Zone     string // campus zone the pole belongs to (e.g. "north"); may be empty
 }
 
 // CountReport is one crowd-count measurement.
@@ -203,13 +204,14 @@ func EncodeHello(h Hello) []byte {
 	var e encoder
 	e.u32(h.PoleID)
 	e.str(h.Location)
+	e.str(h.Zone)
 	return e.buf
 }
 
 // DecodeHello parses a Hello body.
 func DecodeHello(b []byte) (Hello, error) {
 	d := decoder{buf: b}
-	h := Hello{PoleID: d.u32(), Location: d.str()}
+	h := Hello{PoleID: d.u32(), Location: d.str(), Zone: d.str()}
 	return h, d.finish()
 }
 

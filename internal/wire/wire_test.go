@@ -72,7 +72,7 @@ func TestCleanEOF(t *testing.T) {
 }
 
 func TestHelloCodec(t *testing.T) {
-	in := Hello{PoleID: 42, Location: "Palm Walk & University Dr"}
+	in := Hello{PoleID: 42, Location: "Palm Walk & University Dr", Zone: "north"}
 	out, err := DecodeHello(EncodeHello(in))
 	if err != nil {
 		t.Fatal(err)
