@@ -8,8 +8,8 @@
 //
 // Experiments: table1 table2 table3 table4 table5 table6 fig4 fig6 fig8
 // (combined 8a+8b; fig8a/fig8b run the individual variants) fig9 fig10
-// fig11 parallel kernels stream cluster fleet, or "all". Presets: quick,
-// standard, full.
+// fig11 parallel kernels stream cluster geom fleet, or "all". Presets:
+// quick, standard, full.
 //
 // The parallel experiment sweeps frame-level worker counts and, with
 // -parallel-out, writes the machine-readable BENCH_parallel.json consumed
@@ -22,7 +22,11 @@
 // geometry-stage engines (voxel grid with one build per frame vs the
 // per-sub-pass k-d tree path) over crowd density × clutter and, with
 // -cluster-out, writes BENCH_cluster.json with per-row label-equivalence
-// asserted. The fleet experiment stands up the campus backend per pole
+// asserted. The geom experiment A/Bs the structure-of-arrays geometry
+// stage with the SIMD distance kernels against the scalar
+// array-of-structs path over crowd density and, with -geom-out, writes
+// BENCH_geom.json with exact label equivalence asserted per frame. The
+// fleet experiment stands up the campus backend per pole
 // count (10/100/1k/10k), streams synthetic reports from a multiplexed
 // fleet while dashboard query workers hammer the snapshot-served HTTP
 // query API, and, with -fleet-out, writes BENCH_fleet.json (reports/sec,
@@ -55,11 +59,12 @@ func main() {
 }
 
 func run() error {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (table1..table6, fig4, fig6, fig8a, fig8b, fig9, fig10, fig11, parallel, kernels, stream, cluster, fleet, all)")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (table1..table6, fig4, fig6, fig8a, fig8b, fig9, fig10, fig11, parallel, kernels, stream, cluster, geom, fleet, all)")
 	parallelOut := flag.String("parallel-out", "", "write the parallel sweep as JSON to this path (e.g. BENCH_parallel.json)")
 	kernelsOut := flag.String("kernels-out", "", "write the kernels sweep as JSON to this path (e.g. BENCH_kernels.json)")
 	streamOut := flag.String("stream-out", "", "write the stream-vs-loop sweep as JSON to this path (e.g. BENCH_stream.json)")
 	clusterOut := flag.String("cluster-out", "", "write the cluster-engine sweep as JSON to this path (e.g. BENCH_cluster.json)")
+	geomOut := flag.String("geom-out", "", "write the geometry-stage SIMD sweep as JSON to this path (e.g. BENCH_geom.json)")
 	fleetOut := flag.String("fleet-out", "", "write the fleet-scale backend sweep as JSON to this path (e.g. BENCH_fleet.json)")
 	preset := flag.String("preset", "standard", "dataset/training scale: quick, standard, full")
 	seed := flag.Int64("seed", 0, "override the preset's random seed")
@@ -312,6 +317,25 @@ func run() error {
 				return fmt.Errorf("cluster-out: %w", err)
 			}
 			fmt.Printf("wrote %s\n", *clusterOut)
+		}
+	}
+	if runIt("geom") {
+		header("Geom — SoA + SIMD geometry stage vs scalar baseline")
+		r := experiments.GeomBench(lab)
+		fmt.Print(experiments.FormatGeom(r))
+		if *geomOut != "" {
+			f, err := os.Create(*geomOut)
+			if err != nil {
+				return fmt.Errorf("geom-out: %w", err)
+			}
+			if err := experiments.WriteGeomJSON(f, r); err != nil {
+				f.Close()
+				return fmt.Errorf("geom-out: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("geom-out: %w", err)
+			}
+			fmt.Printf("wrote %s\n", *geomOut)
 		}
 	}
 	if runIt("fleet") {

@@ -175,17 +175,11 @@ func (s *Server) api(endpoint string, h func(http.ResponseWriter, *http.Request,
 	}
 }
 
-// recentAlerts copies the newest limit alerts (and the total count) out
-// of the alert log under its own mutex — never a shard lock.
+// recentAlerts copies the newest limit alerts (and the lifetime total,
+// including entries the bounded ring has evicted) out of the alert log
+// under its own mutex — never a shard lock.
 func (s *Server) recentAlerts(limit int) (int, []wire.Alert) {
-	s.alertMu.Lock()
-	defer s.alertMu.Unlock()
-	total := len(s.alerts)
-	start := total - limit
-	if start < 0 {
-		start = 0
-	}
-	return total, append([]wire.Alert(nil), s.alerts[start:]...)
+	return s.alog.recent(limit)
 }
 
 // serveAPI binds addr and serves the query API on it until Close.

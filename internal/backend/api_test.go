@@ -35,12 +35,8 @@ func newAPITestServer(t *testing.T) *Server {
 		})
 		s.recordCount(wire.CountReport{PoleID: id, Seq: 1, Count: id})
 	}
-	s.alertMu.Lock()
-	s.alerts = append(s.alerts,
-		wire.Alert{PoleID: 6, Kind: wire.AlertCrowding, Message: "crowding at pole 6"},
-		wire.Alert{PoleID: 2, Kind: wire.AlertOverheat, Message: "overheat at pole 2"},
-	)
-	s.alertMu.Unlock()
+	s.alog.add(wire.Alert{PoleID: 6, Kind: wire.AlertCrowding, Message: "crowding at pole 6"})
+	s.alog.add(wire.Alert{PoleID: 2, Kind: wire.AlertOverheat, Message: "overheat at pole 2"})
 	s.RebuildSnapshot()
 	return s
 }

@@ -52,6 +52,10 @@ type Config struct {
 	// or exceeds it in °C (0 disables). The Coral Dev Board is rated to
 	// 50 °C.
 	OverheatLimit float64
+	// AlertLogCap bounds the in-memory alert log: once full, raising a
+	// new alert evicts the oldest retained one. 0 selects
+	// DefaultAlertLogCap.
+	AlertLogCap int
 	// Obs, when non-nil, registers the backend's metrics: per-pole report
 	// and alert counters, last-seen timestamps, compartment temperature,
 	// connection counts, wire traffic, the edge latency each report
@@ -123,8 +127,7 @@ type Server struct {
 	buildSeq        uint64
 	lastBuildWrites atomic.Uint64
 
-	alertMu sync.Mutex
-	alerts  []wire.Alert
+	alog alertLog
 
 	apiLn  net.Listener
 	apiSrv *http.Server
@@ -154,6 +157,7 @@ func Listen(cfg Config) (*Server, error) {
 		done:     make(chan struct{}),
 	}
 	s.snap.Store(newSnapshot(0, time.Now(), nil))
+	s.alog.init(cfg.AlertLogCap)
 	if reg := cfg.Obs; reg != nil {
 		s.m = backendObs{
 			connsActive:    reg.Gauge("backend_connections_active", "pole connections currently open"),
@@ -305,9 +309,7 @@ func (s *Server) handle(conn net.Conn) error {
 }
 
 func (s *Server) alert(wc *wire.Conn, a wire.Alert) error {
-	s.alertMu.Lock()
-	s.alerts = append(s.alerts, a)
-	s.alertMu.Unlock()
+	s.alog.add(a)
 	s.withPole(a.PoleID, func(p *PoleStats, m *poleObs) {
 		p.Alerts++
 		m.alerts.Inc()
@@ -381,11 +383,12 @@ func (s *Server) Snapshot() []PoleStats {
 	return append([]PoleStats(nil), s.RebuildSnapshot().Poles...)
 }
 
-// Alerts returns a copy of all raised alerts in order.
+// Alerts returns a copy of the retained alerts in raise order. The log
+// is a bounded ring (Config.AlertLogCap): once more alerts have been
+// raised than it holds, the oldest are no longer returned.
 func (s *Server) Alerts() []wire.Alert {
-	s.alertMu.Lock()
-	defer s.alertMu.Unlock()
-	return append([]wire.Alert(nil), s.alerts...)
+	_, out := s.alog.recent(-1)
+	return out
 }
 
 // CampusCount returns the most recent total count across all poles

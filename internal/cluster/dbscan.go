@@ -116,6 +116,15 @@ func (r Result) NoiseCount() int {
 
 // IndexKind selects the spatial index engine a Scratch runs density
 // queries against.
+// kthDister is the optional index fast path for the ε curve: the exact
+// squared distance to a point's k-th neighbor, without materializing
+// the neighbors. spatial.Grid implements it; KthFast reports whether
+// the direct answer actually beats a scratch-buffered kNN query here.
+type kthDister interface {
+	KthFast(k int) bool
+	KthDist2All(dst []float64, k int)
+}
+
 type IndexKind int
 
 const (
@@ -174,6 +183,33 @@ type Scratch struct {
 	gaps      []float64
 }
 
+// pointsView is the minimal point-source abstraction the density
+// algorithms need: either an array-of-structs cloud or a
+// structure-of-arrays one. The branch sits at query-issue granularity
+// (once per point visited), not inside the distance loops, which stay in
+// internal/spatial.
+type pointsView struct {
+	aos geom.Cloud
+	soa *geom.CloudSoA
+}
+
+func viewOf(cloud geom.Cloud) pointsView        { return pointsView{aos: cloud} }
+func viewOfSoA(cloud *geom.CloudSoA) pointsView { return pointsView{soa: cloud} }
+
+func (v pointsView) len() int {
+	if v.soa != nil {
+		return v.soa.Len()
+	}
+	return len(v.aos)
+}
+
+func (v pointsView) at(i int) geom.Point3 {
+	if v.soa != nil {
+		return v.soa.At(i)
+	}
+	return v.aos[i]
+}
+
 // index builds the query engine for one sub-pass over cloud. GridIndex
 // rebuilds the scratch-owned grid in place (allocation-free in steady
 // state) with the given cell edge; KDTreeIndex allocates a fresh tree,
@@ -183,6 +219,17 @@ func (s *Scratch) index(cloud geom.Cloud, cell float64) spatial.NeighborIndex {
 		return kdtree.New(cloud)
 	}
 	s.grid.Reset(cloud, cell)
+	return &s.grid
+}
+
+// indexSoA is index for a structure-of-arrays cloud. The SoA path runs
+// only on the voxel-grid engine — the k-d tree copies points internally
+// and exists as the AoS equivalence baseline.
+func (s *Scratch) indexSoA(cloud *geom.CloudSoA, cell float64) spatial.NeighborIndex {
+	if s.Kind == KDTreeIndex {
+		panic("cluster: SoA clustering requires GridIndex")
+	}
+	s.grid.ResetSoA(cloud, cell)
 	return &s.grid
 }
 
@@ -201,16 +248,42 @@ func DBSCAN(cloud geom.Cloud, eps float64, minPts int) Result {
 // labels, but the index and every working buffer come from the Scratch.
 // The result aliases the Scratch's buffers (see Scratch).
 func (s *Scratch) DBSCAN(cloud geom.Cloud, eps float64, minPts int) Result {
-	n := len(cloud)
-	s.labels = growInts(s.labels, n)
-	if n == 0 || eps <= 0 || minPts < 1 {
-		for i := range s.labels {
-			s.labels[i] = Noise
-		}
-		return Result{Labels: s.labels, Epsilon: eps}
+	if len(cloud) == 0 || eps <= 0 || minPts < 1 {
+		return s.degenerate(len(cloud), eps)
 	}
-	idx := s.index(cloud, eps)
-	num := s.expand(idx, cloud, eps, minPts, s.labels)
+	return s.dbscan(s.index(cloud, eps), viewOf(cloud), eps, minPts)
+}
+
+// DBSCANSoA clusters a structure-of-arrays cloud. Labels are identical
+// to DBSCAN over the widened cloud (the float32→float64 widening is
+// exact); requires GridIndex.
+func DBSCANSoA(cloud *geom.CloudSoA, eps float64, minPts int) Result {
+	var s Scratch
+	return s.DBSCANSoA(cloud, eps, minPts)
+}
+
+// DBSCANSoA is the Scratch-backed form of the package-level DBSCANSoA.
+func (s *Scratch) DBSCANSoA(cloud *geom.CloudSoA, eps float64, minPts int) Result {
+	if cloud.Len() == 0 || eps <= 0 || minPts < 1 {
+		return s.degenerate(cloud.Len(), eps)
+	}
+	return s.dbscan(s.indexSoA(cloud, eps), viewOfSoA(cloud), eps, minPts)
+}
+
+// degenerate labels every point noise (empty cloud or nonsensical
+// parameters).
+func (s *Scratch) degenerate(n int, eps float64) Result {
+	s.labels = growInts(s.labels, n)
+	for i := range s.labels {
+		s.labels[i] = Noise
+	}
+	return Result{Labels: s.labels, Epsilon: eps}
+}
+
+// dbscan runs the expansion against an already-built index.
+func (s *Scratch) dbscan(idx spatial.NeighborIndex, pts pointsView, eps float64, minPts int) Result {
+	s.labels = growInts(s.labels, pts.len())
+	num := s.expand(idx, pts, eps, minPts, s.labels)
 	s.sizes = countSizes(s.labels, growInts(s.sizes, num))
 	return Result{Labels: s.labels, NumClusters: num, Epsilon: eps, Sizes: s.sizes}
 }
@@ -226,11 +299,12 @@ func (s *Scratch) DBSCAN(cloud geom.Cloud, eps float64, minPts int) Result {
 // order: every member of a cluster's queue gets the same id, and the
 // visited set of one expansion is the core-reachable component of its
 // seed. Any NeighborIndex therefore yields identical labels.
-func (s *Scratch) expand(idx spatial.NeighborIndex, cloud geom.Cloud, eps float64, minPts int, labels []int) int {
+func (s *Scratch) expand(idx spatial.NeighborIndex, pts pointsView, eps float64, minPts int, labels []int) int {
 	for i := range labels {
 		labels[i] = Noise
 	}
-	s.visited = growBools(s.visited, len(cloud))
+	n := pts.len()
+	s.visited = growBools(s.visited, n)
 	visited := s.visited
 	for i := range visited {
 		visited[i] = false
@@ -238,12 +312,12 @@ func (s *Scratch) expand(idx spatial.NeighborIndex, cloud geom.Cloud, eps float6
 	queue := s.queue[:0]
 	nbuf := s.nbuf
 	next := 0
-	for i := range cloud {
+	for i := 0; i < n; i++ {
 		if visited[i] {
 			continue
 		}
 		visited[i] = true
-		nbuf = idx.RadiusInto(nbuf[:0], cloud[i], eps)
+		nbuf = idx.RadiusInto(nbuf[:0], pts.at(i), eps)
 		if len(nbuf) < minPts {
 			continue // noise (may be claimed later as a border point)
 		}
@@ -260,7 +334,7 @@ func (s *Scratch) expand(idx spatial.NeighborIndex, cloud geom.Cloud, eps float6
 			}
 			visited[j] = true
 			labels[j] = next
-			nbuf = idx.RadiusInto(nbuf[:0], cloud[j], eps)
+			nbuf = idx.RadiusInto(nbuf[:0], pts.at(j), eps)
 			if len(nbuf) >= minPts {
 				queue = append(queue, nbuf...)
 			}
@@ -352,20 +426,43 @@ func (s *Scratch) OptimalEpsilon(cloud geom.Cloud, cfg AdaptiveConfig) float64 {
 	if cfg.K < 1 || len(cloud) < cfg.K+2 {
 		return cfg.FallbackEps
 	}
-	return s.optimalEpsilon(s.index(cloud, frameCell(cfg)), cloud, cfg)
+	return s.optimalEpsilon(s.index(cloud, frameCell(cfg)), viewOf(cloud), cfg)
+}
+
+// OptimalEpsilonSoA is OptimalEpsilon for a structure-of-arrays cloud;
+// requires GridIndex.
+func (s *Scratch) OptimalEpsilonSoA(cloud *geom.CloudSoA, cfg AdaptiveConfig) float64 {
+	s.coarseValid = false
+	if cfg.K < 1 || cloud.Len() < cfg.K+2 {
+		return cfg.FallbackEps
+	}
+	return s.optimalEpsilon(s.indexSoA(cloud, frameCell(cfg)), viewOfSoA(cloud), cfg)
 }
 
 // optimalEpsilon runs the elbow search and structural refinement against
 // an already-built index.
-func (s *Scratch) optimalEpsilon(idx spatial.NeighborIndex, cloud geom.Cloud, cfg AdaptiveConfig) float64 {
-	dists := growFloats(s.dists, len(cloud))
-	knnb := s.knnb
-	for i, p := range cloud {
-		// k+1 because the query point itself is returned at distance 0.
-		knnb = idx.KNNInto(knnb[:0], p, cfg.K+1)
-		dists[i] = math.Sqrt(knnb[len(knnb)-1].Dist2)
+func (s *Scratch) optimalEpsilon(idx spatial.NeighborIndex, pts pointsView, cfg AdaptiveConfig) float64 {
+	n := pts.len()
+	dists := growFloats(s.dists, n)
+	// The curve only needs each point's k-th neighbor distance, never the
+	// neighbor identities; an index that can answer that value directly
+	// (the vectorized grid) skips materializing and sorting neighbors.
+	// The k-th smallest distance is a property of the point multiset, so
+	// both branches produce identical float64 values.
+	if kd, ok := idx.(kthDister); ok && kd.KthFast(cfg.K+1) {
+		// k+1 because the query point itself sits at distance 0.
+		kd.KthDist2All(dists, cfg.K+1)
+		for i := 0; i < n; i++ {
+			dists[i] = math.Sqrt(dists[i])
+		}
+	} else {
+		knnb := s.knnb
+		for i := 0; i < n; i++ {
+			knnb = idx.KNNInto(knnb[:0], pts.at(i), cfg.K+1)
+			dists[i] = math.Sqrt(knnb[len(knnb)-1].Dist2)
+		}
+		s.knnb = knnb
 	}
-	s.knnb = knnb
 	s.dists = dists
 	sort.Float64s(dists)
 	// Restrict the elbow search to the physical band.
@@ -395,7 +492,7 @@ func (s *Scratch) optimalEpsilon(idx spatial.NeighborIndex, cloud geom.Cloud, cf
 	// "adjusts to point cloud structure and density" behavior of
 	// Section IV operationalized for scenes denser than the training
 	// walkway.
-	if gap, ok := s.structureGap(idx, cloud, cfg); ok {
+	if gap, ok := s.structureGap(idx, pts, cfg); ok {
 		cap := gap / 3
 		if cap < cfg.MinEps {
 			cap = cfg.MinEps
@@ -420,7 +517,7 @@ func growFloats(s []float64, n int) []float64 {
 // structureMinPts points. ok is false when the scene has fewer than two
 // such structures. With GridIndex the coarse result is cached on the
 // Scratch so Adaptive can reuse it when the final ε is the fallback.
-func (s *Scratch) structureGap(idx spatial.NeighborIndex, cloud geom.Cloud, cfg AdaptiveConfig) (float64, bool) {
+func (s *Scratch) structureGap(idx spatial.NeighborIndex, pts pointsView, cfg AdaptiveConfig) (float64, bool) {
 	const structureMinPts = 15
 
 	// The coarse pass. With the shared grid the expansion runs against
@@ -428,10 +525,10 @@ func (s *Scratch) structureGap(idx spatial.NeighborIndex, cloud geom.Cloud, cfg 
 	// pre-grid pipeline's nested DBSCAN call did.
 	coarseIdx := idx
 	if s.Kind == KDTreeIndex {
-		coarseIdx = kdtree.New(cloud)
+		coarseIdx = kdtree.New(pts.aos)
 	}
-	s.coarseLabels = growInts(s.coarseLabels, len(cloud))
-	num := s.expand(coarseIdx, cloud, cfg.FallbackEps, cfg.MinPts, s.coarseLabels)
+	s.coarseLabels = growInts(s.coarseLabels, pts.len())
+	num := s.expand(coarseIdx, pts, cfg.FallbackEps, cfg.MinPts, s.coarseLabels)
 	s.coarseSizes = countSizes(s.coarseLabels, growInts(s.coarseSizes, num))
 	if s.Kind == GridIndex {
 		s.coarseValid = true
@@ -449,7 +546,7 @@ func (s *Scratch) structureGap(idx spatial.NeighborIndex, cloud geom.Cloud, cfg 
 	}
 	for i, l := range s.coarseLabels {
 		if l != Noise {
-			sums[l] = sums[l].Add(cloud[i])
+			sums[l] = sums[l].Add(pts.at(i))
 		}
 	}
 	centroids := s.centroids[:0]
@@ -533,7 +630,7 @@ func (s *Scratch) Adaptive(cloud geom.Cloud, cfg AdaptiveConfig) Result {
 		return s.DBSCAN(cloud, cfg.FallbackEps, cfg.MinPts)
 	}
 	idx := s.index(cloud, frameCell(cfg))
-	eps := s.optimalEpsilon(idx, cloud, cfg)
+	eps := s.optimalEpsilon(idx, viewOf(cloud), cfg)
 	if s.coarseValid && eps == s.coarseEps && cfg.MinPts == s.coarseMinPts {
 		// The elbow landed on the fallback ε: the coarse structure pass
 		// already computed exactly this clustering.
@@ -543,8 +640,29 @@ func (s *Scratch) Adaptive(cloud geom.Cloud, cfg AdaptiveConfig) Result {
 		return s.DBSCAN(cloud, eps, cfg.MinPts)
 	}
 	// Same frame index, final ε.
-	s.labels = growInts(s.labels, len(cloud))
-	num := s.expand(idx, cloud, eps, cfg.MinPts, s.labels)
-	s.sizes = countSizes(s.labels, growInts(s.sizes, num))
-	return Result{Labels: s.labels, NumClusters: num, Epsilon: eps, Sizes: s.sizes}
+	return s.dbscan(idx, viewOf(cloud), eps, cfg.MinPts)
+}
+
+// AdaptiveSoA runs the adaptive clustering over a structure-of-arrays
+// cloud. Labels are identical to Adaptive over the widened cloud;
+// requires GridIndex.
+func AdaptiveSoA(cloud *geom.CloudSoA, cfg AdaptiveConfig) Result {
+	var s Scratch
+	return s.AdaptiveSoA(cloud, cfg)
+}
+
+// AdaptiveSoA is the Scratch-backed form of the package-level
+// AdaptiveSoA, with the same one-grid-per-frame and coarse-result reuse
+// behavior as Adaptive.
+func (s *Scratch) AdaptiveSoA(cloud *geom.CloudSoA, cfg AdaptiveConfig) Result {
+	s.coarseValid = false
+	if cfg.K < 1 || cloud.Len() < cfg.K+2 {
+		return s.DBSCANSoA(cloud, cfg.FallbackEps, cfg.MinPts)
+	}
+	idx := s.indexSoA(cloud, frameCell(cfg))
+	eps := s.optimalEpsilon(idx, viewOfSoA(cloud), cfg)
+	if s.coarseValid && eps == s.coarseEps && cfg.MinPts == s.coarseMinPts {
+		return Result{Labels: s.coarseLabels, NumClusters: s.coarseNum, Epsilon: eps, Sizes: s.coarseSizes}
+	}
+	return s.dbscan(idx, viewOfSoA(cloud), eps, cfg.MinPts)
 }

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"hawccc/internal/geom"
+)
+
+// soaScenes rounds every property scene through float32 — the
+// representable set CloudSoA stores — so the AoS and SoA engines see
+// identical coordinates and label equality is exact, not approximate.
+func soaScenes(rng *rand.Rand) []sceneSpec {
+	scenes := propertyScenes(rng)
+	for i := range scenes {
+		var soa geom.CloudSoA
+		soa.FromCloud(scenes[i].cloud)
+		scenes[i].cloud = soa.ToCloud()
+	}
+	return scenes
+}
+
+// TestDBSCANSoAMatchesAoS is the SoA acceptance property: on every
+// golden scene the structure-of-arrays path produces labels identical
+// to the array-of-structs grid engine.
+func TestDBSCANSoAMatchesAoS(t *testing.T) {
+	rng := rand.New(rand.NewSource(106))
+	var aos, soaScratch Scratch
+	for _, scene := range soaScenes(rng) {
+		var soa geom.CloudSoA
+		soa.FromCloud(scene.cloud)
+		for _, eps := range []float64{0.15, 0.3, 0.45} {
+			for _, minPts := range []int{3, 5} {
+				want := aos.DBSCAN(scene.cloud, eps, minPts)
+				wl := append([]int(nil), want.Labels...)
+				wn := want.NumClusters
+				got := soaScratch.DBSCANSoA(&soa, eps, minPts)
+				checkResult(t, scene.name, got)
+				if got.NumClusters != wn || !equalLabels(got.Labels, wl) {
+					t.Fatalf("%s eps=%g minPts=%d: SoA labels differ from AoS\nsoa %v (%d)\naos %v (%d)",
+						scene.name, eps, minPts, got.Labels, got.NumClusters, wl, wn)
+				}
+				one := DBSCANSoA(&soa, eps, minPts)
+				if one.NumClusters != wn || !equalLabels(one.Labels, wl) {
+					t.Fatalf("%s: package-level DBSCANSoA diverges from Scratch", scene.name)
+				}
+			}
+		}
+	}
+}
+
+// TestAdaptiveSoAMatchesAoS extends label equality to the full adaptive
+// path: ε curve, structure gap, coarse reuse.
+func TestAdaptiveSoAMatchesAoS(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	cfg := DefaultAdaptiveConfig()
+	var aos, soaScratch Scratch
+	for _, scene := range soaScenes(rng) {
+		var soa geom.CloudSoA
+		soa.FromCloud(scene.cloud)
+		want := aos.Adaptive(scene.cloud, cfg)
+		wl := append([]int(nil), want.Labels...)
+		wn, we := want.NumClusters, want.Epsilon
+		if eps := soaScratch.OptimalEpsilonSoA(&soa, cfg); eps != we {
+			t.Fatalf("%s: OptimalEpsilonSoA %g != AoS %g", scene.name, eps, we)
+		}
+		got := soaScratch.AdaptiveSoA(&soa, cfg)
+		checkResult(t, scene.name, got)
+		if got.Epsilon != we || got.NumClusters != wn || !equalLabels(got.Labels, wl) {
+			t.Fatalf("%s: AdaptiveSoA (eps %g, %d clusters) differs from AoS (eps %g, %d clusters)",
+				scene.name, got.Epsilon, got.NumClusters, we, wn)
+		}
+		one := AdaptiveSoA(&soa, cfg)
+		if one.Epsilon != we || one.NumClusters != wn || !equalLabels(one.Labels, wl) {
+			t.Fatalf("%s: package-level AdaptiveSoA diverges from Scratch", scene.name)
+		}
+	}
+}
+
+// TestAdaptiveSoASteadyStateAllocs pins the zero-alloc guarantee on the
+// SoA geometry stage, matching the AoS pin.
+func TestAdaptiveSoASteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(108))
+	cfg := DefaultAdaptiveConfig()
+	clouds := []*geom.CloudSoA{}
+	for _, scene := range propertyScenes(rng) {
+		var soa geom.CloudSoA
+		soa.FromCloud(scene.cloud)
+		clouds = append(clouds, &soa)
+	}
+	var s Scratch
+	for _, c := range clouds {
+		s.AdaptiveSoA(c, cfg) // warm the buffers
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		for _, c := range clouds {
+			s.AdaptiveSoA(c, cfg)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state AdaptiveSoA allocates: %.1f allocs/run", allocs)
+	}
+}
+
+// TestDBSCANSoARequiresGrid pins the documented constraint: the SoA
+// path only runs on the voxel-grid index.
+func TestDBSCANSoARequiresGrid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DBSCANSoA on KDTreeIndex did not panic")
+		}
+	}()
+	var soa geom.CloudSoA
+	soa.AppendXYZ(0, 0, 0)
+	soa.AppendXYZ(0.1, 0, 0)
+	soa.AppendXYZ(0.2, 0, 0)
+	s := Scratch{Kind: KDTreeIndex}
+	s.DBSCANSoA(&soa, 0.3, 2)
+}

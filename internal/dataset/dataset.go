@@ -287,9 +287,7 @@ func HighDensityFrame(rng *rand.Rand, pool []Sample, objectPool []Sample, numPed
 			}
 		}
 		placed = append(placed, geom.P(base.X+offX, base.Y+offY, 0))
-		c := src.Clone()
-		c.Translate(geom.P(offX, offY, 0))
-		cloud = append(cloud, c...)
+		cloud = geom.AppendTranslated(cloud, src, geom.P(offX, offY, 0))
 	}
 	if len(objectPool) > 0 {
 		for i := 0; i < numPedestrians/2; i++ {
@@ -316,9 +314,7 @@ func HighDensityFrame(rng *rand.Rand, pool []Sample, objectPool []Sample, numPed
 				}
 			}
 			placed = append(placed, geom.P(base.X+offX, base.Y+offY, 0))
-			c := src.Clone()
-			c.Translate(geom.P(offX, offY, 0))
-			cloud = append(cloud, c...)
+			cloud = geom.AppendTranslated(cloud, src, geom.P(offX, offY, 0))
 		}
 	}
 	return Frame{Cloud: cloud, Count: numPedestrians}

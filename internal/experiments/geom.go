@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"hawccc/internal/cluster"
+	"hawccc/internal/dataset"
+	"hawccc/internal/geom"
+	"hawccc/internal/geom/kernels"
+	"hawccc/internal/ground"
+	"hawccc/internal/spatial"
+)
+
+// GeomRow compares the structure-of-arrays geometry stage with the SIMD
+// kernels enabled against the scalar array-of-structs path (the PR 5
+// baseline) on one scene shape. The timed region is the geometry stage
+// proper — the grid build, the k-distance curve behind the adaptive ε,
+// and the ε-region sweep the DBSCAN core issues — at each frame's
+// adaptive ε. Both engines run over the same float32-rounded
+// coordinates, so full adaptive clustering must agree exactly; an
+// untimed clustering pass on every frame checks labels and ε across
+// paths (filter-and-refine makes the vector path bit-identical).
+type GeomRow struct {
+	People     int     `json:"people"`
+	Objects    int     `json:"objects"`
+	Frames     int     `json:"frames"`
+	MeanPoints float64 `json:"mean_points"`
+	// Per-frame geometry-stage latency quantiles for the vectorized
+	// SoA stage and the scalar AoS stage.
+	VecP50Ms    float64 `json:"vec_p50_ms"`
+	VecP95Ms    float64 `json:"vec_p95_ms"`
+	VecP99Ms    float64 `json:"vec_p99_ms"`
+	ScalarP50Ms float64 `json:"scalar_p50_ms"`
+	ScalarP95Ms float64 `json:"scalar_p95_ms"`
+	ScalarP99Ms float64 `json:"scalar_p99_ms"`
+	// Speedup is best-trial scalar wall time over best-trial vectorized
+	// wall time for the row's frame set.
+	Speedup float64 `json:"speedup"`
+	// LabelsEquivalent reports whether both paths produced identical
+	// cluster labels and ε on every frame of the row.
+	LabelsEquivalent bool `json:"labels_equivalent"`
+}
+
+// GeomBenchResult is the full sweep plus the CI gate fields.
+type GeomBenchResult struct {
+	NumCPU int `json:"num_cpu"`
+	Trials int `json:"trials"`
+	// Vectorized records whether the SIMD kernels were actually available
+	// on the benchmark host; when false the "vectorized" engine degrades
+	// to the scalar SoA path and Speedup hovers near 1.
+	Vectorized bool      `json:"vectorized"`
+	Rows       []GeomRow `json:"rows"`
+	// GeomSpeedup is the Speedup of the row with the largest mean
+	// ingested cloud — the number CI gates on: the SIMD stage must hold
+	// its margin where the real-time budget is tightest.
+	GeomSpeedup float64 `json:"geom_speedup"`
+	// LabelsEquivalent is the conjunction over all rows.
+	LabelsEquivalent bool `json:"labels_equivalent"`
+}
+
+const (
+	geomBenchTrials = 15
+	geomBenchFrames = 8
+)
+
+// geomBenchPeople extends the cluster sweep into the dense-crowd regime
+// where the per-frame distance work dominates.
+var (
+	geomBenchPeople  = []int{2, 8, 16, 24}
+	geomBenchObjects = []int{4}
+)
+
+// GeomBench measures what the SoA layout plus the 8-wide distance
+// kernels buy over the scalar geometry stage, sweeping crowd density.
+// Every frame's full-clustering labels are compared across paths; a
+// mismatch anywhere flips the row's (and the result's) equivalence flag.
+func GeomBench(l *Lab) GeomBenchResult {
+	cfg := cluster.DefaultAdaptiveConfig()
+	roi := ground.DefaultROI()
+	res := GeomBenchResult{
+		NumCPU:           runtime.NumCPU(),
+		Trials:           geomBenchTrials,
+		Vectorized:       kernels.Vectorized(),
+		LabelsEquivalent: true,
+	}
+	largestPoints := -1.0
+	for _, objects := range geomBenchObjects {
+		for _, people := range geomBenchPeople {
+			l.logf("geom bench: %d people, %d objects, vectorized SoA vs scalar AoS, best of %d trials over %d frames...",
+				people, objects, geomBenchTrials, geomBenchFrames)
+			gen := dataset.NewGenerator(l.Cfg.Seed + 11 + int64(people*100+objects))
+			frames := gen.CrowdFrames(geomBenchFrames, people, people, objects)
+			// Round each ingested cloud through float32 once so both
+			// engines see identical coordinates; the SoA path stores
+			// float32 natively, the scalar path gets the widened cloud.
+			soas := make([]*geom.CloudSoA, len(frames))
+			clouds := make([]geom.Cloud, len(frames))
+			var points int
+			for i := range frames {
+				ingested := ground.Segment(roi.Crop(frames[i].Cloud), ground.DefaultZMin)
+				soas[i] = &geom.CloudSoA{}
+				soas[i].FromCloud(ingested)
+				clouds[i] = soas[i].ToCloud()
+				points += soas[i].Len()
+			}
+			row := benchGeomRow(soas, clouds, cfg)
+			row.People, row.Objects, row.Frames = people, objects, geomBenchFrames
+			row.MeanPoints = float64(points) / float64(len(soas))
+			res.Rows = append(res.Rows, row)
+			res.LabelsEquivalent = res.LabelsEquivalent && row.LabelsEquivalent
+			if row.MeanPoints > largestPoints {
+				largestPoints = row.MeanPoints
+				res.GeomSpeedup = row.Speedup
+			}
+		}
+	}
+	return res
+}
+
+// benchGeomRow compares the two geometry engines over one frame set.
+// It first runs full adaptive clustering on both paths, untimed, as the
+// semantic gate (ε and every label must agree frame for frame) and to
+// learn each frame's adaptive ε; it then times the geometry stage both
+// clusterings are built on — grid build at the frame cell, the
+// k-distance curve, and a full ε-region sweep at that frame's ε — with
+// the buffers warm, the steady-state streaming pattern.
+func benchGeomRow(soas []*geom.CloudSoA, clouds []geom.Cloud, cfg cluster.AdaptiveConfig) GeomRow {
+	row := GeomRow{LabelsEquivalent: true}
+	cell := cfg.FallbackEps
+	k := cfg.K + 1 // the query point itself sits at distance 0
+
+	prev := kernels.SetVectorized(true)
+	eps := make([]float64, len(soas))
+	vecLabels := make([][]int, len(soas))
+	vecScratch := &cluster.Scratch{Kind: cluster.GridIndex}
+	for i, soa := range soas {
+		r := vecScratch.AdaptiveSoA(soa, cfg)
+		vecLabels[i] = append([]int(nil), r.Labels...)
+		eps[i] = r.Epsilon
+	}
+	kernels.SetVectorized(false)
+	scalarScratch := &cluster.Scratch{Kind: cluster.GridIndex}
+	for i, cloud := range clouds {
+		r := scalarScratch.Adaptive(cloud, cfg)
+		if r.Epsilon != eps[i] || !sameLabels(r.Labels, vecLabels[i]) {
+			row.LabelsEquivalent = false
+		}
+	}
+
+	var g spatial.Grid
+	dists := make([]float64, 0, 4096)
+	var rbuf []int
+	var knnb []spatial.Neighbor
+	runVec := func(i int) {
+		soa := soas[i]
+		n := soa.Len()
+		g.ResetSoA(soa, cell)
+		if cap(dists) < n {
+			dists = make([]float64, n)
+		}
+		if g.KthFast(k) {
+			g.KthDist2All(dists[:n], k)
+		} else {
+			for j := 0; j < n; j++ {
+				knnb = g.KNNInto(knnb[:0], soa.At(j), k)
+			}
+		}
+		for j := 0; j < n; j++ {
+			rbuf = g.RadiusInto(rbuf[:0], soa.At(j), eps[i])
+		}
+	}
+	runScalar := func(i int) {
+		cloud := clouds[i]
+		g.Reset(cloud, cell)
+		for j := range cloud {
+			knnb = g.KNNInto(knnb[:0], cloud[j], k)
+			rbuf = g.RadiusInto(rbuf[:0], cloud[j], eps[i])
+		}
+	}
+	vecBest, scalarBest, vecLat, scalarLat := benchGeomPair(len(soas), runVec, runScalar)
+	kernels.SetVectorized(prev)
+	row.VecP50Ms, row.VecP95Ms, row.VecP99Ms = p50p95p99(vecLat)
+	row.ScalarP50Ms, row.ScalarP95Ms, row.ScalarP99Ms = p50p95p99(scalarLat)
+
+	if vecBest > 0 {
+		row.Speedup = scalarBest.Seconds() / vecBest.Seconds()
+	}
+	return row
+}
+
+// benchGeomPair runs geomBenchTrials timed passes of each engine over
+// the frame set, alternating the engines trial by trial so a slow
+// scheduling window on a shared host inflates both sides rather than
+// biasing the ratio, and returns each engine's best wall time plus
+// every per-frame latency sample.
+func benchGeomPair(frames int, runVec, runScalar func(int)) (vecBest, scalarBest time.Duration, vecLat, scalarLat []float64) {
+	vecLat = make([]float64, 0, frames*geomBenchTrials)
+	scalarLat = make([]float64, 0, frames*geomBenchTrials)
+	for trial := 0; trial < geomBenchTrials; trial++ {
+		kernels.SetVectorized(true)
+		start := time.Now()
+		for i := 0; i < frames; i++ {
+			t0 := time.Now()
+			runVec(i)
+			vecLat = append(vecLat, ms(time.Since(t0)))
+		}
+		if total := time.Since(start); vecBest == 0 || total < vecBest {
+			vecBest = total
+		}
+		kernels.SetVectorized(false)
+		start = time.Now()
+		for i := 0; i < frames; i++ {
+			t0 := time.Now()
+			runScalar(i)
+			scalarLat = append(scalarLat, ms(time.Since(t0)))
+		}
+		if total := time.Since(start); scalarBest == 0 || total < scalarBest {
+			scalarBest = total
+		}
+	}
+	return vecBest, scalarBest, vecLat, scalarLat
+}
+
+// FormatGeom renders the sweep as a console table.
+func FormatGeom(r GeomBenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "host: %d cores, SIMD kernels available: %v, best of %d trials, %d frames per row\n",
+		r.NumCPU, r.Vectorized, r.Trials, geomBenchFrames)
+	fmt.Fprintf(&b, "%-7s %-7s %9s %10s %10s %10s %10s %10s %10s %8s %6s\n",
+		"People", "Objects", "Points", "Vec p50", "Vec p95", "Vec p99",
+		"Scal p50", "Scal p95", "Scal p99", "Speedup", "Equal")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-7d %-7d %9.0f %9.3fms %9.3fms %9.3fms %9.3fms %9.3fms %9.3fms %7.2fx %6v\n",
+			row.People, row.Objects, row.MeanPoints,
+			row.VecP50Ms, row.VecP95Ms, row.VecP99Ms,
+			row.ScalarP50Ms, row.ScalarP95Ms, row.ScalarP99Ms,
+			row.Speedup, row.LabelsEquivalent)
+	}
+	fmt.Fprintf(&b, "geometry-stage speedup at largest cloud: %.2fx, labels-equivalent: %v\n",
+		r.GeomSpeedup, r.LabelsEquivalent)
+	return b.String()
+}
+
+// WriteGeomJSON writes the sweep as the BENCH_geom.json artifact
+// consumed by CI.
+func WriteGeomJSON(w io.Writer, r GeomBenchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

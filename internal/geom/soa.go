@@ -1,0 +1,162 @@
+package geom
+
+import (
+	"math"
+
+	"hawccc/internal/geom/kernels"
+)
+
+// CloudSoA is a point cloud in structure-of-arrays layout: three separate
+// contiguous float32 coordinate slices. Compared to Cloud's array of
+// float64 structs it halves memory traffic and lets the voxel-grid
+// distance loops in internal/spatial run 8-wide through
+// internal/geom/kernels.
+//
+// float32 has ~7 decimal digits of precision — at campus scale (|coord|
+// under a few hundred metres) that is sub-10µm resolution, far below
+// LiDAR noise. Exactness at ε boundaries is still preserved end to end:
+// the spatial grid uses the float32 lanes only as a prefilter and
+// re-checks candidates near a decision boundary in float64, so query and
+// cluster results match the array-of-structs path bit for bit. See
+// DESIGN.md.
+//
+// The zero value is an empty cloud ready to use. Like Cloud, a CloudSoA
+// is append-grown and Reset for reuse, so pooled instances reach a
+// steady state with zero per-frame allocations.
+type CloudSoA struct {
+	X, Y, Z []float32
+}
+
+// Len returns the number of points.
+func (s *CloudSoA) Len() int { return len(s.X) }
+
+// Reset empties the cloud, retaining capacity for reuse.
+func (s *CloudSoA) Reset() {
+	s.X = s.X[:0]
+	s.Y = s.Y[:0]
+	s.Z = s.Z[:0]
+}
+
+// Grow ensures capacity for at least n additional points.
+func (s *CloudSoA) Grow(n int) {
+	if need := len(s.X) + n; need > cap(s.X) {
+		s.X = append(make([]float32, 0, need), s.X...)
+		s.Y = append(make([]float32, 0, need), s.Y...)
+		s.Z = append(make([]float32, 0, need), s.Z...)
+	}
+}
+
+// At returns point i widened to float64. The widening is exact, so
+// At-based consumers see precisely the stored float32 coordinates.
+func (s *CloudSoA) At(i int) Point3 {
+	return Point3{float64(s.X[i]), float64(s.Y[i]), float64(s.Z[i])}
+}
+
+// Append adds p, rounding each coordinate to float32.
+func (s *CloudSoA) Append(p Point3) {
+	s.X = append(s.X, float32(p.X))
+	s.Y = append(s.Y, float32(p.Y))
+	s.Z = append(s.Z, float32(p.Z))
+}
+
+// AppendXYZ adds a point given as float32 coordinates.
+func (s *CloudSoA) AppendXYZ(x, y, z float32) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+	s.Z = append(s.Z, z)
+}
+
+// FromCloud replaces the contents with c (rounded to float32), reusing
+// existing capacity.
+func (s *CloudSoA) FromCloud(c Cloud) {
+	s.Reset()
+	s.Grow(len(c))
+	for _, p := range c {
+		s.Append(p)
+	}
+}
+
+// AppendToCloud appends every point, widened to float64, onto dst and
+// returns the extended slice.
+func (s *CloudSoA) AppendToCloud(dst Cloud) Cloud {
+	if need := len(dst) + s.Len(); cap(dst) < need {
+		grown := make(Cloud, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
+	for i := range s.X {
+		dst = append(dst, s.At(i))
+	}
+	return dst
+}
+
+// ToCloud returns the points as a freshly allocated array-of-structs
+// cloud.
+func (s *CloudSoA) ToCloud() Cloud {
+	return s.AppendToCloud(make(Cloud, 0, s.Len()))
+}
+
+// Bounds returns the axis-aligned bounding box, computed with the
+// vectorized min/max reduction. Coordinates must be finite (LiDAR
+// returns always are); empty clouds yield an empty box.
+func (s *CloudSoA) Bounds() Box {
+	if s.Len() == 0 {
+		return EmptyBox()
+	}
+	minX, maxX := kernels.MinMax(s.X)
+	minY, maxY := kernels.MinMax(s.Y)
+	minZ, maxZ := kernels.MinMax(s.Z)
+	return Box{
+		Min: Point3{float64(minX), float64(minY), float64(minZ)},
+		Max: Point3{float64(maxX), float64(maxY), float64(maxZ)},
+	}
+}
+
+// MaxAbs returns the largest coordinate magnitude in the cloud, or 0 for
+// an empty cloud. The spatial grid uses it to bound float32 rounding
+// error analytically.
+func (s *CloudSoA) MaxAbs() float64 {
+	b := s.Bounds()
+	if b.IsEmpty() {
+		return 0
+	}
+	m := math.Abs(b.Min.X)
+	for _, v := range []float64{b.Max.X, b.Min.Y, b.Max.Y, b.Min.Z, b.Max.Z} {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Centroid returns the arithmetic mean of the points, accumulated in
+// float64. It returns the zero point for an empty cloud.
+func (s *CloudSoA) Centroid() Point3 {
+	n := s.Len()
+	if n == 0 {
+		return Point3{}
+	}
+	var sx, sy, sz float64
+	for i := 0; i < n; i++ {
+		sx += float64(s.X[i])
+		sy += float64(s.Y[i])
+		sz += float64(s.Z[i])
+	}
+	inv := 1 / float64(n)
+	return Point3{sx * inv, sy * inv, sz * inv}
+}
+
+// AppendTranslated appends src shifted by d onto dst and returns the
+// extended slice. It replaces the Clone-then-Translate-then-append
+// pattern on scene assembly paths with a single pass and no temporary.
+func AppendTranslated(dst, src Cloud, d Point3) Cloud {
+	if need := len(dst) + len(src); cap(dst) < need {
+		grown := make(Cloud, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
+	for _, p := range src {
+		dst = append(dst, p.Add(d))
+	}
+	return dst
+}

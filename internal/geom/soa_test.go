@@ -1,0 +1,168 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randCloud(rng *rand.Rand, n int) Cloud {
+	c := make(Cloud, n)
+	for i := range c {
+		c[i] = Point3{
+			X: rng.Float64()*60 - 30,
+			Y: rng.Float64()*60 - 30,
+			Z: rng.Float64() * 3,
+		}
+	}
+	return c
+}
+
+// widen rounds a cloud through float32, the representable set CloudSoA
+// stores.
+func widen(c Cloud) Cloud {
+	out := make(Cloud, len(c))
+	for i, p := range c {
+		out[i] = Point3{
+			X: float64(float32(p.X)),
+			Y: float64(float32(p.Y)),
+			Z: float64(float32(p.Z)),
+		}
+	}
+	return out
+}
+
+// TestSoARoundTrip: Cloud → SoA → Cloud equals the float32-widened
+// cloud exactly, and a second round trip is the identity (float32
+// values survive unchanged).
+func TestSoARoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for _, n := range []int{0, 1, 33, 500} {
+		cloud := randCloud(rng, n)
+		var soa CloudSoA
+		soa.FromCloud(cloud)
+		if soa.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, soa.Len())
+		}
+		want := widen(cloud)
+		got := soa.ToCloud()
+		if len(got) != n {
+			t.Fatalf("n=%d: ToCloud len %d", n, len(got))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d point %d: %v != widened %v", n, i, got[i], want[i])
+			}
+			if p := soa.At(i); p != want[i] {
+				t.Fatalf("n=%d At(%d): %v != %v", n, i, p, want[i])
+			}
+		}
+		// Second trip: float32-representable values are a fixed point.
+		var soa2 CloudSoA
+		soa2.FromCloud(got)
+		again := soa2.AppendToCloud(nil)
+		for i := range again {
+			if again[i] != got[i] {
+				t.Fatalf("n=%d point %d: second round trip moved %v to %v", n, i, got[i], again[i])
+			}
+		}
+	}
+}
+
+// TestSoAEdgeValues pins the conversions on signed zeros, denormals,
+// and infinities — the inputs a sloppy widening would normalize away.
+func TestSoAEdgeValues(t *testing.T) {
+	vals := []float32{0, float32(math.Copysign(0, -1)), 1e-40, -1e-40,
+		math.MaxFloat32, float32(math.Inf(1)), float32(math.Inf(-1)), 1e-45}
+	var soa CloudSoA
+	for _, v := range vals {
+		soa.AppendXYZ(v, -v, v)
+	}
+	for i, v := range vals {
+		p := soa.At(i)
+		if math.Float64bits(p.X) != math.Float64bits(float64(v)) ||
+			math.Float64bits(p.Y) != math.Float64bits(float64(-v)) {
+			t.Fatalf("value %d (%g): At = %v", i, v, p)
+		}
+	}
+}
+
+func TestSoAAppendGrowReset(t *testing.T) {
+	var soa CloudSoA
+	soa.Grow(100)
+	if soa.Len() != 0 || cap(soa.X) < 100 {
+		t.Fatalf("Grow(100): len %d cap %d", soa.Len(), cap(soa.X))
+	}
+	base := soa.X[:0]
+	for i := 0; i < 100; i++ {
+		soa.Append(Point3{X: float64(i)})
+	}
+	if &base[0:1][0] != &soa.X[0] {
+		t.Fatal("Append reallocated despite Grow reservation")
+	}
+	soa.Reset()
+	if soa.Len() != 0 || cap(soa.X) < 100 {
+		t.Fatalf("Reset dropped capacity: len %d cap %d", soa.Len(), cap(soa.X))
+	}
+}
+
+func TestSoABoundsMaxAbsCentroid(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	var soa CloudSoA
+	if !soa.Bounds().IsEmpty() {
+		t.Fatal("empty SoA Bounds not empty")
+	}
+	if soa.MaxAbs() != 0 {
+		t.Fatal("empty SoA MaxAbs != 0")
+	}
+	cloud := widen(randCloud(rng, 400))
+	soa.FromCloud(cloud)
+	want := cloud.Bounds()
+	got := soa.Bounds()
+	if got.Min != want.Min || got.Max != want.Max {
+		t.Fatalf("Bounds %+v != Cloud.Bounds %+v", got, want)
+	}
+	wantAbs := 0.0
+	for _, p := range cloud {
+		wantAbs = math.Max(wantAbs, math.Max(math.Abs(p.X), math.Max(math.Abs(p.Y), math.Abs(p.Z))))
+	}
+	if soa.MaxAbs() != wantAbs {
+		t.Fatalf("MaxAbs %g != %g", soa.MaxAbs(), wantAbs)
+	}
+	c, wc := soa.Centroid(), cloud.Centroid()
+	if math.Abs(c.X-wc.X) > 1e-9 || math.Abs(c.Y-wc.Y) > 1e-9 || math.Abs(c.Z-wc.Z) > 1e-9 {
+		t.Fatalf("Centroid %v != %v", c, wc)
+	}
+}
+
+// TestAppendTranslated checks the fused clone+translate+append against
+// the explicit composition it replaced, and pins its allocation
+// behavior: exactly one allocation from nil, zero into spare capacity.
+func TestAppendTranslated(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	src := randCloud(rng, 128)
+	d := P(2.5, -1.25, 0.5)
+
+	want := append(Cloud{{X: 9}}, src.Clone().Translate(d)...)
+	got := AppendTranslated(Cloud{{X: 9}}, src, d)
+	if len(got) != len(want) {
+		t.Fatalf("len %d != %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("point %d: %v != %v", i, got[i], want[i])
+		}
+	}
+
+	if allocs := testing.AllocsPerRun(50, func() {
+		_ = AppendTranslated(nil, src, d)
+	}); allocs != 1 {
+		t.Fatalf("AppendTranslated(nil, ...) allocs = %.1f, want 1", allocs)
+	}
+	buf := make(Cloud, 0, 2*len(src))
+	if allocs := testing.AllocsPerRun(50, func() {
+		buf = AppendTranslated(buf[:0], src, d)
+	}); allocs != 0 {
+		t.Fatalf("AppendTranslated into spare capacity allocs = %.1f, want 0", allocs)
+	}
+}

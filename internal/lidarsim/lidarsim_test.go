@@ -262,6 +262,54 @@ func TestCloudOf(t *testing.T) {
 	}
 }
 
+// TestCloudOfInto pins the pooled-buffer companions: both Into
+// variants match CloudOf and are allocation-free once their buffers
+// have grown to frame size.
+func TestCloudOfInto(t *testing.T) {
+	rs := make([]Return, 100)
+	for i := range rs {
+		rs[i] = Return{Point: geom.P(float64(i), float64(2*i), 1.5)}
+	}
+	want := CloudOf(rs)
+
+	buf := CloudOfInto(nil, rs)
+	if len(buf) != len(want) {
+		t.Fatalf("CloudOfInto len %d, want %d", len(buf), len(want))
+	}
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("point %d: %v != %v", i, buf[i], want[i])
+		}
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		buf = CloudOfInto(buf[:0], rs)
+	}); allocs != 0 {
+		t.Fatalf("recycled CloudOfInto allocates: %.1f allocs/op", allocs)
+	}
+
+	var soa geom.CloudSoA
+	CloudOfSoAInto(&soa, rs)
+	if soa.Len() != len(want) {
+		t.Fatalf("CloudOfSoAInto len %d, want %d", soa.Len(), len(want))
+	}
+	for i := range want {
+		wp := geom.Point3{
+			X: float64(float32(want[i].X)),
+			Y: float64(float32(want[i].Y)),
+			Z: float64(float32(want[i].Z)),
+		}
+		if p := soa.At(i); p != wp {
+			t.Fatalf("SoA point %d: %v", i, p)
+		}
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		soa.Reset()
+		CloudOfSoAInto(&soa, rs)
+	}); allocs != 0 {
+		t.Fatalf("recycled CloudOfSoAInto allocates: %.1f allocs/op", allocs)
+	}
+}
+
 func TestSensorDeterminism(t *testing.T) {
 	scene := &Scene{}
 	scene.AddHuman(NewHuman(HumanParams{Position: geom.P(20, 1, 0), Height: 1.75, ShoulderWidth: 0.42}))

@@ -231,11 +231,33 @@ func (s *Sensor) ScanInto(scene *Scene, buf []Return) []Return {
 
 // CloudOf extracts the bare point cloud from labeled returns.
 func CloudOf(returns []Return) geom.Cloud {
-	c := make(geom.Cloud, len(returns))
-	for i, r := range returns {
-		c[i] = r.Point
+	return CloudOfInto(make(geom.Cloud, 0, len(returns)), returns)
+}
+
+// CloudOfInto appends the bare points of returns to dst and returns the
+// extended slice — CloudOf's pooled-buffer companion for per-frame
+// callers (pass dst[:0] to reuse a frame buffer).
+func CloudOfInto(dst geom.Cloud, returns []Return) geom.Cloud {
+	if need := len(dst) + len(returns); cap(dst) < need {
+		grown := make(geom.Cloud, len(dst), need)
+		copy(grown, dst)
+		dst = grown
 	}
-	return c
+	for _, r := range returns {
+		dst = append(dst, r.Point)
+	}
+	return dst
+}
+
+// CloudOfSoAInto appends the bare points of returns to a
+// structure-of-arrays cloud (typically Reset between frames), rounding
+// coordinates to float32 — the zero-copy entry into the SoA geometry
+// flow.
+func CloudOfSoAInto(dst *geom.CloudSoA, returns []Return) {
+	dst.Grow(len(returns))
+	for _, r := range returns {
+		dst.Append(r.Point)
+	}
 }
 
 // SplitByKind partitions returns into human, object, and ground clouds.

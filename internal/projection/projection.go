@@ -132,6 +132,35 @@ func heightVariation(cloud geom.Cloud, k int) []float64 {
 	return out
 }
 
+// HeightVariationSoA is heightVariation over a structure-of-arrays
+// cloud: σ_z per point from the z-spread of its K nearest neighbors,
+// computed against a pooled grid built directly on the SoA storage. The
+// values are identical to the AoS computation on the widened cloud (the
+// float32→float64 widening is exact and both engines honor the same
+// neighbor-ordering contract).
+func HeightVariationSoA(cloud *geom.CloudSoA, k int) []float64 {
+	fi := indexPool.Get().(*spatial.FrameIndex)
+	defer indexPool.Put(fi)
+	fi.BuildSoA(cloud, 0)
+	n := cloud.Len()
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		nn := fi.KNN(cloud.At(i), k)
+		var mean float64
+		for _, nb := range nn {
+			mean += float64(cloud.Z[nb.Index])
+		}
+		mean /= float64(len(nn))
+		var v float64
+		for _, nb := range nn {
+			d := float64(cloud.Z[nb.Index]) - mean
+			v += d * d
+		}
+		out[i] = math.Sqrt(v / float64(len(nn)))
+	}
+	return out
+}
+
 // side panics unless n is a perfect square, returning √n.
 func side(n int) int {
 	d := int(math.Sqrt(float64(n)))

@@ -1,7 +1,10 @@
 package spatial
 
 import (
+	"math"
+
 	"hawccc/internal/geom"
+	"hawccc/internal/geom/kernels"
 	"hawccc/internal/kdtree"
 )
 
@@ -18,12 +21,23 @@ const maxGridCells = 1 << 18
 // query visits at most 27 cells. The zero value is an empty grid for
 // which every query returns no results; use NewGrid, or Reset to rebuild
 // in place reusing the internal arrays (the one-build-per-frame path).
+// ResetSoA indexes a structure-of-arrays cloud instead; every query
+// behaves identically in either mode.
+//
+// On hardware with usable AVX the grid also keeps a float32 mirror of
+// the coordinates in CSR order and runs radius and kNN scans through the
+// internal/geom/kernels vector primitives. The float32 lanes are only a
+// prefilter: candidates whose float32 squared distance falls inside an
+// analytically bounded uncertainty band around the decision threshold
+// are re-checked in float64 against the source coordinates, so vector
+// and scalar paths return bit-identical results (see gridvec.go).
 //
 // Unlike kdtree.Tree, the grid references the cloud instead of copying
 // it: it is a per-frame index, valid only while the indexed cloud is
 // unchanged. Queries are read-only and safe for concurrent use.
 type Grid struct {
-	pts        geom.Cloud
+	pts        geom.Cloud     // AoS source (Reset); nil in SoA mode
+	spts       *geom.CloudSoA // SoA source (ResetSoA); nil in AoS mode
 	cell, inv  float64
 	min        geom.Point3
 	nx, ny, nz int
@@ -33,6 +47,14 @@ type Grid struct {
 	ids   []int32
 	// cellOf is build scratch: the cell id of each point.
 	cellOf []int32
+	// Vectorized-scan state: float32 coordinates in CSR (ids) order, so
+	// each cell — and each contiguous run of z-cells — is one dense span
+	// for the 8-wide kernels. maxAbs bounds every coordinate magnitude
+	// for the float32 error analysis; vec records whether this build may
+	// use the vector path at all.
+	gx, gy, gz []float32
+	maxAbs     float64
+	vec        bool
 }
 
 // NewGrid builds a grid over cloud with the given cell edge length.
@@ -49,17 +71,71 @@ func NewGrid(cloud geom.Cloud, cell float64) *Grid {
 // selects AutoCell's default. The grid references cloud; the caller must
 // not mutate it while the grid is in use.
 func (g *Grid) Reset(cloud geom.Cloud, cell float64) {
-	g.pts = cloud
+	g.pts, g.spts = cloud, nil
 	n := len(cloud)
 	if n == 0 {
-		g.nx, g.ny, g.nz = 0, 0, 0
-		g.ids = g.ids[:0]
+		g.clear()
 		return
 	}
 	if cell <= 0 {
 		cell = AutoCell(cloud, 8)
 	}
 	b := cloud.Bounds()
+	ncells := g.sizeLattice(b, cell, n)
+	for i, p := range cloud {
+		c := g.cellIndex(p)
+		g.cellOf[i] = c
+		g.start[c+1]++
+	}
+	g.finishBuild(n, ncells, b)
+}
+
+// ResetSoA rebuilds the grid over a structure-of-arrays cloud, reusing
+// the internal arrays like Reset. Binning, query geometry, and exact
+// re-checks all use the stored float32 coordinates widened (exactly) to
+// float64, so results match running the scalar grid over the widened
+// cloud bit for bit. cell <= 0 derives AutoCell's default from the SoA
+// bounds. The grid references cloud; the caller must not mutate it while
+// the grid is in use.
+func (g *Grid) ResetSoA(cloud *geom.CloudSoA, cell float64) {
+	g.pts, g.spts = nil, cloud
+	n := cloud.Len()
+	if n == 0 {
+		g.clear()
+		return
+	}
+	b := cloud.Bounds()
+	if cell <= 0 {
+		cell = autoCellSized(b.Size(), n, 8)
+	}
+	ncells := g.sizeLattice(b, cell, n)
+	for i := 0; i < n; i++ {
+		c := g.cellIndex(cloud.At(i))
+		g.cellOf[i] = c
+		g.start[c+1]++
+	}
+	g.finishBuild(n, ncells, b)
+}
+
+// clear empties the grid (the n == 0 build).
+func (g *Grid) clear() {
+	g.nx, g.ny, g.nz = 0, 0, 0
+	g.ids = g.ids[:0]
+	g.vec = false
+}
+
+// sizeLattice fits the cell lattice to bounds b within the cell budget
+// and prepares the CSR arrays for a build over n points, returning the
+// cell count. start comes back zeroed for the counting pass.
+func (g *Grid) sizeLattice(b geom.Box, cell float64, n int) int {
+	// A grid that will scan with the 8-wide kernels bins coarser: the
+	// prefilter discards excess candidates far cheaper than the scalar
+	// path computes exact distances, so longer contiguous spans beat
+	// tighter cells. Queries are exact for any bin width — this moves
+	// work between span setup and candidate filtering, never results.
+	if kernels.Vectorized() && boxMaxAbs(b) < maxVecCoord {
+		cell *= vecCellScale
+	}
 	g.min = b.Min
 	size := b.Size()
 	// Size the lattice, growing the cell edge until it fits the budget.
@@ -82,26 +158,30 @@ func (g *Grid) Reset(cloud geom.Cloud, cell float64) {
 	}
 	g.ids = growInt32(g.ids, n)
 	g.cellOf = growInt32(g.cellOf, n)
+	return ncells
+}
 
-	// Counting-sort points into CSR layout: count per cell, prefix-sum
-	// into begin offsets, scatter (advancing each begin), then shift the
-	// offsets right one slot to restore begins.
-	for i, p := range cloud {
-		c := g.cellIndex(p)
-		g.cellOf[i] = c
-		g.start[c+1]++
-	}
+// finishBuild completes the counting sort started by the caller's
+// binning pass (start[c+1] holds cell c's population, cellOf each
+// point's cell) and refreshes the vectorized-scan state.
+//
+// Counting-sort into CSR layout: prefix-sum the counts into begin
+// offsets, scatter (advancing each begin), then shift the offsets right
+// one slot to restore begins.
+func (g *Grid) finishBuild(n, ncells int, b geom.Box) {
 	for c := 0; c < ncells; c++ {
 		g.start[c+1] += g.start[c]
 	}
 	// After this scatter loop start[c] holds the END of cell c.
-	for i := range cloud {
+	for i := 0; i < n; i++ {
 		c := g.cellOf[i]
 		g.ids[g.start[c]] = int32(i)
 		g.start[c]++
 	}
 	copy(g.start[1:ncells+1], g.start[:ncells])
 	g.start[0] = 0
+
+	g.refreshVec(n, b)
 }
 
 // growInt32 returns s resized to n, reallocating only when capacity is
@@ -113,10 +193,22 @@ func growInt32(s []int32, n int) []int32 {
 	return s[:n]
 }
 
+// point returns the source coordinates of indexed point id, exact in
+// float64 regardless of storage mode.
+func (g *Grid) point(id int32) geom.Point3 {
+	if g.spts != nil {
+		return g.spts.At(int(id))
+	}
+	return g.pts[id]
+}
+
 // Len returns the number of indexed points.
 func (g *Grid) Len() int {
 	if g == nil {
 		return 0
+	}
+	if g.spts != nil {
+		return g.spts.Len()
 	}
 	return len(g.pts)
 }
@@ -124,7 +216,7 @@ func (g *Grid) Len() int {
 // Cell returns the cell edge the grid was built with (after any budget
 // doubling), or 0 for an empty grid.
 func (g *Grid) Cell() float64 {
-	if g == nil || len(g.pts) == 0 {
+	if g.Len() == 0 {
 		return 0
 	}
 	return g.cell
@@ -183,7 +275,7 @@ func (g *Grid) axisRange(rel, r float64, n int) (lo, hi int, ok bool) {
 // Radius returns the indices of all points within radius r of q
 // (inclusive). The result order is unspecified.
 func (g *Grid) Radius(q geom.Point3, r float64) []int {
-	if g == nil || len(g.pts) == 0 || r < 0 {
+	if g.Len() == 0 || r < 0 {
 		return nil
 	}
 	return g.RadiusInto(nil, q, r)
@@ -193,7 +285,7 @@ func (g *Grid) Radius(q geom.Point3, r float64) []int {
 // (inclusive) to dst and returns the extended slice. With cell ≈ r this
 // is a 27-cell scan; larger radii scan proportionally more cells.
 func (g *Grid) RadiusInto(dst []int, q geom.Point3, r float64) []int {
-	if g == nil || len(g.pts) == 0 || r < 0 {
+	if g.Len() == 0 || r < 0 {
 		return dst
 	}
 	ix0, ix1, ok := g.axisRange(q.X-g.min.X, r, g.nx)
@@ -209,14 +301,26 @@ func (g *Grid) RadiusInto(dst []int, q geom.Point3, r float64) []int {
 		return dst
 	}
 	r2 := r * r
+	if g.vec {
+		return g.radiusVec(dst, q, r2, ix0, ix1, iy0, iy1, iz0, iz1)
+	}
 	for ix := ix0; ix <= ix1; ix++ {
 		for iy := iy0; iy <= iy1; iy++ {
 			row := (ix*g.ny + iy) * g.nz
 			for iz := iz0; iz <= iz1; iz++ {
 				c := row + iz
-				for _, id := range g.ids[g.start[c]:g.start[c+1]] {
-					if q.Dist2(g.pts[id]) <= r2 {
-						dst = append(dst, int(id))
+				ids := g.ids[g.start[c]:g.start[c+1]]
+				if g.spts != nil {
+					for _, id := range ids {
+						if q.Dist2(g.spts.At(int(id))) <= r2 {
+							dst = append(dst, int(id))
+						}
+					}
+				} else {
+					for _, id := range ids {
+						if q.Dist2(g.pts[id]) <= r2 {
+							dst = append(dst, int(id))
+						}
 					}
 				}
 			}
@@ -228,7 +332,7 @@ func (g *Grid) RadiusInto(dst []int, q geom.Point3, r float64) []int {
 // RadiusCount returns the number of points within radius r of q without
 // materializing them.
 func (g *Grid) RadiusCount(q geom.Point3, r float64) int {
-	if g == nil || len(g.pts) == 0 || r < 0 {
+	if g.Len() == 0 || r < 0 {
 		return 0
 	}
 	ix0, ix1, ok := g.axisRange(q.X-g.min.X, r, g.nx)
@@ -244,15 +348,27 @@ func (g *Grid) RadiusCount(q geom.Point3, r float64) int {
 		return 0
 	}
 	r2 := r * r
+	if g.vec {
+		return g.radiusCountVec(q, r2, ix0, ix1, iy0, iy1, iz0, iz1)
+	}
 	count := 0
 	for ix := ix0; ix <= ix1; ix++ {
 		for iy := iy0; iy <= iy1; iy++ {
 			row := (ix*g.ny + iy) * g.nz
 			for iz := iz0; iz <= iz1; iz++ {
 				c := row + iz
-				for _, id := range g.ids[g.start[c]:g.start[c+1]] {
-					if q.Dist2(g.pts[id]) <= r2 {
-						count++
+				ids := g.ids[g.start[c]:g.start[c+1]]
+				if g.spts != nil {
+					for _, id := range ids {
+						if q.Dist2(g.spts.At(int(id))) <= r2 {
+							count++
+						}
+					}
+				} else {
+					for _, id := range ids {
+						if q.Dist2(g.pts[id]) <= r2 {
+							count++
+						}
 					}
 				}
 			}
@@ -264,7 +380,7 @@ func (g *Grid) RadiusCount(q geom.Point3, r float64) int {
 // KNN returns the k nearest neighbors of q in ascending (Dist2, Index)
 // order; see NeighborIndex for the exact contract.
 func (g *Grid) KNN(q geom.Point3, k int) []Neighbor {
-	if g == nil || len(g.pts) == 0 || k <= 0 {
+	if g.Len() == 0 || k <= 0 {
 		return nil
 	}
 	return g.KNNInto(nil, q, k)
@@ -276,11 +392,12 @@ func (g *Grid) KNN(q geom.Point3, k int) []Neighbor {
 // bound, with an exact cell-box distance prune inside each ring.
 func (g *Grid) KNNInto(dst []Neighbor, q geom.Point3, k int) []Neighbor {
 	dst = dst[:0]
-	if g == nil || len(g.pts) == 0 || k <= 0 {
+	n := g.Len()
+	if n == 0 || k <= 0 {
 		return dst
 	}
-	if k > len(g.pts) {
-		k = len(g.pts)
+	if k > n {
+		k = n
 	}
 	// The query's (virtual) cell coordinates — intentionally unclamped,
 	// so rings stay centered on q even when q lies outside the bounds.
@@ -289,7 +406,7 @@ func (g *Grid) KNNInto(dst []Neighbor, q geom.Point3, k int) []Neighbor {
 	qz := ifloor((q.Z - g.min.Z) * g.inv)
 	maxRing := maxInt6(qx, g.nx-1-qx, qy, g.ny-1-qy, qz, g.nz-1-qz)
 
-	s := knnScan{g: g, q: q, k: k, items: dst}
+	s := knnScan{g: g, q: q, k: k, items: dst, topCache: math.NaN()}
 	for d := 0; d <= maxRing; d++ {
 		if len(s.items) >= k {
 			// Any point in a cell at Chebyshev ring d lies at least
@@ -324,6 +441,17 @@ type knnScan struct {
 	q     geom.Point3
 	k     int
 	items []Neighbor
+	// topCache/hiFCache memoize filterBounds for the current heap-top
+	// distance: the top only changes when an offer lands, so most cells
+	// reuse the previous prefilter threshold. topCache starts NaN so the
+	// first full-heap cell always computes (a real top can be 0.0 on
+	// duplicate points).
+	topCache float64
+	hiFCache float32
+	// dbuf holds one chunk of float32 squared distances for the
+	// vectorized cell prefilter; declared here (not in cellVec) so it is
+	// zeroed once per search, not once per cell.
+	dbuf [vecChunk]float32
 }
 
 // ring scans every in-bounds cell at exactly Chebyshev distance d from
@@ -391,7 +519,10 @@ func clampHi(i, n int) int {
 }
 
 // cell offers every point of cell (ix, iy, iz) to the heap, after an
-// exact box-distance prune once the heap is full.
+// exact box-distance prune once the heap is full. Once the heap is full
+// a vectorized grid prefilters the cell against the retained k-th
+// distance (see knnScan.cellVec); before that every candidate needs its
+// exact distance anyway, so the scan stays scalar.
 func (s *knnScan) cell(ix, iy, iz int) {
 	g := s.g
 	c := (ix*g.ny+iy)*g.nz + iz
@@ -399,11 +530,37 @@ func (s *knnScan) cell(ix, iy, iz int) {
 	if lo == hi {
 		return
 	}
-	if len(s.items) >= s.k && g.cellDist2(s.q, ix, iy, iz) > s.items[0].Dist2 {
+	if len(s.items) >= s.k {
+		if g.cellDist2(s.q, ix, iy, iz) > s.items[0].Dist2 {
+			return
+		}
+		if g.vec {
+			s.cellVec(int(lo), int(hi))
+			return
+		}
+	} else if g.vec {
+		// Fill the heap scalar, handing the rest of the cell to the
+		// vector prefilter the moment it fills: a dense seed cell (the
+		// common first cell of an ε-curve query) would otherwise pay an
+		// exact distance and heap offer for every candidate.
+		for o := int(lo); o < int(hi); o++ {
+			if len(s.items) >= s.k {
+				s.cellVec(o, int(hi))
+				return
+			}
+			id := g.ids[o]
+			s.offer(Neighbor{Index: int(id), Dist2: s.q.Dist2(g.point(id))})
+		}
 		return
 	}
-	for _, id := range g.ids[lo:hi] {
-		s.offer(Neighbor{Index: int(id), Dist2: s.q.Dist2(g.pts[id])})
+	if g.spts != nil {
+		for _, id := range g.ids[lo:hi] {
+			s.offer(Neighbor{Index: int(id), Dist2: s.q.Dist2(g.spts.At(int(id)))})
+		}
+	} else {
+		for _, id := range g.ids[lo:hi] {
+			s.offer(Neighbor{Index: int(id), Dist2: s.q.Dist2(g.pts[id])})
+		}
 	}
 }
 

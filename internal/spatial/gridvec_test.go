@@ -1,0 +1,220 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hawccc/internal/geom"
+	"hawccc/internal/geom/kernels"
+)
+
+// withVectorized runs fn twice — once with the SIMD kernels forced on,
+// once forced off — restoring the previous setting afterwards. On
+// machines without AVX both runs take the scalar path, which keeps the
+// comparison trivially true rather than skipping coverage.
+func withVectorized(t *testing.T, fn func(vec bool)) {
+	t.Helper()
+	prev := kernels.SetVectorized(true)
+	defer kernels.SetVectorized(prev)
+	fn(true)
+	kernels.SetVectorized(false)
+	fn(false)
+}
+
+// boundaryRadii returns radii placed exactly at point-to-point
+// distances, where the inclusive <= contract decides membership and a
+// rounded float32 compare would flip results.
+func boundaryRadii(rng *rand.Rand, cloud geom.Cloud, q geom.Point3, n int) []float64 {
+	radii := []float64{0.35, 0.8}
+	for i := 0; i < n; i++ {
+		p := cloud[rng.Intn(len(cloud))]
+		if d := math.Sqrt(q.Dist2(p)); d > 0 {
+			radii = append(radii, d)
+		}
+	}
+	return radii
+}
+
+// TestGridVectorizedMatchesScalar is the filter-and-refine acceptance
+// property: the SIMD radius/count/kNN paths must return bit-identical
+// results to the scalar grid — same ids, same order, same float64
+// distances — including radii sitting exactly on point distances.
+func TestGridVectorizedMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{9, 120, 600} {
+		cloud := randomCloud(rng, n)
+		queries := queryPoints(rng, cloud, 8)
+
+		type answer struct {
+			ids    [][]int
+			counts []int
+			nbrs   [][]Neighbor
+		}
+		var got [2]answer
+		withVectorized(t, func(vec bool) {
+			idx := 0
+			if !vec {
+				idx = 1
+			}
+			g := NewGrid(cloud, 0.4) // rebuild so the vec flag is re-latched
+			for qi, q := range queries {
+				qrng := rand.New(rand.NewSource(int64(n*100 + qi)))
+				for _, r := range boundaryRadii(qrng, cloud, q, 4) {
+					// Radius order is unspecified (vectorized builds bin
+					// coarser, which permutes CSR order); compare as sets.
+					ids := append([]int(nil), g.RadiusInto(nil, q, r)...)
+					sort.Ints(ids)
+					got[idx].ids = append(got[idx].ids, ids)
+					got[idx].counts = append(got[idx].counts, g.RadiusCount(q, r))
+				}
+				for _, k := range []int{1, 7, 16} {
+					nb := append([]Neighbor(nil), g.KNNInto(nil, q, k)...)
+					got[idx].nbrs = append(got[idx].nbrs, nb)
+				}
+			}
+		})
+
+		if len(got[0].ids) != len(got[1].ids) {
+			t.Fatalf("n=%d: query count mismatch", n)
+		}
+		for i := range got[0].ids {
+			if !equalInts(got[0].ids[i], got[1].ids[i]) {
+				t.Fatalf("n=%d query %d: vectorized radius ids %v != scalar %v",
+					n, i, got[0].ids[i], got[1].ids[i])
+			}
+			if got[0].counts[i] != got[1].counts[i] {
+				t.Fatalf("n=%d query %d: vectorized count %d != scalar %d",
+					n, i, got[0].counts[i], got[1].counts[i])
+			}
+		}
+		for i := range got[0].nbrs {
+			if !equalNeighbors(got[0].nbrs[i], got[1].nbrs[i]) {
+				t.Fatalf("n=%d kNN %d: vectorized %v != scalar %v",
+					n, i, got[0].nbrs[i], got[1].nbrs[i])
+			}
+		}
+	}
+}
+
+// TestGridSoAMatchesWidenedAoS pins the ResetSoA contract: queries
+// against an SoA-built grid match the scalar AoS grid built over the
+// float32-widened cloud bit for bit, and both match brute force.
+func TestGridSoAMatchesWidenedAoS(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{7, 200, 500} {
+		var soa geom.CloudSoA
+		soa.FromCloud(randomCloud(rng, n))
+		widened := soa.ToCloud()
+
+		cell := AutoCellSoA(&soa, 8)
+		if aos := AutoCell(widened, 8); cell != aos {
+			t.Fatalf("n=%d: AutoCellSoA %g != AutoCell %g on widened cloud", n, cell, aos)
+		}
+
+		gs := &Grid{}
+		gs.ResetSoA(&soa, cell)
+		ga := NewGrid(widened, cell)
+		if gs.Len() != n || ga.Len() != n {
+			t.Fatalf("n=%d: Len soa=%d aos=%d", n, gs.Len(), ga.Len())
+		}
+
+		for _, q := range queryPoints(rng, widened, 10) {
+			for _, r := range boundaryRadii(rng, widened, q, 3) {
+				sIDs := gs.RadiusInto(nil, q, r)
+				aIDs := ga.RadiusInto(nil, q, r)
+				if !equalInts(sIDs, aIDs) {
+					t.Fatalf("n=%d r=%g: SoA radius %v != AoS %v", n, r, sIDs, aIDs)
+				}
+				if want := bruteRadius(widened, q, r); !equalInts(sortedCopy(sIDs), want) {
+					t.Fatalf("n=%d r=%g: SoA radius %v != brute %v", n, r, sortedCopy(sIDs), want)
+				}
+				if c := gs.RadiusCount(q, r); c != len(sIDs) {
+					t.Fatalf("n=%d r=%g: SoA RadiusCount %d != %d", n, r, c, len(sIDs))
+				}
+			}
+			for _, k := range []int{1, 5, 12} {
+				sNb := gs.KNNInto(nil, q, k)
+				if aNb := ga.KNNInto(nil, q, k); !equalNeighbors(sNb, aNb) {
+					t.Fatalf("n=%d k=%d: SoA kNN %v != AoS %v", n, k, sNb, aNb)
+				}
+				if want := bruteKNN(widened, q, k); !equalNeighbors(sNb, want) {
+					t.Fatalf("n=%d k=%d: SoA kNN %v != brute %v", n, k, sNb, want)
+				}
+			}
+		}
+	}
+}
+
+// TestGridSoAResetReuse mirrors TestGridResetReuse for the SoA build
+// path: steady-state rebuild plus queries must be allocation-free.
+func TestGridSoAResetReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	var soa geom.CloudSoA
+	soa.FromCloud(randomCloud(rng, 300))
+	g := &Grid{}
+	g.ResetSoA(&soa, 0.4)
+	q := soa.At(0)
+	nbuf := make([]int, 0, 64)
+	kbuf := make([]Neighbor, 0, 16)
+	allocs := testing.AllocsPerRun(100, func() {
+		g.ResetSoA(&soa, 0.4)
+		nbuf = g.RadiusInto(nbuf[:0], q, 0.6)
+		kbuf = g.KNNInto(kbuf[:0], q, 8)
+		_ = g.RadiusCount(q, 0.6)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ResetSoA+query allocates: %.1f allocs/op", allocs)
+	}
+}
+
+// TestFrameIndexBuildSoA checks the pooled FrameIndex SoA entry point
+// against brute force over the widened cloud.
+func TestFrameIndexBuildSoA(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	var soa geom.CloudSoA
+	soa.FromCloud(randomCloud(rng, 250))
+	widened := soa.ToCloud()
+	var fi FrameIndex
+	fi.BuildSoA(&soa, 0.3)
+	if fi.Len() != soa.Len() {
+		t.Fatalf("Len = %d, want %d", fi.Len(), soa.Len())
+	}
+	for _, q := range queryPoints(rng, widened, 15) {
+		want := bruteRadius(widened, q, 0.5)
+		if got := sortedCopy(fi.Radius(q, 0.5)); !equalInts(got, want) {
+			t.Fatalf("BuildSoA radius mismatch: got %v want %v", got, want)
+		}
+		if wantK := bruteKNN(widened, q, 6); !equalNeighbors(fi.KNN(q, 6), wantK) {
+			t.Fatalf("BuildSoA kNN mismatch")
+		}
+	}
+}
+
+// TestGridVecLargeCoordsFallback: coordinates beyond the float32-safe
+// band must force the scalar path (vec latched off at build) and still
+// answer correctly.
+func TestGridVecLargeCoordsFallback(t *testing.T) {
+	prev := kernels.SetVectorized(true)
+	defer kernels.SetVectorized(prev)
+	const far = 2e17
+	cloud := geom.Cloud{
+		{X: far, Y: 0, Z: 0},
+		{X: far + 1, Y: 0, Z: 0},
+		{X: far, Y: 3, Z: 0},
+		{X: far + 0.5, Y: 0.5, Z: 0.5},
+	}
+	g := NewGrid(cloud, 1)
+	if g.vec {
+		t.Fatal("grid stayed vectorized beyond the float32-safe coordinate band")
+	}
+	q := geom.Point3{X: far, Y: 0, Z: 0}
+	want := bruteRadius(cloud, q, 1.2)
+	if got := sortedCopy(g.Radius(q, 1.2)); !equalInts(got, want) {
+		t.Fatalf("fallback radius %v != brute %v", got, want)
+	}
+	if c := g.RadiusCount(q, 1.2); c != len(want) {
+		t.Fatalf("fallback RadiusCount %d != %d", c, len(want))
+	}
+}

@@ -67,14 +67,26 @@ var (
 // or all-duplicate) fall back to extent- and count-based estimates; the
 // result is always positive for a non-empty cloud.
 func AutoCell(cloud geom.Cloud, k int) float64 {
-	n := len(cloud)
-	if n == 0 {
+	if len(cloud) == 0 {
 		return 1
 	}
+	return autoCellSized(cloud.Bounds().Size(), len(cloud), k)
+}
+
+// AutoCellSoA is AutoCell for a structure-of-arrays cloud.
+func AutoCellSoA(cloud *geom.CloudSoA, k int) float64 {
+	if cloud.Len() == 0 {
+		return 1
+	}
+	return autoCellSized(cloud.Bounds().Size(), cloud.Len(), k)
+}
+
+// autoCellSized is the shared heuristic: cell edge from the bounding-box
+// size and point count.
+func autoCellSized(size geom.Point3, n, k int) float64 {
 	if k < 1 {
 		k = 1
 	}
-	size := cloud.Bounds().Size()
 	if vol := size.X * size.Y * size.Z; vol > 0 {
 		return math.Cbrt(vol * float64(k) / (27 * float64(n)))
 	}

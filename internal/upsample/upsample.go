@@ -133,7 +133,9 @@ func pad(rng *rand.Rand, cloud geom.Cloud, target int, draw func(int) geom.Cloud
 		}
 		return out
 	}
-	out := cloud.Clone()
+	// One exact-capacity allocation instead of Clone plus append growth.
+	out := make(geom.Cloud, 0, target)
+	out = append(out, cloud...)
 	return append(out, draw(target-len(cloud))...)
 }
 
