@@ -8,8 +8,8 @@
 //
 // Experiments: table1 table2 table3 table4 table5 table6 fig4 fig6 fig8
 // (combined 8a+8b; fig8a/fig8b run the individual variants) fig9 fig10
-// fig11 parallel kernels stream cluster geom fleet, or "all". Presets:
-// quick, standard, full.
+// fig11 parallel kernels stream cluster geom fleet history thermal, or
+// "all". Presets: quick, standard, full.
 //
 // The parallel experiment sweeps frame-level worker counts and, with
 // -parallel-out, writes the machine-readable BENCH_parallel.json consumed
@@ -31,6 +31,16 @@
 // fleet while dashboard query workers hammer the snapshot-served HTTP
 // query API, and, with -fleet-out, writes BENCH_fleet.json (reports/sec,
 // query QPS, p99 ingest and query latency, report-conservation check).
+// The history experiment benchmarks the FTDC-style time-series store:
+// a store-level ingest sweep at 1k/10k poles (appends/sec, bytes/sample
+// and compression vs naive 16-byte float64 rows, conservation), a
+// bit-exact raw round-trip check, and an end-to-end replay where a
+// history-enabled backend ingests fleet reports while scaled query
+// workers mix /api/history reads into the dashboard load; -history-out
+// writes BENCH_history.json for the CI bench-history gates. The thermal
+// experiment rederives the Figure 10 temperature analysis from history
+// store reads (raw zip + 24h downsampled daily maxima) and asserts it
+// matches the in-memory telemetry path bit for bit.
 //
 // SIGINT/SIGTERM stop the run between experiments: the current
 // experiment finishes, its output (and any requested JSON artifact
@@ -59,13 +69,14 @@ func main() {
 }
 
 func run() error {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (table1..table6, fig4, fig6, fig8a, fig8b, fig9, fig10, fig11, parallel, kernels, stream, cluster, geom, fleet, all)")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (table1..table6, fig4, fig6, fig8a, fig8b, fig9, fig10, fig11, parallel, kernels, stream, cluster, geom, fleet, history, thermal, all)")
 	parallelOut := flag.String("parallel-out", "", "write the parallel sweep as JSON to this path (e.g. BENCH_parallel.json)")
 	kernelsOut := flag.String("kernels-out", "", "write the kernels sweep as JSON to this path (e.g. BENCH_kernels.json)")
 	streamOut := flag.String("stream-out", "", "write the stream-vs-loop sweep as JSON to this path (e.g. BENCH_stream.json)")
 	clusterOut := flag.String("cluster-out", "", "write the cluster-engine sweep as JSON to this path (e.g. BENCH_cluster.json)")
 	geomOut := flag.String("geom-out", "", "write the geometry-stage SIMD sweep as JSON to this path (e.g. BENCH_geom.json)")
 	fleetOut := flag.String("fleet-out", "", "write the fleet-scale backend sweep as JSON to this path (e.g. BENCH_fleet.json)")
+	historyOut := flag.String("history-out", "", "write the history-store benchmark as JSON to this path (e.g. BENCH_history.json)")
 	preset := flag.String("preset", "standard", "dataset/training scale: quick, standard, full")
 	seed := flag.Int64("seed", 0, "override the preset's random seed")
 	pnEpochs := flag.Int("pn-epochs", 0, "override the preset's PointNet training epochs")
@@ -356,6 +367,29 @@ func run() error {
 			}
 			fmt.Printf("wrote %s\n", *fleetOut)
 		}
+	}
+	if runIt("history") {
+		header("History — FTDC-style time-series store: ingest, compression, /api/history p99")
+		r := experiments.HistoryBench(lab)
+		fmt.Print(experiments.FormatHistory(r))
+		if *historyOut != "" {
+			f, err := os.Create(*historyOut)
+			if err != nil {
+				return fmt.Errorf("history-out: %w", err)
+			}
+			if err := experiments.WriteHistoryJSON(f, r); err != nil {
+				f.Close()
+				return fmt.Errorf("history-out: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("history-out: %w", err)
+			}
+			fmt.Printf("wrote %s\n", *historyOut)
+		}
+	}
+	if runIt("thermal") {
+		header("Thermal — Figure 10 rederived from the history store")
+		fmt.Print(experiments.FormatThermal(experiments.ThermalBench(lab)))
 	}
 	if runIt("fig11") {
 		header("Figure 11 — density level visualization")

@@ -16,6 +16,12 @@
 //
 //	polesim -synthetic -poles 10000 -reports 5 -query-workers 4
 //
+// With -history every count report and telemetry reading is also
+// captured into the FTDC-style time-series store (internal/tsdb) and
+// served back through /api/history; -history-dir streams sealed chunks
+// to rotated segment files, and -history-percent aims that share of the
+// synthetic query load at the history endpoint (both imply -history).
+//
 // Poles are assigned round-robin to -zones campus zones; the backend's
 // query API (served on -api-addr, and mounted at /api/ on the metrics
 // listener when -metrics-addr is set) rolls counts up per pole, per
@@ -57,6 +63,7 @@ import (
 	"hawccc/internal/obs"
 	"hawccc/internal/pole"
 	"hawccc/internal/telemetry"
+	"hawccc/internal/tsdb"
 )
 
 func main() {
@@ -85,6 +92,9 @@ func run() error {
 	queryWorkers := flag.Int("query-workers", 0, "concurrent query-API clients during a -synthetic run (0 = off)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9100; empty = off)")
 	metricsDump := flag.String("metrics-dump", "", "after the run, scrape /metrics and write the exposition text to this file (implies -metrics-addr 127.0.0.1:0 if unset)")
+	history := flag.Bool("history", false, "capture per-pole history in the FTDC-style time-series store and serve /api/history")
+	historyDir := flag.String("history-dir", "", "stream sealed history chunks to segment files in this directory (implies -history)")
+	historyPercent := flag.Int("history-percent", 0, "percent of -query-workers load aimed at /api/history in -synthetic mode (implies -history)")
 	flag.Parse()
 
 	// One mutex serializes every diagnostic line the simulator itself
@@ -110,11 +120,20 @@ func run() error {
 		*apiAddr = "127.0.0.1:0"
 	}
 
+	if *historyDir != "" || *historyPercent > 0 {
+		*history = true
+	}
+	var histCfg *tsdb.Config
+	if *history {
+		histCfg = &tsdb.Config{Dir: *historyDir}
+	}
+
 	srv, err := backend.Listen(backend.Config{
 		Addr:          "127.0.0.1:0",
 		APIAddr:       *apiAddr,
 		CrowdingLimit: *crowding,
 		OverheatLimit: 50,
+		History:       histCfg,
 		Obs:           reg,
 		Logf:          func(f string, a ...any) { logf("[backend] "+f, a...) },
 	})
@@ -149,6 +168,7 @@ func run() error {
 			poles: *poles, reports: *reports, conns: *conns,
 			interval: *interval, stagger: *stagger,
 			zones: *zones, seed: *seed, queryWorkers: *queryWorkers,
+			historyPercent: *historyPercent,
 		}); err != nil {
 			return err
 		}
@@ -163,6 +183,7 @@ func run() error {
 	}
 
 	printSnapshot(srv)
+	printHistory(srv)
 
 	if *metricsDump != "" {
 		if err := dumpMetrics(ms.URL(), *metricsDump); err != nil {
@@ -237,6 +258,7 @@ func runCampus(ctx context.Context, srv *backend.Server, reg *obs.Registry, cfg 
 
 type syntheticConfig struct {
 	poles, reports, conns, zones, queryWorkers int
+	historyPercent                             int
 	interval, stagger                          time.Duration
 	seed                                       int64
 }
@@ -252,11 +274,12 @@ func runSynthetic(ctx context.Context, srv *backend.Server, cfg syntheticConfig)
 	if cfg.queryWorkers > 0 {
 		go func() {
 			queryDone <- fleet.Query(qctx, fleet.QueryConfig{
-				BaseURL: "http://" + srv.APIAddr(),
-				Workers: cfg.queryWorkers,
-				Poles:   cfg.poles,
-				Zones:   cfg.zones,
-				Seed:    cfg.seed + 1,
+				BaseURL:        "http://" + srv.APIAddr(),
+				Workers:        cfg.queryWorkers,
+				Poles:          cfg.poles,
+				Zones:          cfg.zones,
+				HistoryPercent: cfg.historyPercent,
+				Seed:           cfg.seed + 1,
 			})
 		}()
 	}
@@ -283,6 +306,10 @@ func runSynthetic(ctx context.Context, srv *backend.Server, cfg syntheticConfig)
 		q := <-queryDone
 		fmt.Printf("queries: %d from %d workers — %.0f QPS, p50 %.3fms p99 %.3fms, %d errors\n",
 			q.Queries, q.Workers, q.QPS, q.Latency.P50Ms, q.Latency.P99Ms, q.Errors+q.NonOK)
+		if q.HistoryQueries > 0 {
+			fmt.Printf("history queries: %d — p50 %.3fms p99 %.3fms\n",
+				q.HistoryQueries, q.HistoryLatency.P50Ms, q.HistoryLatency.P99Ms)
+		}
 	}
 	if ctx.Err() != nil {
 		fmt.Println("interrupted — campus shut down gracefully")
@@ -307,6 +334,17 @@ func printSnapshot(srv *backend.Server) {
 	}
 	fmt.Printf("campus: %d poles, count %d, reports %d, alerts %d (snapshot seq %d)\n",
 		snap.Campus.Poles, snap.Campus.Count, snap.Campus.Reports, snap.Campus.Alerts, snap.Seq)
+}
+
+// printHistory summarizes the history store when -history enabled it.
+func printHistory(srv *backend.Server) {
+	st := srv.History()
+	if st == nil {
+		return
+	}
+	stats := st.Stats()
+	fmt.Printf("history: %d series, %d samples captured, %.2f bytes/sample sealed (%.1fx vs 16-byte rows)\n",
+		stats.Series, stats.Appended, stats.BytesPerSample, stats.CompressionVs16)
 }
 
 // dumpMetrics scrapes the simulator's own /metrics endpoint and writes the

@@ -27,7 +27,7 @@ type apiObs struct {
 }
 
 // apiEndpoints is the label set under backend_api_requests_total.
-var apiEndpoints = []string{"campus", "poles", "pole", "zones", "zone", "top", "alerts"}
+var apiEndpoints = []string{"campus", "poles", "pole", "zones", "zone", "top", "alerts", "history", "history_series"}
 
 func newAPIObs(reg *obs.Registry) apiObs {
 	m := apiObs{requests: make(map[string]*obs.Counter, len(apiEndpoints))}
@@ -67,10 +67,15 @@ func meta(snap *Snapshot) snapshotMeta {
 //	GET /api/zones/{zone}  one zone's rollup plus its poles
 //	GET /api/top?k=N       the N busiest poles by current count (default 10)
 //	GET /api/alerts?limit=N  the most recent alerts (default 100)
+//	GET /api/history?pole=ID&series=NAME&res=raw|DUR  raw or downsampled
+//	       history reads over the FTDC-style store (history.go; 404
+//	       unless Config.History enables capture)
+//	GET /api/history/series?pole=ID  the pole's captured series
 //
-// All endpoints are served entirely from the current snapshot; the only
-// lock any of them may touch is the alert log's own mutex (the /api/alerts
-// copy), never a registry shard lock.
+// The snapshot endpoints are served entirely from the current snapshot;
+// the history endpoints decode immutable sealed chunks plus one series'
+// hot tail. Neither may touch a registry shard lock (the only other lock
+// is the alert log's own mutex, for the /api/alerts copy).
 func (s *Server) APIHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/campus", s.api("campus", func(w http.ResponseWriter, r *http.Request, snap *Snapshot) (int, any) {
@@ -148,6 +153,8 @@ func (s *Server) APIHandler() http.Handler {
 			Alerts []wire.Alert `json:"alerts"`
 		}{meta(snap), total, alerts}
 	}))
+	mux.HandleFunc("GET /api/history", s.api("history", s.handleHistory))
+	mux.HandleFunc("GET /api/history/series", s.api("history_series", s.handleHistorySeries))
 	return mux
 }
 

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"hawccc/internal/obs"
+	"hawccc/internal/tsdb"
 	"hawccc/internal/wire"
 )
 
@@ -56,6 +57,19 @@ type Config struct {
 	// new alert evicts the oldest retained one. 0 selects
 	// DefaultAlertLogCap.
 	AlertLogCap int
+	// History, when non-nil, enables the FTDC-style time-series capture
+	// (internal/tsdb): every count report and telemetry reading is
+	// appended to per-pole history series at its wire timestamp, and the
+	// /api/history endpoints serve raw and downsampled reads over them.
+	// The pointed-to Config selects the store's sharding, chunking,
+	// retention, and optional disk-backed segments.
+	History *tsdb.Config
+	// HistorySampleInterval is the cadence of the background sampler that
+	// captures every Obs instrument into the history store (0 selects
+	// tsdb.DefaultSampleInterval). Negative disables the background loop;
+	// tests then drive capture deterministically through SampleHistory.
+	// Ignored unless both History and Obs are set.
+	HistorySampleInterval time.Duration
 	// Obs, when non-nil, registers the backend's metrics: per-pole report
 	// and alert counters, last-seen timestamps, compartment temperature,
 	// connection counts, wire traffic, the edge latency each report
@@ -129,6 +143,11 @@ type Server struct {
 
 	alog alertLog
 
+	// hist is the FTDC-style history store (nil when Config.History is
+	// nil); sampler captures Obs instruments into it on a background tick.
+	hist    *tsdb.Store
+	sampler *tsdb.Sampler
+
 	apiLn  net.Listener
 	apiSrv *http.Server
 
@@ -158,6 +177,25 @@ func Listen(cfg Config) (*Server, error) {
 	}
 	s.snap.Store(newSnapshot(0, time.Now(), nil))
 	s.alog.init(cfg.AlertLogCap)
+	if cfg.History != nil {
+		st, err := tsdb.New(*cfg.History)
+		if err != nil {
+			cancel()
+			ln.Close()
+			return nil, err
+		}
+		s.hist = st
+		if cfg.Obs != nil {
+			s.sampler = tsdb.NewSampler(st, cfg.Obs, tsdb.SamplerConfig{Interval: cfg.HistorySampleInterval})
+			if cfg.HistorySampleInterval >= 0 {
+				s.wg.Add(1)
+				go func() {
+					defer s.wg.Done()
+					s.sampler.Run(ctx)
+				}()
+			}
+		}
+	}
 	if reg := cfg.Obs; reg != nil {
 		s.m = backendObs{
 			connsActive:    reg.Gauge("backend_connections_active", "pole connections currently open"),
@@ -214,6 +252,14 @@ func (s *Server) Close() error {
 		s.apiSrv.Close()
 	}
 	s.wg.Wait()
+	if s.hist != nil {
+		// Seal the hot tails so disk segments carry every captured sample,
+		// then flush the segment writer. The store itself stays readable.
+		s.hist.SealAll()
+		if cerr := s.hist.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	close(s.done)
 	return err
 }
@@ -262,7 +308,7 @@ func (s *Server) handle(conn net.Conn) error {
 				return err
 			}
 			poleID = h.PoleID
-			s.withPole(h.PoleID, func(p *PoleStats, m *poleObs) {
+			s.withPole(h.PoleID, func(p *PoleStats, m *poleObs, _ *poleHist) {
 				p.Location = h.Location
 				p.Zone = h.Zone
 				p.LastSeen = time.Now()
@@ -310,7 +356,7 @@ func (s *Server) handle(conn net.Conn) error {
 
 func (s *Server) alert(wc *wire.Conn, a wire.Alert) error {
 	s.alog.add(a)
-	s.withPole(a.PoleID, func(p *PoleStats, m *poleObs) {
+	s.withPole(a.PoleID, func(p *PoleStats, m *poleObs, _ *poleHist) {
 		p.Alerts++
 		m.alerts.Inc()
 	})
@@ -324,11 +370,11 @@ func (s *Server) alert(wc *wire.Conn, a wire.Alert) error {
 	return wc.Send(wire.MsgAlert, wire.EncodeAlert(a))
 }
 
-// withPole runs f with the pole's aggregate record and instrument set
-// under the owning shard's lock, creating both on first sight of the
-// pole.
-func (s *Server) withPole(id uint32, f func(*PoleStats, *poleObs)) {
-	s.reg.withPole(id, s.newPoleObs, f)
+// withPole runs f with the pole's aggregate record, instrument set, and
+// history handles under the owning shard's lock, creating them on first
+// sight of the pole.
+func (s *Server) withPole(id uint32, f func(*PoleStats, *poleObs, *poleHist)) {
+	s.reg.withPole(id, s.newPoleObs, s.newPoleHist, f)
 }
 
 // newPoleObs creates the per-pole instruments; all nil without a registry.
@@ -349,7 +395,7 @@ func (s *Server) newPoleObs(id uint32) *poleObs {
 
 func (s *Server) recordCount(r wire.CountReport) {
 	s.m.edgeLatency.Observe(float64(r.LatencyUS) / 1e6)
-	s.withPole(r.PoleID, func(p *PoleStats, m *poleObs) {
+	s.withPole(r.PoleID, func(p *PoleStats, m *poleObs, h *poleHist) {
 		p.Reports++
 		p.LastCount = int(r.Count)
 		p.TotalCount += int64(r.Count)
@@ -360,11 +406,12 @@ func (s *Server) recordCount(r wire.CountReport) {
 		m.reports.Inc()
 		m.lastNum.Set(float64(r.Count))
 		m.lastSeen.SetTime(p.LastSeen)
+		h.recordCount(r)
 	})
 }
 
 func (s *Server) recordTelemetry(t wire.Telemetry) {
-	s.withPole(t.PoleID, func(p *PoleStats, m *poleObs) {
+	s.withPole(t.PoleID, func(p *PoleStats, m *poleObs, h *poleHist) {
 		p.LastTemp = t.PoleTemp
 		if t.PoleTemp > p.MaxTemp {
 			p.MaxTemp = t.PoleTemp
@@ -372,6 +419,7 @@ func (s *Server) recordTelemetry(t wire.Telemetry) {
 		p.LastSeen = time.Now()
 		m.tempC.Set(t.PoleTemp)
 		m.lastSeen.SetTime(p.LastSeen)
+		h.recordTelemetry(t)
 	})
 }
 

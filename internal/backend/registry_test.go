@@ -13,6 +13,9 @@ import (
 // instruments, every update a no-op.
 func noObs(uint32) *poleObs { return &poleObs{} }
 
+// noHist is its history counterpart: nil handles, no-op capture.
+func noHist(uint32) *poleHist { return nil }
+
 // findShardMates scans pole IDs from 2 upward for one that shares pole 1's
 // shard and one that does not, so tests can pin both collision behaviors
 // regardless of the hash constants.
@@ -93,7 +96,7 @@ func TestConcurrentReportsSameAndCrossShard(t *testing.T) {
 			go func(id uint32) {
 				defer wg.Done()
 				for i := 0; i < reportsEach; i++ {
-					r.withPole(id, noObs, func(p *PoleStats, _ *poleObs) {
+					r.withPole(id, noObs, noHist, func(p *PoleStats, _ *poleObs, _ *poleHist) {
 						p.Reports++
 						p.LastCount = 3
 						p.TotalCount += 3
@@ -202,7 +205,7 @@ func TestNoTornCampusTotals(t *testing.T) {
 		reports = 200
 	)
 	for id := uint32(1); id <= poles; id++ {
-		s.withPole(id, func(p *PoleStats, _ *poleObs) {
+		s.withPole(id, func(p *PoleStats, _ *poleObs, _ *poleHist) {
 			p.Zone = map[uint32]string{0: "north", 1: "south"}[id%2]
 		})
 	}

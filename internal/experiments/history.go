@@ -1,0 +1,349 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"hawccc/internal/backend"
+	"hawccc/internal/fleet"
+	"hawccc/internal/tsdb"
+)
+
+// HistoryIngestRow is one pole-count point of the store-level ingest
+// sweep: parallel writers append the per-pole series a campus backend
+// records (count, clusters, edge latency, compartment temperature) at a
+// regular cadence, then the store is sealed and its compression is read
+// off against the naive 16-byte (timestamp, float64) row baseline.
+type HistoryIngestRow struct {
+	Poles            int     `json:"poles"`
+	SeriesPerPole    int     `json:"series_per_pole"`
+	SamplesPerSeries int     `json:"samples_per_series"`
+	Writers          int     `json:"writers"`
+	Appends          uint64  `json:"appends"`
+	AppendsPerSec    float64 `json:"appends_per_sec"`
+	BytesPerSample   float64 `json:"bytes_per_sample"`
+	CompressionRatio float64 `json:"compression_ratio"`
+	IntChunks        uint64  `json:"int_chunks"`
+	// Conserved is the store-level conservation check: every appended
+	// sample is still decodable (nothing sealed away wrong, nothing
+	// evicted at this volume).
+	Conserved bool `json:"all_samples_conserved"`
+}
+
+// HistoryBenchResult is the ingest sweep, the end-to-end replay point,
+// and the CI gate fields.
+type HistoryBenchResult struct {
+	NumCPU       int                `json:"num_cpu"`
+	QueryWorkers int                `json:"query_workers"`
+	Ingest       []HistoryIngestRow `json:"ingest"`
+
+	// Gate fields, taken from the largest ingest row (production chunk
+	// size, realistic series shapes): CI asserts compression_ratio >= 8
+	// against the float64-row baseline, conservation, and that a raw
+	// read returns exactly the appended bits.
+	LargestPoles         int     `json:"largest_poles"`
+	AppendsPerSecLargest float64 `json:"appends_per_sec_largest"`
+	BytesPerSample       float64 `json:"bytes_per_sample"`
+	CompressionRatio     float64 `json:"compression_ratio"`
+	AllSamplesConserved  bool    `json:"all_samples_conserved"`
+	RawRoundTripExact    bool    `json:"raw_round_trip_exact"`
+
+	// Replay: a live backend ingests fleet reports (captured into the
+	// history store inline) while dashboard workers mix snapshot and
+	// /api/history queries; the history percentiles are measured alone.
+	ReplayPoles            int     `json:"replay_poles"`
+	ReplayReports          int     `json:"replay_reports"`
+	ReportsPerSec          float64 `json:"reports_per_sec"`
+	Queries                int     `json:"queries"`
+	QueryQPS               float64 `json:"query_qps"`
+	QueryErrors            int     `json:"query_errors"`
+	HistoryQueries         int     `json:"history_queries"`
+	HistoryQueryP50Ms      float64 `json:"history_query_p50_ms"`
+	HistoryQueryP99Ms      float64 `json:"history_query_p99_ms"`
+	HistorySamplesCaptured uint64  `json:"history_samples_captured"`
+	HistorySeries          int     `json:"history_series"`
+}
+
+// historyPoleCounts sweeps the store-level ingest up to the 10k-pole
+// campus the fleet benchmark targets.
+var historyPoleCounts = []int{1000, 10000}
+
+// historySeriesNames are the per-pole streams the ingest sweep writes —
+// the same four the backend records for every pole.
+var historySeriesNames = [...]string{"count", "clusters", "edge_latency_us", "pole_temp_c"}
+
+// historyHistoryPercent is the share of replay queries aimed at
+// /api/history (the rest exercise the snapshot mix as in FleetBench).
+const historyHistoryPercent = 50
+
+// historySamplesPerSeries scales the per-series sample volume with the
+// preset; bounded so the 10k-pole row stays a few seconds even on full.
+func historySamplesPerSeries(cfg Config) int {
+	n := 8 * cfg.CrowdFrames // quick: 240, standard: 800, full: 2400
+	if n < 64 {
+		n = 64
+	}
+	if n > 1024 {
+		n = 1024
+	}
+	return n
+}
+
+// HistoryBench measures the FTDC-style history store end to end: raw
+// append throughput and compression at fleet scale, bit-exact raw
+// reads, and /api/history query latency under concurrent replay.
+func HistoryBench(l *Lab) HistoryBenchResult {
+	res := HistoryBenchResult{
+		NumCPU:              runtime.NumCPU(),
+		QueryWorkers:        fleet.ScaledQueryWorkers(),
+		AllSamplesConserved: true,
+	}
+	samples := historySamplesPerSeries(l.Cfg)
+	for _, poles := range historyPoleCounts {
+		l.logf("history bench: ingest %d poles × %d series × %d samples...",
+			poles, len(historySeriesNames), samples)
+		row := benchHistoryIngestRow(poles, samples)
+		res.Ingest = append(res.Ingest, row)
+		res.AllSamplesConserved = res.AllSamplesConserved && row.Conserved
+		if poles > res.LargestPoles {
+			res.LargestPoles = poles
+			res.AppendsPerSecLargest = row.AppendsPerSec
+			res.BytesPerSample = row.BytesPerSample
+			res.CompressionRatio = row.CompressionRatio
+		}
+	}
+
+	res.RawRoundTripExact = historyRawRoundTrip()
+
+	l.logf("history bench: replay + %d query workers (%d%% history mix)...",
+		res.QueryWorkers, historyHistoryPercent)
+	benchHistoryReplay(l, &res)
+	return res
+}
+
+// ingestCount mirrors the fleet generator's crowd shape: a per-pole
+// sinusoid plus deterministic jitter, always integral.
+func ingestCount(pole uint32, round int) float64 {
+	base := 2 + float64(pole%7)
+	phase := float64(pole%16) / 16 * 2 * math.Pi
+	wave := 3 * math.Sin(2*math.Pi*float64(round)/16+phase)
+	c := base + wave + float64((int(pole)*31+round*17)%3)
+	if c < 0 {
+		c = 0
+	}
+	return math.Floor(c)
+}
+
+// ingestTemp is a compartment temperature: a slow diurnal swing
+// quantized to the 0.25 °C steps a real sensor reports, so consecutive
+// samples form the constant runs the codec's zero-RLE eats.
+func ingestTemp(pole uint32, round int) float64 {
+	t := 36 + 8*math.Sin(2*math.Pi*float64(round)/2048+float64(pole%8))
+	return math.Round(t*4) / 4
+}
+
+// ingestLatency is an edge-inference latency in whole microseconds.
+func ingestLatency(pole uint32, round int) float64 {
+	return float64(900 + (int(pole)*13+round*7)%120)
+}
+
+// benchHistoryIngestRow writes one pole-count point into a fresh store
+// at the production chunk size with one writer goroutine per core, then
+// seals and audits it.
+func benchHistoryIngestRow(poles, samples int) HistoryIngestRow {
+	st := tsdb.MustNew(tsdb.Config{MaxChunks: -1})
+	writers := runtime.GOMAXPROCS(0)
+	if writers > poles {
+		writers = poles
+	}
+
+	// Pre-create the series handles outside the timed region: a backend
+	// resolves each pole's handles once at registration, not per report.
+	handles := make([][len(historySeriesNames)]*tsdb.Series, poles)
+	for p := 0; p < poles; p++ {
+		for si, name := range historySeriesNames {
+			handles[p][si] = st.Series(uint32(p+1), name)
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Time-major over this writer's pole slice: every pole
+			// advances through the same rounds, as a capture tick would.
+			for round := 0; round < samples; round++ {
+				ts := int64(round) * int64(time.Second)
+				for p := w; p < poles; p += writers {
+					pole := uint32(p + 1)
+					h := &handles[p]
+					h[0].Append(ts, ingestCount(pole, round))
+					h[1].Append(ts, math.Floor(ingestCount(pole, round)/3))
+					h[2].Append(ts, ingestLatency(pole, round))
+					h[3].Append(ts, ingestTemp(pole, round))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	st.SealAll()
+
+	stats := st.Stats()
+	row := HistoryIngestRow{
+		Poles:            poles,
+		SeriesPerPole:    len(historySeriesNames),
+		SamplesPerSeries: samples,
+		Writers:          writers,
+		Appends:          stats.Appended,
+		BytesPerSample:   stats.BytesPerSample,
+		CompressionRatio: stats.CompressionVs16,
+		IntChunks:        stats.IntChunks,
+		Conserved: stats.Retained == stats.Appended &&
+			stats.DroppedSamples == 0 &&
+			stats.Appended == uint64(poles*len(historySeriesNames)*samples),
+	}
+	if elapsed > 0 {
+		row.AppendsPerSec = float64(stats.Appended) / elapsed.Seconds()
+	}
+	st.Close()
+	return row
+}
+
+// historyRawRoundTrip appends adversarial float bit patterns and checks
+// a raw read hands back the identical bits — the same invariant the
+// /api/history res=raw contract pins over HTTP.
+func historyRawRoundTrip() bool {
+	st := tsdb.MustNew(tsdb.Config{ChunkSamples: 4}) // force mid-read seals
+	vals := []float64{
+		0.1 + 0.2, math.Pi, math.Nextafter(math.Pi, 4), math.Copysign(0, -1),
+		5e-324, -1.7976931348623157e308, math.NaN(), math.Inf(1), 42,
+	}
+	sr := st.Series(7, "selftest")
+	for i, v := range vals {
+		sr.Append(int64(i)*int64(time.Second), v)
+	}
+	got, err := sr.QueryRaw(0, math.MaxInt64)
+	if err != nil || len(got) != len(vals) {
+		return false
+	}
+	for i, s := range got {
+		if s.TS != int64(i)*int64(time.Second) ||
+			math.Float64bits(s.V) != math.Float64bits(vals[i]) {
+			return false
+		}
+	}
+	st.Close()
+	return true
+}
+
+// benchHistoryReplay stands up a history-enabled backend, replays a
+// synthetic fleet into it, and measures /api/history latency under the
+// concurrent dashboard mix.
+func benchHistoryReplay(l *Lab, res *HistoryBenchResult) {
+	poles := 2000
+	reportsPerPole := fleetTargetReports(l.Cfg) / poles
+	if reportsPerPole < 3 {
+		reportsPerPole = 3
+	}
+
+	srv, err := backend.Listen(backend.Config{
+		Addr:    "127.0.0.1:0",
+		APIAddr: "127.0.0.1:0",
+		History: &tsdb.Config{},
+		// No background sampler: count reports are captured inline by the
+		// ingest path itself, which is what the replay measures.
+		HistorySampleInterval: -1,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: history backend: %v", err))
+	}
+	defer srv.Close()
+
+	// Warm-up: one report per pole so history queries during the timed
+	// phase find every pole's series registered.
+	warm := fleet.ReportConfig{
+		Addr: srv.Addr(), Poles: poles, ReportsPerPole: 1,
+		Seed: l.Cfg.Seed + 100,
+	}
+	if _, err := fleet.Report(context.Background(), warm); err != nil {
+		panic(fmt.Sprintf("experiments: history warm-up: %v", err))
+	}
+
+	qctx, stopQueries := context.WithCancel(context.Background())
+	queryDone := make(chan fleet.QueryResult, 1)
+	go func() {
+		queryDone <- fleet.Query(qctx, fleet.QueryConfig{
+			BaseURL:        "http://" + srv.APIAddr(),
+			Workers:        res.QueryWorkers,
+			Poles:          poles,
+			HistoryPercent: historyHistoryPercent,
+			HistorySeries:  []string{"count", "clusters", "edge_latency_us"},
+			Seed:           l.Cfg.Seed + 101,
+		})
+	}()
+
+	rep, err := fleet.Report(context.Background(), fleet.ReportConfig{
+		Addr: srv.Addr(), Poles: poles, ReportsPerPole: reportsPerPole,
+		Seed: l.Cfg.Seed + 102,
+	})
+	time.Sleep(fleetQueryGrace)
+	stopQueries()
+	if err != nil {
+		panic(fmt.Sprintf("experiments: history replay load: %v", err))
+	}
+	qres := <-queryDone
+
+	stats := srv.History().Stats()
+	res.ReplayPoles = poles
+	res.ReplayReports = rep.Reports + poles // timed phase + warm-up
+	res.ReportsPerSec = rep.ReportsPerSec
+	res.Queries = qres.Queries
+	res.QueryQPS = qres.QPS
+	res.QueryErrors = qres.Errors + qres.NonOK
+	res.HistoryQueries = qres.HistoryQueries
+	res.HistoryQueryP50Ms = qres.HistoryLatency.P50Ms
+	res.HistoryQueryP99Ms = qres.HistoryLatency.P99Ms
+	res.HistorySamplesCaptured = stats.Appended
+	res.HistorySeries = stats.Series
+}
+
+// FormatHistory renders the benchmark as a console table.
+func FormatHistory(r HistoryBenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "host: %d cores, %d query workers for the replay phase\n",
+		r.NumCPU, r.QueryWorkers)
+	fmt.Fprintf(&b, "%-7s %-7s %-8s %10s %12s %8s %8s %6s\n",
+		"Poles", "Series", "Samples", "Appends", "Appends/s", "B/sample", "Ratio", "OK")
+	for _, row := range r.Ingest {
+		fmt.Fprintf(&b, "%-7d %-7d %-8d %10d %12.0f %8.2f %7.1fx %6v\n",
+			row.Poles, row.Poles*row.SeriesPerPole, row.SamplesPerSeries,
+			row.Appends, row.AppendsPerSec, row.BytesPerSample,
+			row.CompressionRatio, row.Conserved)
+	}
+	fmt.Fprintf(&b, "raw round trip bit-exact: %v\n", r.RawRoundTripExact)
+	fmt.Fprintf(&b, "replay: %d poles, %d reports (%.0f/s), %d queries (%.0f QPS, %d errors)\n",
+		r.ReplayPoles, r.ReplayReports, r.ReportsPerSec,
+		r.Queries, r.QueryQPS, r.QueryErrors)
+	fmt.Fprintf(&b, "history queries: %d, p50 %.3fms, p99 %.3fms; captured %d samples across %d series\n",
+		r.HistoryQueries, r.HistoryQueryP50Ms, r.HistoryQueryP99Ms,
+		r.HistorySamplesCaptured, r.HistorySeries)
+	return b.String()
+}
+
+// WriteHistoryJSON writes the benchmark as the BENCH_history.json
+// artifact consumed by CI.
+func WriteHistoryJSON(w io.Writer, r HistoryBenchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

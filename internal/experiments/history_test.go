@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestHistoryIngestRowQuick runs one small store-level ingest point; the
+// 10k-pole sweep belongs to hawcbench/CI. Even this small row must
+// conserve every sample — compression is only asserted loosely here
+// because 64-sample chunks amortize the chunk header far worse than the
+// production 512-sample chunks CI gates on.
+func TestHistoryIngestRowQuick(t *testing.T) {
+	row := benchHistoryIngestRow(50, 64)
+	if row.Appends != 50*4*64 {
+		t.Fatalf("appended %d samples, want %d", row.Appends, 50*4*64)
+	}
+	if !row.Conserved {
+		t.Errorf("conservation failed: %+v", row)
+	}
+	if row.AppendsPerSec <= 0 {
+		t.Errorf("appends/sec %v", row.AppendsPerSec)
+	}
+	if row.CompressionRatio < 3 {
+		t.Errorf("compression %.2fx on integral-heavy series, want >= 3x even at tiny chunks", row.CompressionRatio)
+	}
+}
+
+func TestHistoryRawRoundTrip(t *testing.T) {
+	if !historyRawRoundTrip() {
+		t.Error("adversarial raw round trip lost bits")
+	}
+}
+
+// TestHistoryReplayQuick drives a scaled-down replay through a real
+// backend and checks history queries were served and measured.
+func TestHistoryReplayQuick(t *testing.T) {
+	res := HistoryBenchResult{QueryWorkers: 4}
+	l := NewLab(Quick())
+	benchHistoryReplay(l, &res)
+	if res.ReplayReports <= res.ReplayPoles {
+		t.Fatalf("replay sent %d reports over %d poles", res.ReplayReports, res.ReplayPoles)
+	}
+	if res.HistoryQueries == 0 {
+		t.Error("no history queries were issued")
+	}
+	if res.HistorySamplesCaptured == 0 || res.HistorySeries == 0 {
+		t.Errorf("backend captured %d samples / %d series", res.HistorySamplesCaptured, res.HistorySeries)
+	}
+	if res.Queries > 0 && res.QueryErrors == res.Queries {
+		t.Errorf("every query failed: %+v", res)
+	}
+}
+
+func TestHistoryJSONRoundTrip(t *testing.T) {
+	r := HistoryBenchResult{
+		NumCPU:              8,
+		CompressionRatio:    9.5,
+		AllSamplesConserved: true,
+		RawRoundTripExact:   true,
+		HistoryQueryP99Ms:   1.25,
+		Ingest:              []HistoryIngestRow{{Poles: 1000, CompressionRatio: 9.5, Conserved: true}},
+	}
+	var buf bytes.Buffer
+	if err := WriteHistoryJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	// The CI jq gates key on these exact field names.
+	for _, key := range []string{
+		`"compression_ratio"`, `"all_samples_conserved"`,
+		`"raw_round_trip_exact"`, `"history_query_p99_ms"`, `"bytes_per_sample"`,
+	} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("JSON artifact missing gate field %s", key)
+		}
+	}
+	var decoded HistoryBenchResult
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.CompressionRatio != 9.5 || !decoded.AllSamplesConserved || len(decoded.Ingest) != 1 {
+		t.Errorf("round-trip mangled result: %+v", decoded)
+	}
+	if s := FormatHistory(r); !strings.Contains(s, "p99") {
+		t.Error("format output incomplete")
+	}
+}
+
+// TestThermalBenchMatchesInMemory is the satellite gate: Figure 10
+// derived from history-store reads must equal the in-memory telemetry
+// analysis bit for bit.
+func TestThermalBenchMatchesInMemory(t *testing.T) {
+	r := ThermalBench(NewLab(Quick()))
+	if !r.MatchesInMemory {
+		t.Fatal("history-derived Figure 10 diverged from the in-memory analysis")
+	}
+	if r.Days != 18 {
+		t.Errorf("derived %d days, want the paper's 18-day window", r.Days)
+	}
+	if r.Readings == 0 || r.StoreBytesPerSample <= 0 {
+		t.Errorf("degenerate result: %+v", r)
+	}
+	if s := FormatThermal(r); !strings.Contains(s, "matches in-memory") {
+		t.Error("format output incomplete")
+	}
+}

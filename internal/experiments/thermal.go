@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"hawccc/internal/telemetry"
+	"hawccc/internal/tsdb"
+)
+
+// ThermalResult is Figure 10 derived from the history store instead of
+// the in-memory telemetry log: the simulated summer window is appended
+// as pole_temp_c / ambient_c series, and every reported statistic is
+// recomputed from store reads — the raw query rebuilds the reading
+// pairs, and the daily maxima come from a 24 h downsampled read.
+type ThermalResult struct {
+	Readings int `json:"readings"`
+	Days     int `json:"days"`
+	// Stats and DailyMax are computed from store queries alone.
+	Stats    telemetry.Stats `json:"stats"`
+	DailyMax []float64       `json:"daily_max"`
+	// StoreBytesPerSample is what the 18-day window costs per sample in
+	// the sealed store.
+	StoreBytesPerSample float64 `json:"store_bytes_per_sample"`
+	// MatchesInMemory is the equivalence gate: the history-derived
+	// numbers must equal the in-memory telemetry.Summarize / DailyMax
+	// bit for bit, because raw reads are bit-exact and the bucket Max is
+	// an exact fold over those same bits.
+	MatchesInMemory bool `json:"matches_in_memory"`
+}
+
+// thermalPole is the pole ID the telemetry window is recorded under.
+const thermalPole = 42
+
+// ThermalBench records the Section VII-D monitoring window through the
+// history store and rederives the Figure 10 analysis from it.
+func ThermalBench(l *Lab) ThermalResult {
+	readings := telemetry.Simulate(telemetry.SummerConfig())
+	l.logf("thermal bench: recording %d readings through the history store...", len(readings))
+
+	st := tsdb.MustNew(tsdb.Config{MaxChunks: -1})
+	defer st.Close()
+	pole := st.Series(thermalPole, "pole_temp_c")
+	amb := st.Series(thermalPole, "ambient_c")
+	for _, r := range readings {
+		ts := r.At.UnixNano()
+		pole.Append(ts, r.Pole)
+		amb.Append(ts, r.Weather)
+	}
+	st.SealAll()
+
+	// Rebuild the reading pairs from two raw reads; the series share a
+	// clock, so the zip is positional.
+	poleS, err := pole.QueryRaw(0, math.MaxInt64)
+	mustTrain(err)
+	ambS, err := amb.QueryRaw(0, math.MaxInt64)
+	mustTrain(err)
+	if len(poleS) != len(readings) || len(ambS) != len(readings) {
+		panic(fmt.Sprintf("experiments: thermal store returned %d/%d samples, want %d",
+			len(poleS), len(ambS), len(readings)))
+	}
+	recovered := make([]telemetry.Reading, len(poleS))
+	for i := range poleS {
+		recovered[i] = telemetry.Reading{
+			At:      time.Unix(0, poleS[i].TS).UTC(),
+			Pole:    poleS[i].V,
+			Weather: ambS[i].V,
+		}
+	}
+	stats := telemetry.Summarize(recovered, 50)
+
+	// Daily maxima via the downsampled read path: midnight-aligned 24 h
+	// buckets over the pole series, Max per bucket.
+	cfg := telemetry.SummerConfig()
+	day := int64(24 * time.Hour)
+	buckets, err := pole.QueryBuckets(cfg.Start.UnixNano(), math.MaxInt64, day)
+	mustTrain(err)
+	dailyMax := make([]float64, len(buckets))
+	for i, b := range buckets {
+		dailyMax[i] = b.Max
+	}
+
+	res := ThermalResult{
+		Readings:            len(recovered),
+		Days:                len(dailyMax),
+		Stats:               stats,
+		DailyMax:            dailyMax,
+		StoreBytesPerSample: st.Stats().BytesPerSample,
+		MatchesInMemory:     true,
+	}
+
+	// Equivalence against the in-memory path Figure10 uses.
+	memStats := telemetry.Summarize(readings, 50)
+	memDaily := telemetry.DailyMax(readings)
+	if stats != memStats || len(dailyMax) != len(memDaily) {
+		res.MatchesInMemory = false
+	} else {
+		for i := range dailyMax {
+			if math.Float64bits(dailyMax[i]) != math.Float64bits(memDaily[i]) {
+				res.MatchesInMemory = false
+				break
+			}
+		}
+	}
+	return res
+}
+
+// FormatThermal renders the history-derived Figure 10 summary.
+func FormatThermal(r ThermalResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "readings: %d over %d days, replayed through the history store (%.2f B/sample sealed)\n",
+		r.Readings, r.Days, r.StoreBytesPerSample)
+	fmt.Fprintf(&b, "pole temperature: max %.2f°C  min %.2f°C  mean %.2f°C\n",
+		r.Stats.Max, r.Stats.Min, r.Stats.Mean)
+	fmt.Fprintf(&b, "pole−weather delta: %.1f°C at peak, %.1f°C in cool hours\n",
+		r.Stats.PeakDelta, r.Stats.CoolDelta)
+	fmt.Fprintf(&b, "hours above the Coral's 50°C rating: %.1f\n", r.Stats.HoursAboveRated)
+	fmt.Fprint(&b, "daily maxima (24h buckets):")
+	for _, m := range r.DailyMax {
+		fmt.Fprintf(&b, " %.1f", m)
+	}
+	fmt.Fprintf(&b, "\nmatches in-memory Figure 10 analysis: %v\n", r.MatchesInMemory)
+	return b.String()
+}

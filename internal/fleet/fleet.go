@@ -23,6 +23,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -327,18 +328,49 @@ func Percentiles(samples []float64) LatencyStats {
 	}
 }
 
+// DefaultQueryWorkers is the dashboard client count when
+// QueryConfig.Workers is zero.
+const DefaultQueryWorkers = 4
+
+// DefaultHistoryWindow is the lookback of fleet history queries when
+// QueryConfig.HistoryWindow is zero.
+const DefaultHistoryWindow = time.Minute
+
+// ScaledQueryWorkers sizes the dashboard fleet to drive thousands of QPS
+// from one process: four concurrent clients per CPU, at least eight.
+// Benchmarks use it instead of DefaultQueryWorkers so query throughput
+// scales with the machine rather than pinning at a four-worker ceiling.
+func ScaledQueryWorkers() int {
+	w := 4 * runtime.GOMAXPROCS(0)
+	if w < 8 {
+		w = 8
+	}
+	return w
+}
+
 // QueryConfig parameterizes dashboard-style query load against the
 // campus query API.
 type QueryConfig struct {
 	// BaseURL is the query API root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
-	// Workers is the concurrent client count (0 selects 4).
+	// Workers is the concurrent client count (0 selects
+	// DefaultQueryWorkers; ScaledQueryWorkers sizes for throughput runs).
 	Workers int
 	// Poles is the pole-ID space sampled by per-pole queries.
 	Poles int
 	// Zones matches the report generator's zone count (0 selects
 	// DefaultZones).
 	Zones int
+	// HistoryPercent is the share (0–100) of queries aimed at the
+	// /api/history endpoint instead of the snapshot mix: half raw reads,
+	// half downsampled, over random poles and HistorySeries. 0 = none.
+	HistoryPercent int
+	// HistorySeries are the series names history queries sample (nil
+	// selects the inline-captured "count" series).
+	HistorySeries []string
+	// HistoryWindow is the lookback of each history query (0 selects
+	// DefaultHistoryWindow); downsampled reads use window/60 buckets.
+	HistoryWindow time.Duration
 	// Seed drives endpoint sampling.
 	Seed int64
 }
@@ -351,6 +383,10 @@ type QueryResult struct {
 	ElapsedMS float64       `json:"elapsed_ms"`
 	QPS       float64       `json:"qps"`
 	Latency   LatencyStats  `json:"latency"`
+	// HistoryQueries is how many of Queries hit /api/history;
+	// HistoryLatency are their percentiles alone (Latency covers all).
+	HistoryQueries int          `json:"history_queries"`
+	HistoryLatency LatencyStats `json:"history_latency"`
 	// Errors are transport failures; NonOK are non-200 responses.
 	Errors int `json:"errors"`
 	NonOK  int `json:"non_ok"`
@@ -362,7 +398,7 @@ type QueryResult struct {
 func Query(ctx context.Context, cfg QueryConfig) QueryResult {
 	workers := cfg.Workers
 	if workers <= 0 {
-		workers = 4
+		workers = DefaultQueryWorkers
 	}
 	if cfg.Poles <= 0 {
 		cfg.Poles = 1
@@ -376,6 +412,7 @@ func Query(ctx context.Context, cfg QueryConfig) QueryResult {
 		wg       sync.WaitGroup
 		sampleMu sync.Mutex
 		samples  []float64
+		histSam  []float64
 		errsN    atomic.Int64
 		nonOK    atomic.Int64
 	)
@@ -386,14 +423,19 @@ func Query(ctx context.Context, cfg QueryConfig) QueryResult {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*104729))
 			local := make([]float64, 0, 1024)
+			localHist := make([]float64, 0, 1024)
 			for ctx.Err() == nil {
-				url := pickEndpoint(cfg, rng)
+				url, isHistory := pickEndpoint(cfg, rng)
 				t0 := time.Now()
 				ok, status := getOnce(ctx, client, url)
 				if ctx.Err() != nil {
 					break // a canceled request measures shutdown, not the API
 				}
-				local = append(local, float64(time.Since(t0).Microseconds())/1e3)
+				ms := float64(time.Since(t0).Microseconds()) / 1e3
+				local = append(local, ms)
+				if isHistory {
+					localHist = append(localHist, ms)
+				}
 				if !ok {
 					errsN.Add(1)
 				} else if status != http.StatusOK {
@@ -402,19 +444,22 @@ func Query(ctx context.Context, cfg QueryConfig) QueryResult {
 			}
 			sampleMu.Lock()
 			samples = append(samples, local...)
+			histSam = append(histSam, localHist...)
 			sampleMu.Unlock()
 		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 	res := QueryResult{
-		Workers:   workers,
-		Queries:   len(samples),
-		Elapsed:   elapsed,
-		ElapsedMS: float64(elapsed.Microseconds()) / 1e3,
-		Errors:    int(errsN.Load()),
-		NonOK:     int(nonOK.Load()),
-		Latency:   Percentiles(samples),
+		Workers:        workers,
+		Queries:        len(samples),
+		Elapsed:        elapsed,
+		ElapsedMS:      float64(elapsed.Microseconds()) / 1e3,
+		Errors:         int(errsN.Load()),
+		NonOK:          int(nonOK.Load()),
+		Latency:        Percentiles(samples),
+		HistoryQueries: len(histSam),
+		HistoryLatency: Percentiles(histSam),
 	}
 	if elapsed > 0 {
 		res.QPS = float64(res.Queries) / elapsed.Seconds()
@@ -423,24 +468,51 @@ func Query(ctx context.Context, cfg QueryConfig) QueryResult {
 }
 
 // pickEndpoint samples the dashboard query mix: mostly cheap rollups,
-// occasionally the expensive full pole listing.
-func pickEndpoint(cfg QueryConfig, rng *rand.Rand) string {
+// occasionally the expensive full pole listing, plus — when
+// HistoryPercent is set — raw and downsampled history reads.
+func pickEndpoint(cfg QueryConfig, rng *rand.Rand) (url string, isHistory bool) {
+	if cfg.HistoryPercent > 0 && rng.Intn(100) < cfg.HistoryPercent {
+		return pickHistory(cfg, rng), true
+	}
 	switch p := rng.Intn(100); {
 	case p < 40:
-		return cfg.BaseURL + "/api/campus"
+		return cfg.BaseURL + "/api/campus", false
 	case p < 60:
-		return cfg.BaseURL + "/api/top?k=10"
+		return cfg.BaseURL + "/api/top?k=10", false
 	case p < 80:
-		return fmt.Sprintf("%s/api/poles/%d", cfg.BaseURL, 1+rng.Intn(cfg.Poles))
+		return fmt.Sprintf("%s/api/poles/%d", cfg.BaseURL, 1+rng.Intn(cfg.Poles)), false
 	case p < 95:
 		zones := cfg.Zones
 		if zones <= 0 {
 			zones = DefaultZones
 		}
-		return fmt.Sprintf("%s/api/zones/zone-%d", cfg.BaseURL, rng.Intn(zones))
+		return fmt.Sprintf("%s/api/zones/zone-%d", cfg.BaseURL, rng.Intn(zones)), false
 	default:
-		return cfg.BaseURL + "/api/poles"
+		return cfg.BaseURL + "/api/poles", false
 	}
+}
+
+// pickHistory builds one /api/history URL: a random pole and series over
+// the configured window, downsampled to window/60 buckets half the time.
+func pickHistory(cfg QueryConfig, rng *rand.Rand) string {
+	series := cfg.HistorySeries
+	if len(series) == 0 {
+		series = []string{"count"}
+	}
+	window := cfg.HistoryWindow
+	if window <= 0 {
+		window = DefaultHistoryWindow
+	}
+	res := "raw"
+	if rng.Intn(2) == 0 {
+		step := window / 60
+		if step < time.Millisecond {
+			step = time.Millisecond
+		}
+		res = step.String()
+	}
+	return fmt.Sprintf("%s/api/history?pole=%d&series=%s&window=%s&res=%s",
+		cfg.BaseURL, 1+rng.Intn(cfg.Poles), series[rng.Intn(len(series))], window, res)
 }
 
 // getOnce performs one GET, draining the body so the connection is

@@ -1,0 +1,67 @@
+package obs
+
+import "testing"
+
+// TestEachSeriesTypedIteration pins the typed walk the tsdb sampler
+// reads instruments through: every registered series appears once, in
+// registration order, with sorted labels and the live instrument —
+// no Prometheus text involved.
+func TestEachSeriesTypedIteration(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reports_total", "reports", L("zone", "quad"), L("pole", "3"))
+	g := r.Gauge("temp_c", "temperature")
+	h := r.Histogram("latency_seconds", "latency", LatencyBuckets(), L("pole", "3"))
+	c.Add(5)
+	g.Set(21.5)
+	h.Observe(0.25)
+
+	var infos []SeriesInfo
+	r.EachSeries(func(si SeriesInfo) { infos = append(infos, si) })
+	if len(infos) != 3 {
+		t.Fatalf("walked %d series, want 3", len(infos))
+	}
+
+	// Registration order, not name order.
+	if infos[0].Name != "reports_total" || infos[1].Name != "temp_c" || infos[2].Name != "latency_seconds" {
+		t.Fatalf("order %s, %s, %s", infos[0].Name, infos[1].Name, infos[2].Name)
+	}
+
+	// The walk hands back the live instruments, not copies.
+	if infos[0].Counter != c || infos[0].Gauge != nil || infos[0].Histogram != nil {
+		t.Error("counter series did not carry the counter instrument alone")
+	}
+	if infos[0].Counter.Value() != 5 {
+		t.Errorf("counter value %d through the walk, want 5", infos[0].Counter.Value())
+	}
+	if infos[1].Gauge != g || infos[2].Histogram != h {
+		t.Error("gauge/histogram instruments not threaded through")
+	}
+
+	// Labels come sorted by key regardless of registration order.
+	labels := infos[0].Labels
+	if len(labels) != 2 || labels[0].Key != "pole" || labels[1].Key != "zone" {
+		t.Fatalf("labels %+v, want sorted [pole zone]", labels)
+	}
+	if infos[0].Label("pole") != "3" || infos[0].Label("zone") != "quad" {
+		t.Errorf("Label lookups: pole=%q zone=%q", infos[0].Label("pole"), infos[0].Label("zone"))
+	}
+	if infos[0].Label("missing") != "" {
+		t.Error("missing label did not return empty")
+	}
+	if infos[1].Label("pole") != "" {
+		t.Error("unlabeled series returned a pole label")
+	}
+
+	// Same family, second label set → a second walked series.
+	r.Counter("reports_total", "reports", L("zone", "quad"), L("pole", "4"))
+	n := 0
+	r.EachSeries(func(SeriesInfo) { n++ })
+	if n != 4 {
+		t.Fatalf("walked %d series after second label set, want 4", n)
+	}
+}
+
+func TestEachSeriesNilRegistry(t *testing.T) {
+	var r *Registry
+	r.EachSeries(func(SeriesInfo) { t.Fatal("nil registry walked a series") })
+}

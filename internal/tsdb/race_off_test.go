@@ -1,0 +1,6 @@
+//go:build !race
+
+package tsdb
+
+// raceEnabled is false in normal builds; see race_on_test.go.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package tsdb
+
+// raceEnabled reports whether the race detector is instrumenting this
+// test binary, so the allocation gate skips itself under -race.
+const raceEnabled = true

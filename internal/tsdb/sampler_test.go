@@ -1,0 +1,134 @@
+package tsdb
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"hawccc/internal/obs"
+)
+
+func TestSamplerCapturesTypedSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	reports := reg.Counter("backend_reports_total", "reports", obs.L("pole", "12"))
+	temp := reg.Gauge("backend_pole_temp_celsius", "temp", obs.L("pole", "12"))
+	global := reg.Gauge("backend_connections_active", "conns")
+	lat := reg.Histogram("backend_api_request_seconds", "latency", obs.LatencyBuckets())
+
+	st := MustNew(Config{})
+	now := time.Unix(1000, 0)
+	s := NewSampler(st, reg, SamplerConfig{Now: func() time.Time { return now }})
+
+	reports.Add(3)
+	temp.Set(36.5)
+	global.Add(2)
+	lat.Observe(0.010)
+	lat.Observe(0.030)
+	if n := s.SampleOnce(); n != 6 { // counter + 2 gauges + histogram×3
+		t.Fatalf("first tick appended %d samples, want 6", n)
+	}
+
+	now = now.Add(time.Second)
+	reports.Inc()
+	temp.Set(37.25)
+	if n := s.SampleOnce(); n != 6 {
+		t.Fatalf("second tick appended %d samples, want 6", n)
+	}
+	if s.Ticks() != 2 || s.Captured() != 12 {
+		t.Fatalf("ticks/captured = %d/%d, want 2/12", s.Ticks(), s.Captured())
+	}
+
+	// The pole label routed the labeled series to pole 12 and was
+	// stripped from the stored name.
+	sr, ok := st.Lookup(12, "backend_reports_total")
+	if !ok {
+		t.Fatal("pole-labeled counter not captured under pole 12")
+	}
+	got, err := sr.QueryRaw(0, math.MaxInt64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSamples(t, got, []Sample{
+		{time.Unix(1000, 0).UnixNano(), 3},
+		{time.Unix(1001, 0).UnixNano(), 4},
+	})
+
+	sr, ok = st.Lookup(12, "backend_pole_temp_celsius")
+	if !ok {
+		t.Fatal("pole-labeled gauge not captured")
+	}
+	got, _ = sr.QueryRaw(0, math.MaxInt64)
+	sameSamples(t, got, []Sample{
+		{time.Unix(1000, 0).UnixNano(), 36.5},
+		{time.Unix(1001, 0).UnixNano(), 37.25},
+	})
+
+	// Unlabeled series land under pole 0.
+	if _, ok := st.Lookup(0, "backend_connections_active"); !ok {
+		t.Fatal("unlabeled gauge not captured under pole 0")
+	}
+
+	// Histograms expand to count / sum / quantile sub-series.
+	cnt, ok := st.Lookup(0, "backend_api_request_seconds:count")
+	if !ok {
+		t.Fatal("histogram count sub-series missing")
+	}
+	got, _ = cnt.QueryRaw(0, math.MaxInt64)
+	if len(got) != 2 || got[0].V != 2 || got[1].V != 2 {
+		t.Fatalf("histogram counts %+v, want 2 observations at both ticks", got)
+	}
+	sum, ok := st.Lookup(0, "backend_api_request_seconds:sum")
+	if !ok {
+		t.Fatal("histogram sum sub-series missing")
+	}
+	got, _ = sum.QueryRaw(0, math.MaxInt64)
+	if len(got) != 2 || math.Abs(got[0].V-0.040) > 1e-12 {
+		t.Fatalf("histogram sum %+v, want ~0.040", got)
+	}
+	if _, ok := st.Lookup(0, "backend_api_request_seconds:p99"); !ok {
+		t.Fatal("histogram quantile sub-series missing")
+	}
+}
+
+func TestSamplerKeepsNonPoleLabelsInName(t *testing.T) {
+	reg := obs.NewRegistry()
+	crowding := reg.Counter("backend_alerts_total", "alerts", obs.L("kind", "crowding"))
+	overheat := reg.Counter("backend_alerts_total", "alerts", obs.L("kind", "overheat"))
+	crowding.Add(5)
+	overheat.Add(2)
+
+	st := MustNew(Config{})
+	s := NewSampler(st, reg, SamplerConfig{Now: func() time.Time { return time.Unix(1, 0) }})
+	s.SampleOnce()
+
+	a, okA := st.Lookup(0, "backend_alerts_total{kind=crowding}")
+	b, okB := st.Lookup(0, "backend_alerts_total{kind=overheat}")
+	if !okA || !okB {
+		t.Fatal("label-qualified series names missing")
+	}
+	ga, _ := a.QueryRaw(0, math.MaxInt64)
+	gb, _ := b.QueryRaw(0, math.MaxInt64)
+	if ga[0].V != 5 || gb[0].V != 2 {
+		t.Fatalf("captured %v/%v, want 5/2", ga[0].V, gb[0].V)
+	}
+}
+
+func TestSamplerRunFinalTick(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Gauge("g", "gauge").Set(1)
+	st := MustNew(Config{})
+	s := NewSampler(st, reg, SamplerConfig{Interval: time.Hour})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		s.Run(ctx)
+		close(done)
+	}()
+	cancel()
+	<-done
+	if s.Ticks() != 1 {
+		t.Fatalf("ticks = %d, want exactly the final shutdown sample", s.Ticks())
+	}
+}

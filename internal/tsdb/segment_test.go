@@ -1,0 +1,169 @@
+package tsdb
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSegmentRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := New(Config{Dir: dir, ChunkSamples: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[SeriesKey][]Sample{}
+	for pole := uint32(1); pole <= 3; pole++ {
+		sr := st.Series(pole, "count")
+		for i := 0; i < 50; i++ {
+			ts := int64(i) * 1_000_000_000
+			v := float64(pole*100) + float64(i)
+			sr.Append(ts, v)
+			k := SeriesKey{Pole: pole, Name: "count"}
+			want[k] = append(want[k], Sample{TS: ts, V: v})
+		}
+	}
+	st.SealAll()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d series, want %d", len(got), len(want))
+	}
+	for _, ss := range got {
+		w, ok := want[ss.Key]
+		if !ok {
+			t.Fatalf("unexpected series %+v", ss.Key)
+		}
+		sameSamples(t, ss.Samples, w)
+	}
+}
+
+// TestSegmentRotationAndSchemaReEmission forces tiny segments so chunks
+// spread across many files, then checks (a) every file decodes on its
+// own — the per-segment schema re-emission contract — and (b) the
+// merged read equals what was appended.
+func TestSegmentRotationAndSchemaReEmission(t *testing.T) {
+	dir := t.TempDir()
+	st, err := New(Config{Dir: dir, ChunkSamples: 4, SegmentBytes: 256, MaxSegments: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := st.Series(42, "pole_temp_c")
+	var want []Sample
+	for i := 0; i < 400; i++ {
+		ts := int64(i) * 102_000_000_000
+		v := 20 + math.Sin(float64(i)/10)
+		sr.Append(ts, v)
+		want = append(want, Sample{TS: ts, V: v})
+	}
+	st.SealAll()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	files, err := filepath.Glob(filepath.Join(dir, "seg-*.htsd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 3 {
+		t.Fatalf("%d segment files, want rotation to produce several", len(files))
+	}
+	for _, f := range files {
+		segs, err := ReadSegment(f)
+		if err != nil {
+			t.Fatalf("%s: standalone read failed: %v", filepath.Base(f), err)
+		}
+		for _, ss := range segs {
+			if ss.Key != (SeriesKey{Pole: 42, Name: "pole_temp_c"}) {
+				t.Fatalf("%s: schema decoded to %+v", filepath.Base(f), ss.Key)
+			}
+		}
+	}
+	got, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("merged to %d series, want 1", len(got))
+	}
+	sameSamples(t, got[0].Samples, want)
+}
+
+func TestSegmentRetentionPrunesOldFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, err := New(Config{Dir: dir, ChunkSamples: 4, SegmentBytes: 128, MaxSegments: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := st.Series(1, "count")
+	for i := 0; i < 1000; i++ {
+		sr.Append(int64(i)*1_000_000_000, float64(i*i)) // growing deltas defeat RLE
+	}
+	st.SealAll()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "seg-*.htsd"))
+	if len(files) > 3 {
+		t.Fatalf("%d segment files retained, want <= 3", len(files))
+	}
+	if _, err := ReadDir(dir); err != nil {
+		t.Fatalf("pruned directory no longer reads: %v", err)
+	}
+}
+
+func TestSegmentSequenceResumesAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	st, err := New(Config{Dir: dir, ChunkSamples: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Append(1, "count", 1, 1)
+	st.Append(1, "count", 2, 2)
+	st.SealAll()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := filepath.Glob(filepath.Join(dir, "seg-*.htsd"))
+
+	st2, err := New(Config{Dir: dir, ChunkSamples: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2.Append(1, "count", 3, 3)
+	st2.Append(1, "count", 4, 4)
+	st2.SealAll()
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := filepath.Glob(filepath.Join(dir, "seg-*.htsd"))
+	if len(after) <= len(before) {
+		t.Fatalf("restart reused a segment file: %d files before, %d after", len(before), len(after))
+	}
+	merged, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 1 {
+		t.Fatalf("merged to %d series, want 1", len(merged))
+	}
+	sameSamples(t, merged[0].Samples, []Sample{{1, 1}, {2, 2}, {3, 3}, {4, 4}})
+}
+
+func TestReadSegmentRejectsCorruptHeader(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg-000001.htsd")
+	if err := os.WriteFile(path, []byte("NOPE\x01"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSegment(path); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
