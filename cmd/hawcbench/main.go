@@ -8,8 +8,8 @@
 //
 // Experiments: table1 table2 table3 table4 table5 table6 fig4 fig6 fig8
 // (combined 8a+8b; fig8a/fig8b run the individual variants) fig9 fig10
-// fig11 parallel kernels stream cluster geom fleet history thermal, or
-// "all". Presets: quick, standard, full.
+// fig11 parallel kernels stream cluster geom fleet history offload
+// thermal, or "all". Presets: quick, standard, full.
 //
 // The parallel experiment sweeps frame-level worker counts and, with
 // -parallel-out, writes the machine-readable BENCH_parallel.json consumed
@@ -37,7 +37,14 @@
 // bit-exact raw round-trip check, and an end-to-end replay where a
 // history-enabled backend ingests fleet reports while scaled query
 // workers mix /api/history reads into the dashboard load; -history-out
-// writes BENCH_history.json for the CI bench-history gates. The thermal
+// writes BENCH_history.json for the CI bench-history gates. The offload
+// experiment measures the adaptive edge/cloud classify offload in three
+// phases — the quantized cluster transport (bytes/frame vs float32,
+// dequantization error vs the tolerance bound, label agreement), an
+// edge-only vs forced-offload pole race through a live backend at
+// induced edge saturation, and a deterministic thermal ramp through the
+// adaptive hysteresis controller; -offload-out writes BENCH_offload.json
+// for the CI bench-offload gates. The thermal
 // experiment rederives the Figure 10 temperature analysis from history
 // store reads (raw zip + 24h downsampled daily maxima) and asserts it
 // matches the in-memory telemetry path bit for bit.
@@ -69,7 +76,7 @@ func main() {
 }
 
 func run() error {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (table1..table6, fig4, fig6, fig8a, fig8b, fig9, fig10, fig11, parallel, kernels, stream, cluster, geom, fleet, history, thermal, all)")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (table1..table6, fig4, fig6, fig8a, fig8b, fig9, fig10, fig11, parallel, kernels, stream, cluster, geom, fleet, history, offload, thermal, all)")
 	parallelOut := flag.String("parallel-out", "", "write the parallel sweep as JSON to this path (e.g. BENCH_parallel.json)")
 	kernelsOut := flag.String("kernels-out", "", "write the kernels sweep as JSON to this path (e.g. BENCH_kernels.json)")
 	streamOut := flag.String("stream-out", "", "write the stream-vs-loop sweep as JSON to this path (e.g. BENCH_stream.json)")
@@ -77,6 +84,7 @@ func run() error {
 	geomOut := flag.String("geom-out", "", "write the geometry-stage SIMD sweep as JSON to this path (e.g. BENCH_geom.json)")
 	fleetOut := flag.String("fleet-out", "", "write the fleet-scale backend sweep as JSON to this path (e.g. BENCH_fleet.json)")
 	historyOut := flag.String("history-out", "", "write the history-store benchmark as JSON to this path (e.g. BENCH_history.json)")
+	offloadOut := flag.String("offload-out", "", "write the edge/cloud offload benchmark as JSON to this path (e.g. BENCH_offload.json)")
 	preset := flag.String("preset", "standard", "dataset/training scale: quick, standard, full")
 	seed := flag.Int64("seed", 0, "override the preset's random seed")
 	pnEpochs := flag.Int("pn-epochs", 0, "override the preset's PointNet training epochs")
@@ -385,6 +393,25 @@ func run() error {
 				return fmt.Errorf("history-out: %w", err)
 			}
 			fmt.Printf("wrote %s\n", *historyOut)
+		}
+	}
+	if runIt("offload") {
+		header("Offload — adaptive edge/cloud classify offload over the quantized wire")
+		r := experiments.OffloadBench(lab)
+		fmt.Print(experiments.FormatOffload(r))
+		if *offloadOut != "" {
+			f, err := os.Create(*offloadOut)
+			if err != nil {
+				return fmt.Errorf("offload-out: %w", err)
+			}
+			if err := experiments.WriteOffloadJSON(f, r); err != nil {
+				f.Close()
+				return fmt.Errorf("offload-out: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("offload-out: %w", err)
+			}
+			fmt.Printf("wrote %s\n", *offloadOut)
 		}
 	}
 	if runIt("thermal") {

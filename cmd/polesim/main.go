@@ -5,6 +5,15 @@
 //
 //	polesim -poles 3 -frames 10 -crowding-limit 8
 //
+// -offload selects the edge/cloud classify split: "off" (default)
+// counts entirely on the edge, "forced" ships every frame's clusters to
+// the backend's offload service over the quantized wire transport, and
+// "adaptive" lets each pole's hysteresis controller shed classification
+// only while its classify stage is saturated or its compartment runs
+// hot. The shared HAWC model is trained first and handed to the backend
+// as its offload classifier, so counts are identical wherever a cluster
+// is classified.
+//
 // With -synthetic it becomes a fleet-scale load generator instead: no
 // model is trained and no LiDAR pipeline runs — -poles simulated poles
 // (10000 works) stream synthetic count reports over a bounded number of
@@ -95,7 +104,16 @@ func run() error {
 	history := flag.Bool("history", false, "capture per-pole history in the FTDC-style time-series store and serve /api/history")
 	historyDir := flag.String("history-dir", "", "stream sealed history chunks to segment files in this directory (implies -history)")
 	historyPercent := flag.Int("history-percent", 0, "percent of -query-workers load aimed at /api/history in -synthetic mode (implies -history)")
+	offloadFlag := flag.String("offload", "off", "edge/cloud classify offload mode: off, forced, or adaptive")
 	flag.Parse()
+
+	offload, err := counting.ParseOffloadMode(*offloadFlag)
+	if err != nil {
+		return err
+	}
+	if *synthetic && offload != counting.OffloadOff {
+		return fmt.Errorf("-offload needs the full LiDAR pipeline; drop -synthetic")
+	}
 
 	// One mutex serializes every diagnostic line the simulator itself
 	// emits; backend and pole internals each serialize their own Logf, but
@@ -128,12 +146,30 @@ func run() error {
 		histCfg = &tsdb.Config{Dir: *historyDir}
 	}
 
+	// The campus model trains before the backend starts: the backend's
+	// offload service classifies with the same trained HAWC the poles
+	// run, which is what makes offloaded counts identical to edge ones.
+	var clf *models.HAWC
+	if !*synthetic {
+		fmt.Printf("training HAWC on %d samples/class (%d epochs)...\n", *perClass, *epochs)
+		clf = models.NewHAWC()
+		if err := clf.Train(dataset.NewGenerator(*seed).Classification(*perClass),
+			models.TrainConfig{Epochs: *epochs, Seed: *seed}); err != nil {
+			return err
+		}
+	}
+	var backendClf models.BatchClassifier
+	if offload != counting.OffloadOff {
+		backendClf = clf
+	}
+
 	srv, err := backend.Listen(backend.Config{
 		Addr:          "127.0.0.1:0",
 		APIAddr:       *apiAddr,
 		CrowdingLimit: *crowding,
 		OverheatLimit: 50,
 		History:       histCfg,
+		Classifier:    backendClf,
 		Obs:           reg,
 		Logf:          func(f string, a ...any) { logf("[backend] "+f, a...) },
 	})
@@ -173,10 +209,10 @@ func run() error {
 			return err
 		}
 	} else {
-		if err := runCampus(ctx, srv, reg, campusConfig{
+		if err := runCampus(ctx, srv, reg, clf, campusConfig{
 			poles: *poles, frames: *frames, maxPeople: *maxPeople,
-			epochs: *epochs, perClass: *perClass, interval: *interval,
-			seed: *seed, reconnects: *reconnects, zones: *zones,
+			interval: *interval, seed: *seed, reconnects: *reconnects,
+			zones: *zones, offload: offload,
 		}, logf); err != nil {
 			return err
 		}
@@ -195,21 +231,19 @@ func run() error {
 }
 
 type campusConfig struct {
-	poles, frames, maxPeople, epochs, perClass, reconnects, zones int
-	interval                                                      time.Duration
-	seed                                                          int64
+	poles, frames, maxPeople, reconnects, zones int
+	interval                                    time.Duration
+	seed                                        int64
+	offload                                     counting.OffloadMode
 }
 
-// runCampus is the full-pipeline mode: train one HAWC, launch N pole
-// nodes that scan, count on the edge, and report upstream.
-func runCampus(ctx context.Context, srv *backend.Server, reg *obs.Registry, cfg campusConfig, logf func(string, ...any)) error {
-	fmt.Printf("training HAWC on %d samples/class (%d epochs)...\n", cfg.perClass, cfg.epochs)
-	g := dataset.NewGenerator(cfg.seed)
-	clf := models.NewHAWC()
-	if err := clf.Train(g.Classification(cfg.perClass), models.TrainConfig{Epochs: cfg.epochs, Seed: cfg.seed}); err != nil {
-		return err
+// runCampus is the full-pipeline mode: launch N pole nodes that scan,
+// count (on the edge or, per -offload, through the backend's classify
+// service), and report upstream with the already-trained campus model.
+func runCampus(ctx context.Context, srv *backend.Server, reg *obs.Registry, clf *models.HAWC, cfg campusConfig, logf func(string, ...any)) error {
+	if cfg.offload != counting.OffloadOff {
+		fmt.Printf("offload mode: %s\n", cfg.offload)
 	}
-
 	readings := telemetry.Simulate(telemetry.SummerConfig())
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -229,6 +263,7 @@ func runCampus(ctx context.Context, srv *backend.Server, reg *obs.Registry, cfg 
 			Source:        src,
 			FrameInterval: cfg.interval,
 			Telemetry:     readings[400*id:],
+			Offload:       counting.OffloadConfig{Mode: cfg.offload},
 			MaxReconnects: cfg.reconnects,
 			Obs:           reg,
 			Logf:          func(f string, a ...any) { logf("[pole] "+f, a...) },

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hawccc/internal/models"
 	"hawccc/internal/obs"
 	"hawccc/internal/tsdb"
 	"hawccc/internal/wire"
@@ -70,6 +71,22 @@ type Config struct {
 	// tests then drive capture deterministically through SampleHistory.
 	// Ignored unless both History and Obs are set.
 	HistorySampleInterval time.Duration
+	// Classifier, when non-nil, enables the classify offload service:
+	// MsgClusterBatch frames from poles are dequantized, coalesced
+	// across poles into GEMM-sized batches, classified, and answered
+	// with per-cluster labels (see offload.go). Nil treats an offloaded
+	// batch as a protocol error, which makes the sending pole fall back
+	// to local classification.
+	Classifier models.BatchClassifier
+	// OffloadWorkers sizes the offload worker pool (0 selects
+	// runtime.NumCPU()).
+	OffloadWorkers int
+	// OffloadQueue bounds the offload batch queue (0 selects
+	// DefaultOffloadQueue).
+	OffloadQueue int
+	// OffloadMaxBatch caps the clusters coalesced into one forward pass
+	// (0 selects DefaultOffloadMaxBatch).
+	OffloadMaxBatch int
 	// Obs, when non-nil, registers the backend's metrics: per-pole report
 	// and alert counters, last-seen timestamps, compartment temperature,
 	// connection counts, wire traffic, the edge latency each report
@@ -148,6 +165,10 @@ type Server struct {
 	hist    *tsdb.Store
 	sampler *tsdb.Sampler
 
+	// off is the classify offload service (nil when Config.Classifier is
+	// nil).
+	off *offloadService
+
 	apiLn  net.Listener
 	apiSrv *http.Server
 
@@ -213,6 +234,9 @@ func Listen(cfg Config) (*Server, error) {
 		}
 	}
 	s.apiM = newAPIObs(cfg.Obs)
+	if cfg.Classifier != nil {
+		s.off = newOffloadService(s)
+	}
 	interval := cfg.SnapshotInterval
 	if interval == 0 {
 		interval = DefaultSnapshotInterval
@@ -292,6 +316,9 @@ func (s *Server) acceptLoop(ctx context.Context) {
 func (s *Server) handle(conn net.Conn) error {
 	wc := wire.NewConn(conn)
 	wc.Instrument(s.m.bytesOut, s.m.bytesIn, s.m.msgsOut, s.m.msgsIn)
+	// All writes go through a per-connection lock: offload workers reply
+	// on the same connection the handler acks and alerts on.
+	lw := &lockedConn{wc: wc}
 	var poleID uint32
 	for {
 		t, body, err := wc.Recv()
@@ -321,11 +348,11 @@ func (s *Server) handle(conn net.Conn) error {
 				return err
 			}
 			s.recordCount(r)
-			if err := wc.Send(wire.MsgAck, wire.EncodeAck(wire.Ack{Seq: r.Seq})); err != nil {
+			if err := lw.send(wire.MsgAck, wire.EncodeAck(wire.Ack{Seq: r.Seq})); err != nil {
 				return err
 			}
 			if s.cfg.CrowdingLimit > 0 && int(r.Count) >= s.cfg.CrowdingLimit {
-				if err := s.alert(wc, wire.Alert{
+				if err := s.alert(lw, wire.Alert{
 					PoleID:  r.PoleID,
 					Kind:    wire.AlertCrowding,
 					Message: fmt.Sprintf("count %d at pole %d meets or exceeds limit %d", r.Count, r.PoleID, s.cfg.CrowdingLimit),
@@ -340,7 +367,7 @@ func (s *Server) handle(conn net.Conn) error {
 			}
 			s.recordTelemetry(tm)
 			if s.cfg.OverheatLimit > 0 && tm.PoleTemp >= s.cfg.OverheatLimit {
-				if err := s.alert(wc, wire.Alert{
+				if err := s.alert(lw, wire.Alert{
 					PoleID:  tm.PoleID,
 					Kind:    wire.AlertOverheat,
 					Message: fmt.Sprintf("pole %d compartment at %.1f°C meets or exceeds rated %.1f°C", tm.PoleID, tm.PoleTemp, s.cfg.OverheatLimit),
@@ -348,13 +375,17 @@ func (s *Server) handle(conn net.Conn) error {
 					return err
 				}
 			}
+		case wire.MsgClusterBatch:
+			if err := s.handleClusterBatch(body, lw); err != nil {
+				return err
+			}
 		default:
 			return fmt.Errorf("backend: unexpected message type %d from pole %d", t, poleID)
 		}
 	}
 }
 
-func (s *Server) alert(wc *wire.Conn, a wire.Alert) error {
+func (s *Server) alert(wc *lockedConn, a wire.Alert) error {
 	s.alog.add(a)
 	s.withPole(a.PoleID, func(p *PoleStats, m *poleObs, _ *poleHist) {
 		p.Alerts++
@@ -367,7 +398,7 @@ func (s *Server) alert(wc *wire.Conn, a wire.Alert) error {
 		s.m.overheat.Inc()
 	}
 	s.logf("backend: ALERT %s", a.Message)
-	return wc.Send(wire.MsgAlert, wire.EncodeAlert(a))
+	return wc.send(wire.MsgAlert, wire.EncodeAlert(a))
 }
 
 // withPole runs f with the pole's aggregate record, instrument set, and

@@ -148,6 +148,18 @@ type HistoryResponse struct {
 	Buckets []HistoryBucket `json:"buckets,omitempty"`
 }
 
+// HistoryBatchResponse is the body of GET /api/history when more than
+// one series= parameter is given: one HistoryResponse per requested
+// series, sharing the window, resolution, and limit. A single series=
+// keeps the flat HistoryResponse shape for compatibility.
+type HistoryBatchResponse struct {
+	Pole   uint32            `json:"pole"`
+	Res    string            `json:"res"`
+	From   int64             `json:"from"`
+	To     int64             `json:"to"`
+	Series []HistoryResponse `json:"series"`
+}
+
 // HistorySeriesResponse is the body of GET /api/history/series.
 type HistorySeriesResponse struct {
 	Pole   uint32            `json:"pole"`
@@ -189,7 +201,11 @@ func historyWindow(r *http.Request) (from, to int64, err error) {
 
 // handleHistory serves GET /api/history?pole=ID&series=NAME with either
 // res=raw (default; bit-identical samples) or res=<duration> (min / max /
-// mean / last buckets of that width, aligned to from).
+// mean / last buckets of that width, aligned to from). Repeating the
+// series parameter batches several reads of the same pole and window
+// into one request (HistoryBatchResponse); like the single-series form,
+// the batch path reads only immutable sealed chunks plus brief hot-tail
+// copies and never takes a registry shard lock.
 func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request, _ *Snapshot) (int, any) {
 	if s.hist == nil {
 		return http.StatusNotFound, apiError{Error: "history capture is not enabled"}
@@ -199,8 +215,8 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request, _ *Snapsh
 	if err != nil {
 		return http.StatusBadRequest, apiError{Error: "pole must be a uint32"}
 	}
-	name := q.Get("series")
-	if name == "" {
+	names := q["series"]
+	if len(names) == 0 || (len(names) == 1 && names[0] == "") {
 		return http.StatusBadRequest, apiError{Error: "series is required"}
 	}
 	from, to, err := historyWindow(r)
@@ -225,6 +241,29 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request, _ *Snapsh
 		}
 	}
 
+	if len(names) == 1 {
+		return s.queryHistory(uint32(poleID), names[0], from, to, limit, res, step)
+	}
+	batch := HistoryBatchResponse{
+		Pole:   uint32(poleID),
+		Res:    res,
+		From:   from,
+		To:     to,
+		Series: make([]HistoryResponse, 0, len(names)),
+	}
+	for _, name := range names {
+		code, body := s.queryHistory(uint32(poleID), name, from, to, limit, res, step)
+		if code != http.StatusOK {
+			return code, body
+		}
+		batch.Series = append(batch.Series, body.(HistoryResponse))
+	}
+	return http.StatusOK, batch
+}
+
+// queryHistory runs one series' read and shapes the response; shared by
+// the single-series and batch forms of /api/history.
+func (s *Server) queryHistory(poleID uint32, name string, from, to int64, limit int, res string, step time.Duration) (int, any) {
 	sr, ok := s.hist.Lookup(uint32(poleID), name)
 	if !ok {
 		return http.StatusNotFound, apiError{Error: fmt.Sprintf("no history series %q for pole %d", name, poleID)}

@@ -23,6 +23,7 @@ import (
 	"hawccc/internal/metrics"
 	"hawccc/internal/models"
 	"hawccc/internal/obs"
+	"hawccc/internal/wire"
 )
 
 // Clusterer partitions an ingested frame into candidate clusters.
@@ -175,6 +176,19 @@ type Pipeline struct {
 	// Counts are identical at any batch size — batched classification is
 	// bit-equal per cluster.
 	BatchSize int
+	// LatticeScale is the classification lattice step in metres. Before
+	// classification every kept cluster is snapped onto this quantization
+	// lattice — the exact quantize→dequantize round trip the offload
+	// transport applies (wire.ClusterBatch at this scale) — so a
+	// cluster's label is independent of where classification runs: the
+	// backend decodes the same lattice integers and dequantizes with the
+	// same arithmetic, making edge, fallback, and offloaded
+	// classification operate on bit-identical float64 clouds. The snap
+	// moves each coordinate by at most half a step (1 mm at the default
+	// 2 mm scale, two orders of magnitude under LiDAR ranging noise). 0
+	// selects wire.DefaultQuantScale; negative disables snapping, which
+	// also forfeits the edge/cloud label-equivalence guarantee.
+	LatticeScale float64
 	// m holds the pipeline's observability instruments. All fields are
 	// nil (no-op) until Instrument is called, so an uninstrumented
 	// pipeline pays only dead nil-receiver calls on the hot path.
@@ -314,6 +328,14 @@ type streamJob struct {
 	// working buffers; recycled with the job so steady-state clustering
 	// (ScratchClusterer path) allocates nothing.
 	scratch cluster.Scratch
+	// batch is the frame's kept clusters quantized on the classification
+	// lattice (rebuilt in place each frame); canonPts is the backing
+	// buffer its dequantized clouds are sliced from. When lattice
+	// snapping is on, kept's headers point into canonPts after
+	// stageKeep, and the offload path ships batch itself so the backend
+	// classifies the very same integers.
+	batch    wire.ClusterBatch
+	canonPts geom.Cloud
 	// res accumulates the frame's Result as stages run.
 	res Result
 }
@@ -401,13 +423,26 @@ func (p *Pipeline) stageCluster(j *streamJob) {
 	j.res.Noise = cr.NoiseCount()
 }
 
-// stageClassify filters clusters below MinClusterPoints and labels the
-// rest on the given number of goroutines (the intra-frame worker pool;
-// streaming uses 1 here and gets its parallelism from frames in flight).
-// The sequential path leaves Timing.QueueWait untouched so the streaming
-// scheduler can account inter-stage queueing there instead.
-func (p *Pipeline) stageClassify(j *streamJob, workers int) {
-	t0 := time.Now()
+// latticeScale resolves the classification lattice: LatticeScale,
+// wire.DefaultQuantScale when zero, and 0 (snapping off) when negative.
+func (p *Pipeline) latticeScale() float64 {
+	if p.LatticeScale < 0 {
+		return 0
+	}
+	if p.LatticeScale == 0 {
+		return wire.DefaultQuantScale
+	}
+	return p.LatticeScale
+}
+
+// stageKeep filters clusters below MinClusterPoints into j.kept and, on
+// the default lattice-snapping path, canonicalizes the kept clusters:
+// they are quantized into j.batch exactly as the offload transport
+// would ship them, and the kept headers are repointed at the
+// dequantized clouds. Every classify variant routes through here, so
+// what gets classified locally is bit-identical to what the backend
+// reconstructs from the same batch.
+func (p *Pipeline) stageKeep(j *streamJob) {
 	kept := j.kept[:0]
 	for _, c := range j.clusters {
 		if len(c) >= p.MinClusterPoints {
@@ -416,6 +451,35 @@ func (p *Pipeline) stageClassify(j *streamJob, workers int) {
 	}
 	j.kept = kept
 	j.res.Clusters = len(kept)
+	scale := p.latticeScale()
+	if scale <= 0 || len(kept) == 0 {
+		return
+	}
+	j.batch.BuildInto(0, j.seq, kept, scale)
+	// Pre-size the backing buffer so AppendCloud never reallocates it —
+	// the kept headers sliced out of it below must stay valid.
+	if total := j.batch.Points(); cap(j.canonPts) < total {
+		j.canonPts = make(geom.Cloud, 0, total)
+	} else {
+		j.canonPts = j.canonPts[:0]
+	}
+	for i := range j.batch.Clusters {
+		start := len(j.canonPts)
+		j.canonPts = j.batch.AppendCloud(i, j.canonPts)
+		kept[i] = j.canonPts[start:len(j.canonPts):len(j.canonPts)]
+	}
+}
+
+// stageClassify filters clusters below MinClusterPoints (snapping the
+// survivors onto the classification lattice, see stageKeep) and labels
+// the rest on the given number of goroutines (the intra-frame worker
+// pool; streaming uses 1 here and gets its parallelism from frames in
+// flight). The sequential path leaves Timing.QueueWait untouched so the
+// streaming scheduler can account inter-stage queueing there instead.
+func (p *Pipeline) stageClassify(j *streamJob, workers int) {
+	t0 := time.Now()
+	p.stageKeep(j)
+	kept := j.kept
 	if workers > len(kept) {
 		workers = len(kept)
 	}
@@ -434,6 +498,49 @@ func (p *Pipeline) stageClassify(j *streamJob, workers int) {
 		j.res.Count, j.res.Timing.QueueWait = p.classifyParallel(kept, workers)
 	}
 	j.res.Timing.Classify = time.Since(t0)
+}
+
+// stageClassifyRemote is stageClassify's offload variant: it runs the
+// same keep filter and lattice snap, then ships the frame's quantized
+// batch through the controller's RemoteClassifier instead of running
+// the local model, recording label counts into the same instruments so
+// campus-level series do not depend on where a cluster was classified.
+// Because the shipped batch is the one stageKeep canonicalized from,
+// the backend classifies bit-identical clouds to the local path. It
+// reports false — leaving the job's result untouched beyond the kept
+// filter — when the remote call failed, in which case the caller
+// classifies locally.
+func (p *Pipeline) stageClassifyRemote(j *streamJob, off *OffloadController) bool {
+	t0 := time.Now()
+	p.stageKeep(j)
+	kept := j.kept
+	if len(kept) == 0 {
+		j.res.Count = 0
+		j.res.Timing.Classify = time.Since(t0)
+		return true
+	}
+	if p.latticeScale() <= 0 {
+		// Snapping disabled: the batch was not built by stageKeep, so
+		// quantize here for transport only (local classification then
+		// runs on raw coordinates and may diverge from the backend's —
+		// the documented cost of turning the lattice off).
+		j.batch.BuildInto(0, j.seq, kept, wire.DefaultQuantScale)
+	}
+	labels, err := off.classifyRemote(&j.batch)
+	if err != nil || len(labels) != len(kept) {
+		return false
+	}
+	n := 0
+	for _, human := range labels {
+		if human {
+			n++
+		}
+	}
+	p.m.humans.Add(uint64(n))
+	p.m.objects.Add(uint64(len(kept) - n))
+	j.res.Count = n
+	j.res.Timing.Classify = time.Since(t0)
+	return true
 }
 
 // observeFrame records one completed frame into the pipeline's

@@ -12,6 +12,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hawccc/internal/geom"
@@ -39,6 +40,14 @@ type StreamConfig struct {
 	// are at most 4*QueueDepth + workers + 1, which is the scheduler's
 	// whole steady-state memory footprint beyond the pooled buffers.
 	QueueDepth int
+	// Offload, when non-nil, adds the edge/cloud offload decision point
+	// after the cluster stage: each classify worker consults the
+	// controller per frame and either classifies locally or ships the
+	// kept clusters through the controller's RemoteClassifier. Offloaded
+	// results re-enter the reorder buffer like local ones, and a remote
+	// failure falls back to local classification, so ordered emission
+	// and per-frame delivery are unchanged. Nil keeps every frame local.
+	Offload *OffloadController
 }
 
 // DefaultStreamConfig splits the cores between the two compute stages
@@ -180,6 +189,10 @@ type boundedQ struct {
 	ch    chan *streamJob
 	depth *obs.Gauge
 	bp    *obs.Counter
+	// blocked mirrors bp unconditionally (bp is nil-backed on an
+	// uninstrumented pipeline) so the offload controller always has a
+	// live backpressure signal to read.
+	blocked atomic.Uint64
 }
 
 // send enqueues j, blocking under backpressure; it returns false when
@@ -192,6 +205,7 @@ func (q *boundedQ) send(ctx context.Context, j *streamJob) bool {
 		return true
 	default:
 	}
+	q.blocked.Add(1)
 	q.bp.Inc()
 	select {
 	case q.ch <- j:
@@ -242,7 +256,19 @@ func (s *scheduler) run() {
 	go s.pool(s.cfg.ClassifyWorkers, s.qClassify, s.qReport, func(j *streamJob) {
 		wait := time.Since(j.classifyReady)
 		s.p.m.queueWait.ObserveDuration(wait)
-		s.p.stageClassify(j, 1)
+		// The offload decision point: the controller reads the classify
+		// queue's live depth and cumulative blocked handoffs; a shed
+		// frame that fails remotely is classified locally instead, so
+		// either way the job proceeds to the reorder buffer.
+		off := s.cfg.Offload
+		if off.ShouldOffload(len(s.qClassify.ch), s.qClassify.blocked.Load()) {
+			if !s.p.stageClassifyRemote(j, off) {
+				off.fellBack()
+				s.p.stageClassify(j, 1)
+			}
+		} else {
+			s.p.stageClassify(j, 1)
+		}
 		j.res.Timing.QueueWait = wait
 	})
 	s.report()

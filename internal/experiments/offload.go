@@ -1,0 +1,359 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"strings"
+	"time"
+
+	"hawccc/internal/backend"
+	"hawccc/internal/counting"
+	"hawccc/internal/dataset"
+	"hawccc/internal/geom"
+	"hawccc/internal/ground"
+	"hawccc/internal/pole"
+	"hawccc/internal/wire"
+)
+
+// OffloadBenchResult measures the adaptive edge/cloud offload path end
+// to end in three phases. Phase 1 (transport) runs the real ingest +
+// cluster stages over the lab's crowd frames and studies the quantized
+// wire encoding: bytes per frame against the float32 baseline, the
+// worst dequantization error against the codec's tolerance bound, and
+// HAWC's labels on the edge's lattice-snapped clusters vs the backend's
+// wire-decoded ones (equal by construction — both sides classify
+// bit-identical clouds). Phase 2
+// (saturation) races an edge-only pole against a forced-offload pole
+// through a live backend on dense frames with the edge classify stage
+// pinned to one worker — the induced-saturation regime where shipping
+// clusters to the backend's coalescing batch classifier must not lose
+// throughput. Phase 3 (adaptive) drives the hysteresis controller
+// through a deterministic thermal ramp and checks it actually switches
+// both ways while preserving counts.
+type OffloadBenchResult struct {
+	NumCPU int `json:"num_cpu"`
+
+	// Phase 1 — quantized transport study over the real pipeline stages.
+	WireFrames           int     `json:"wire_frames"`
+	WireClusters         int     `json:"wire_clusters"`
+	WirePoints           int     `json:"wire_points"`
+	QuantBytes           int     `json:"quant_bytes"`
+	Float32Bytes         int     `json:"float32_bytes"`
+	BytesPerFrameQuant   float64 `json:"bytes_per_frame_quant"`
+	BytesPerFrameFloat32 float64 `json:"bytes_per_frame_float32"`
+	CompressionVsFloat32 float64 `json:"compression_vs_float32"`
+	MaxCoordErrM         float64 `json:"max_coord_err_m"`
+	ToleranceM           float64 `json:"tolerance_m"`
+	WithinTolerance      bool    `json:"within_tolerance"`
+	LabelAgreement       float64 `json:"label_agreement"`
+	WireCountsEqual      bool    `json:"wire_counts_equal"`
+
+	// Phase 2 — live-backend throughput at induced edge saturation.
+	SaturationFrames    int     `json:"saturation_frames"`
+	EdgeFramesPerSec    float64 `json:"edge_frames_per_sec"`
+	OffloadFramesPerSec float64 `json:"offload_frames_per_sec"`
+	OffloadSpeedup      float64 `json:"offload_speedup"`
+	EdgeCampusCount     uint64  `json:"edge_campus_count"`
+	OffloadCampusCount  uint64  `json:"offload_campus_count"`
+	E2ECountsEqual      bool    `json:"e2e_counts_equal"`
+
+	// Phase 3 — adaptive controller under a deterministic thermal ramp.
+	AdaptiveFrames      int    `json:"adaptive_frames"`
+	AdaptiveSwitches    uint64 `json:"adaptive_switches"`
+	AdaptiveLocal       uint64 `json:"adaptive_local"`
+	AdaptiveRemote      uint64 `json:"adaptive_remote"`
+	AdaptiveFallback    uint64 `json:"adaptive_fallback"`
+	AdaptiveSwitched    bool   `json:"adaptive_switched"`
+	AdaptiveCountsEqual bool   `json:"adaptive_counts_equal"`
+
+	// CountEquivalent is the headline gate: every phase's counts through
+	// the offload path equal the edge-only reference.
+	CountEquivalent bool `json:"count_equivalent"`
+}
+
+// offloadSaturationWorkers is the offloaded pole's classify-stage
+// width: enough in-flight frames that the backend's workers coalesce
+// batches, while the edge-only reference runs the same stage at width 1
+// (the saturated-pole regime the offload exists for).
+const offloadSaturationWorkers = 4
+
+// OffloadBench runs the three offload phases; see OffloadBenchResult.
+func OffloadBench(l *Lab) OffloadBenchResult {
+	res := OffloadBenchResult{NumCPU: runtime.NumCPU()}
+	l.logf("offload bench: phase 1 — quantized transport over %d frames...", len(l.Frames()))
+	benchOffloadWire(l, &res)
+
+	srv, err := backend.Listen(backend.Config{
+		Addr:             "127.0.0.1:0",
+		SnapshotInterval: -1,
+		Classifier:       l.HAWC(),
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: offload backend: %v", err))
+	}
+	defer srv.Close()
+
+	l.logf("offload bench: phase 2 — edge-only vs forced offload at induced saturation...")
+	benchOffloadSaturation(l, srv, &res)
+	l.logf("offload bench: phase 3 — adaptive thermal ramp...")
+	benchOffloadAdaptive(l, srv, &res)
+
+	res.CountEquivalent = res.WireCountsEqual && res.E2ECountsEqual && res.AdaptiveCountsEqual
+	return res
+}
+
+// benchOffloadWire replicates the pipeline's ingest and cluster stages
+// (ROI crop, ground removal, adaptive DBSCAN, the MinClusterPoints
+// filter) and pushes every frame's kept clusters through the quantized
+// codec. It measures size against the float32 baseline and the raw
+// coordinate error against the codec's tolerance bound, then checks the
+// label-equivalence contract: the edge pipeline classifies clusters
+// snapped onto the classification lattice (counting.Pipeline's
+// LatticeScale default), and the backend classifies what it decodes off
+// the wire — HAWC must agree cluster for cluster because both sides see
+// bit-identical clouds.
+func benchOffloadWire(l *Lab, res *OffloadBenchResult) {
+	clf := l.HAWC()
+	frames := l.Frames()
+	roi := ground.DefaultROI()
+	clusterer := counting.NewAdaptiveClusterer()
+	res.ToleranceM = wire.DefaultQuantScale / 2
+
+	var cropped, ingested geom.Cloud
+	var clusters []geom.Cloud
+	agree, labels := 0, 0
+	res.WireCountsEqual = true
+	res.WithinTolerance = true
+	for seq, f := range frames {
+		cropped = roi.CropInto(cropped[:0], f.Cloud)
+		ingested = ground.SegmentInto(ingested[:0], cropped, ground.DefaultZMin)
+		cr := clusterer.Cluster(ingested)
+		clusters = cr.ClustersInto(ingested, clusters[:0])
+		kept := make([]geom.Cloud, 0, len(clusters))
+		for _, c := range clusters {
+			if len(c) >= dataset.MinVisiblePoints {
+				kept = append(kept, c)
+			}
+		}
+		if len(kept) == 0 {
+			continue
+		}
+
+		batch := wire.BuildClusterBatch(1, uint64(seq), kept, 0)
+		body := wire.EncodeClusterBatch(batch)
+		res.WireFrames++
+		res.WireClusters += len(kept)
+		res.WirePoints += batch.Points()
+		res.QuantBytes += len(body)
+		res.Float32Bytes += batch.Float32Bytes()
+
+		decoded, err := wire.DecodeClusterBatch(body)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: offload decode: %v", err))
+		}
+		// canon is what the edge pipeline classifies (the lattice snap of
+		// stageKeep); deq is what the backend classifies after the wire.
+		canon := make([]geom.Cloud, len(kept))
+		deq := make([]geom.Cloud, len(kept))
+		for i := range decoded.Clusters {
+			canon[i] = batch.AppendCloud(i, nil)
+			deq[i] = decoded.AppendCloud(i, nil)
+			for j, p := range deq[i] {
+				o := kept[i][j]
+				for _, d := range [3]float64{p.X - o.X, p.Y - o.Y, p.Z - o.Z} {
+					if a := math.Abs(d); a > res.MaxCoordErrM {
+						res.MaxCoordErrM = a
+					}
+				}
+			}
+		}
+
+		lo := clf.PredictHumans(canon)
+		ld := clf.PredictHumans(deq)
+		co, cd := 0, 0
+		for i := range lo {
+			if lo[i] == ld[i] {
+				agree++
+			}
+			labels++
+			if lo[i] {
+				co++
+			}
+			if ld[i] {
+				cd++
+			}
+		}
+		if co != cd {
+			res.WireCountsEqual = false
+		}
+	}
+	if labels > 0 {
+		res.LabelAgreement = float64(agree) / float64(labels)
+	}
+	if res.WireFrames > 0 {
+		res.BytesPerFrameQuant = float64(res.QuantBytes) / float64(res.WireFrames)
+		res.BytesPerFrameFloat32 = float64(res.Float32Bytes) / float64(res.WireFrames)
+	}
+	if res.QuantBytes > 0 {
+		res.CompressionVsFloat32 = float64(res.Float32Bytes) / float64(res.QuantBytes)
+	}
+	if res.MaxCoordErrM > res.ToleranceM {
+		res.WithinTolerance = false
+	}
+}
+
+// offloadDenseFrames generates the saturation workload: crowded frames
+// so the classify stage, not ingest or clustering, dominates.
+func offloadDenseFrames(l *Lab) []dataset.Frame {
+	n := 2 * l.Cfg.CrowdFrames
+	if n < 40 {
+		n = 40
+	}
+	g := dataset.NewGenerator(l.Cfg.Seed + 77)
+	return g.CrowdFrames(n, 4, 8, 2)
+}
+
+// runOffloadPole streams frames through one pole node against srv and
+// returns the wall-clock frames/sec.
+func runOffloadPole(srv *backend.Server, l *Lab, frames []dataset.Frame, id uint32, mode counting.OffloadMode, classifyWorkers int) float64 {
+	cfg := pole.Config{
+		PoleID:      id,
+		Location:    fmt.Sprintf("offload-bench-%d", id),
+		BackendAddr: srv.Addr(),
+		Pipeline:    counting.New(l.HAWC()),
+		Source:      &pole.SliceSource{Frames: frames},
+		Stream:      counting.StreamConfig{ClassifyWorkers: classifyWorkers},
+		Offload:     counting.OffloadConfig{Mode: mode},
+	}
+	n, err := pole.Dial(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: offload pole %d: %v", id, err))
+	}
+	start := time.Now()
+	processed, err := n.Run(context.Background())
+	elapsed := time.Since(start)
+	if err != nil || processed != len(frames) {
+		panic(fmt.Sprintf("experiments: offload pole %d run: %d/%d frames, %v", id, processed, len(frames), err))
+	}
+	return float64(processed) / elapsed.Seconds()
+}
+
+// benchOffloadSaturation runs phase 2: the same dense frames through an
+// edge-only pole whose classify stage is pinned to one worker, then
+// through a forced-offload pole whose classify workers only quantize
+// and ship while the backend coalesces the in-flight batches.
+func benchOffloadSaturation(l *Lab, srv *backend.Server, res *OffloadBenchResult) {
+	frames := offloadDenseFrames(l)
+	res.SaturationFrames = len(frames)
+	// Best-of-two, interleaved, damps scheduler noise on small hosts;
+	// counts are read from the first trial's pole IDs (both trials
+	// process identical frames, so either would do).
+	edge1 := runOffloadPole(srv, l, frames, 9001, counting.OffloadOff, 1)
+	off1 := runOffloadPole(srv, l, frames, 9002, counting.OffloadForced, offloadSaturationWorkers)
+	edge2 := runOffloadPole(srv, l, frames, 9011, counting.OffloadOff, 1)
+	off2 := runOffloadPole(srv, l, frames, 9012, counting.OffloadForced, offloadSaturationWorkers)
+	res.EdgeFramesPerSec = math.Max(edge1, edge2)
+	res.OffloadFramesPerSec = math.Max(off1, off2)
+	if res.EdgeFramesPerSec > 0 {
+		res.OffloadSpeedup = res.OffloadFramesPerSec / res.EdgeFramesPerSec
+	}
+	for _, p := range srv.Snapshot() {
+		switch p.PoleID {
+		case 9001:
+			res.EdgeCampusCount = uint64(p.TotalCount)
+		case 9002:
+			res.OffloadCampusCount = uint64(p.TotalCount)
+		}
+	}
+	res.E2ECountsEqual = res.EdgeCampusCount == res.OffloadCampusCount && res.EdgeCampusCount > 0
+}
+
+// benchOffloadAdaptive runs phase 3: three passes over the lab frames
+// through one adaptive controller wired to a live backend offloader,
+// with the compartment temperature stepped cool → hot → cool between
+// passes. Queue and backpressure signals are disabled so the ramp is
+// the only input, making the expected decision sequence deterministic:
+// pass 1 local, pass 2 remote (entry is immediate), pass 3 returning
+// local after the dwell.
+func benchOffloadAdaptive(l *Lab, srv *backend.Server, res *OffloadBenchResult) {
+	frames := l.Frames()
+	res.AdaptiveFrames = 3 * len(frames)
+	off := pole.NewOffloader(pole.OffloaderConfig{
+		BackendAddr: srv.Addr(),
+		PoleID:      9003,
+		Location:    "offload-bench-adaptive",
+	})
+	defer off.Close()
+	ctl := counting.NewOffloadController(counting.OffloadConfig{
+		Mode:              counting.OffloadAdaptive,
+		Remote:            off,
+		EnterQueueDepth:   -1,
+		EnterBackpressure: -1,
+		MinDwellFrames:    4,
+	})
+	p := counting.New(l.HAWC())
+
+	pass := func(tempC float64) int {
+		ctl.SetTemperature(tempC)
+		in := make(chan geom.Cloud)
+		go func() {
+			defer close(in)
+			for i := range frames {
+				in <- frames[i].Cloud
+			}
+		}()
+		total := 0
+		cfg := counting.StreamConfig{ClassifyWorkers: 1, Offload: ctl}
+		for r := range p.StreamWith(context.Background(), in, cfg) {
+			total += r.Count
+		}
+		return total
+	}
+	got := pass(25) + pass(55) + pass(25)
+
+	ref := 0
+	for i := range frames {
+		ref += p.Count(frames[i].Cloud).Count
+	}
+	res.AdaptiveCountsEqual = got == 3*ref && ref > 0
+	res.AdaptiveSwitches = ctl.Switches()
+	res.AdaptiveLocal, res.AdaptiveRemote, res.AdaptiveFallback = ctl.Decisions()
+	res.AdaptiveSwitched = res.AdaptiveSwitches >= 2 &&
+		res.AdaptiveLocal > 0 && res.AdaptiveRemote > 0 && res.AdaptiveFallback == 0
+}
+
+// FormatOffload renders the benchmark as a console report.
+func FormatOffload(r OffloadBenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "host: %d cores\n", r.NumCPU)
+	fmt.Fprintf(&b, "transport: %d frames, %d clusters, %d points\n",
+		r.WireFrames, r.WireClusters, r.WirePoints)
+	fmt.Fprintf(&b, "  quantized %.0f B/frame vs float32 %.0f B/frame — %.2fx smaller\n",
+		r.BytesPerFrameQuant, r.BytesPerFrameFloat32, r.CompressionVsFloat32)
+	fmt.Fprintf(&b, "  max coord error %.4f mm (bound %.4f mm, within: %v)\n",
+		r.MaxCoordErrM*1000, r.ToleranceM*1000, r.WithinTolerance)
+	fmt.Fprintf(&b, "  label agreement %.4f, per-frame counts equal: %v\n",
+		r.LabelAgreement, r.WireCountsEqual)
+	fmt.Fprintf(&b, "saturation: %d dense frames, edge-only %.2f f/s vs offloaded %.2f f/s — %.2fx\n",
+		r.SaturationFrames, r.EdgeFramesPerSec, r.OffloadFramesPerSec, r.OffloadSpeedup)
+	fmt.Fprintf(&b, "  campus counts: edge %d, offloaded %d, equal: %v\n",
+		r.EdgeCampusCount, r.OffloadCampusCount, r.E2ECountsEqual)
+	fmt.Fprintf(&b, "adaptive ramp: %d frames, %d switches, decisions local=%d remote=%d fallback=%d\n",
+		r.AdaptiveFrames, r.AdaptiveSwitches, r.AdaptiveLocal, r.AdaptiveRemote, r.AdaptiveFallback)
+	fmt.Fprintf(&b, "  switched both ways: %v, counts equal: %v\n",
+		r.AdaptiveSwitched, r.AdaptiveCountsEqual)
+	fmt.Fprintf(&b, "count equivalent across all phases: %v\n", r.CountEquivalent)
+	return b.String()
+}
+
+// WriteOffloadJSON writes the benchmark as the BENCH_offload.json
+// artifact consumed by CI.
+func WriteOffloadJSON(w io.Writer, r OffloadBenchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -83,6 +83,13 @@ type Config struct {
 	// Telemetry, when non-nil, is streamed alongside count reports (one
 	// reading per frame).
 	Telemetry []telemetry.Reading
+	// Offload configures the edge/cloud classify offload (mode,
+	// hysteresis thresholds, quantization scale). With a mode other than
+	// counting.OffloadOff and Remote left nil, the node builds its own
+	// quantized-wire offloader to BackendAddr on a dedicated connection;
+	// a pre-set Remote is used as-is (tests inject loopbacks). The zero
+	// value keeps every frame classified on the pole.
+	Offload counting.OffloadConfig
 	// MaxReconnects is how many times the node re-dials the backend when
 	// a delivery fails, per report; after a successful ack the budget
 	// resets. 0 keeps the historical fail-fast behavior.
@@ -131,6 +138,12 @@ type Node struct {
 	alerts []wire.Alert
 	acked  uint64
 	sent   uint64
+
+	// offl is the node-owned offload transport (nil when offload is off
+	// or the config injected its own Remote); offctl is the decision
+	// controller handed to the stream scheduler.
+	offl   *Offloader
+	offctl *counting.OffloadController
 }
 
 // Dial connects the pole to the backend and performs the hello handshake.
@@ -146,11 +159,30 @@ func Dial(cfg Config) (*Node, error) {
 	}
 	n := &Node{cfg: cfg}
 	n.initObs()
+	if cfg.Offload.Mode != counting.OffloadOff {
+		if n.cfg.Offload.Remote == nil {
+			n.offl = NewOffloader(OffloaderConfig{
+				BackendAddr: cfg.BackendAddr,
+				PoleID:      cfg.PoleID,
+				Location:    cfg.Location,
+				Zone:        cfg.Zone,
+				BytesSent:   n.m.bytesOut, BytesReceived: n.m.bytesIn,
+				MsgsSent: n.m.msgsOut, MsgsReceived: n.m.msgsIn,
+			})
+			n.cfg.Offload.Remote = n.offl
+		}
+		id := obs.L("pole", strconv.FormatUint(uint64(cfg.PoleID), 10))
+		n.offctl = counting.NewOffloadController(n.cfg.Offload).Instrument(cfg.Obs, id)
+	}
 	if err := n.connect(); err != nil {
 		return nil, err
 	}
 	return n, nil
 }
+
+// Offload returns the node's offload decision controller, or nil when
+// offload is off.
+func (n *Node) Offload() *counting.OffloadController { return n.offctl }
 
 // initObs builds the instrument set: registry-backed when cfg.Obs is set,
 // detached otherwise, so counters always count.
@@ -217,6 +249,11 @@ func (n *Node) closeConn(markStopped bool) {
 	if c != nil {
 		c.Close()
 	}
+	// Shutdown also retires the offload connection so in-flight
+	// ClassifyRemote calls unblock (their frames classify locally).
+	if markStopped && n.offl != nil {
+		n.offl.Close()
+	}
 }
 
 // logf serializes diagnostic output across goroutines sharing a sink.
@@ -282,8 +319,10 @@ func (n *Node) Run(ctx context.Context) (int, error) {
 		}
 	}()
 
+	streamCfg := n.cfg.Stream
+	streamCfg.Offload = n.offctl
 	processed := 0
-	for result := range n.cfg.Pipeline.StreamWith(ctx, frames, n.cfg.Stream) {
+	for result := range n.cfg.Pipeline.StreamWith(ctx, frames, streamCfg) {
 		n.m.frames.Inc()
 
 		n.mu.Lock()
@@ -317,6 +356,10 @@ func (n *Node) Run(ctx context.Context) (int, error) {
 
 		if processed < len(n.cfg.Telemetry) {
 			r := n.cfg.Telemetry[processed]
+			// The sampled compartment temperature feeds the offload
+			// controller's thermal signal (Fig. 10): an overheating
+			// enclosure sheds its classify stage.
+			n.offctl.SetTemperature(r.Pole)
 			tm := wire.EncodeTelemetry(wire.Telemetry{
 				PoleID:    n.cfg.PoleID,
 				Timestamp: r.At,

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Segment file format. A segment is a self-contained run of sealed
@@ -42,6 +43,7 @@ type segmentWriter struct {
 	dir         string
 	maxBytes    int
 	maxSegments int
+	maxAge      time.Duration
 
 	f         *os.File
 	bw        *bufio.Writer
@@ -51,11 +53,11 @@ type segmentWriter struct {
 	err       error
 }
 
-func newSegmentWriter(dir string, maxBytes, maxSegments int) (*segmentWriter, error) {
+func newSegmentWriter(dir string, maxBytes, maxSegments int, maxAge time.Duration) (*segmentWriter, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("tsdb: segment dir: %w", err)
 	}
-	w := &segmentWriter{dir: dir, maxBytes: maxBytes, maxSegments: maxSegments}
+	w := &segmentWriter{dir: dir, maxBytes: maxBytes, maxSegments: maxSegments, maxAge: maxAge}
 	// Resume the sequence after any existing segments so restarts never
 	// clobber retained history.
 	existing, err := listSegments(dir)
@@ -114,18 +116,35 @@ func (w *segmentWriter) rotate() error {
 	return nil
 }
 
-// prune deletes the oldest segments beyond the retention cap.
+// prune deletes old segments past either retention bound: the count cap
+// (oldest beyond MaxSegments) and the age cap (modification time older
+// than MaxAge). The just-opened active file is never pruned. Age checks
+// run only at rotation, so an idle store keeps its last files — age
+// expiry of in-memory chunks (store.go) is what bounds what queries see.
 func (w *segmentWriter) prune() {
-	if w.maxSegments <= 0 {
+	if w.maxSegments <= 0 && w.maxAge <= 0 {
 		return
 	}
 	files, err := listSegments(w.dir)
 	if err != nil {
 		return
 	}
-	for len(files) > w.maxSegments {
-		os.Remove(files[0])
-		files = files[1:]
+	if w.maxSegments > 0 {
+		for len(files) > w.maxSegments {
+			os.Remove(files[0])
+			files = files[1:]
+		}
+	}
+	if w.maxAge > 0 {
+		cutoff := time.Now().Add(-w.maxAge)
+		for _, path := range files {
+			if filepath.Base(path) == fmt.Sprintf("seg-%06d.htsd", w.seq) {
+				continue
+			}
+			if info, err := os.Stat(path); err == nil && info.ModTime().Before(cutoff) {
+				os.Remove(path)
+			}
+		}
 	}
 }
 

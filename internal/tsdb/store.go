@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Defaults for the zero values of Config.
@@ -44,6 +45,20 @@ type Config struct {
 	// the oldest beyond the cap (0 selects DefaultMaxSegments; negative
 	// means unbounded).
 	MaxSegments int
+	// WarmStart, with Dir set, reads the directory's sealed segment
+	// files back into memory before the writer opens its first file, so
+	// a restarted process serves pre-restart history immediately. Loaded
+	// samples install as sealed chunks (never re-written to disk) and
+	// are accounted separately in Stats.Loaded.
+	WarmStart bool
+	// MaxAge, when positive, expires sealed data by time alongside the
+	// MaxChunks ring: at every seal (and at warm-start load) a series
+	// drops sealed chunks whose newest sample is more than MaxAge older
+	// than the series' latest timestamp, and segment rotation deletes
+	// files whose modification time has aged out. Sample timestamps are
+	// unix nanoseconds (the backend's convention), so a time.Duration
+	// compares directly.
+	MaxAge time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -87,9 +102,10 @@ type Store struct {
 
 	seriesN   atomic.Int64
 	appended  atomic.Uint64 // lifetime samples appended
+	loadedN   atomic.Uint64 // samples warm-started from disk segments
 	sealedN   atomic.Uint64 // lifetime samples sealed into chunks
 	sealedB   atomic.Uint64 // lifetime encoded bytes sealed
-	droppedN  atomic.Uint64 // samples evicted from the in-memory ring
+	droppedN  atomic.Uint64 // samples evicted by the ring or MaxAge
 	intChunks atomic.Uint64 // sealed chunks that chose int-delta encoding
 	nextID    atomic.Uint32
 
@@ -114,7 +130,21 @@ func New(cfg Config) (*Store, error) {
 		s.shards[i].series = make(map[SeriesKey]*Series)
 	}
 	if cfg.Dir != "" {
-		w, err := newSegmentWriter(cfg.Dir, cfg.SegmentBytes, cfg.MaxSegments)
+		// Warm-start reads the sealed segments back BEFORE the writer
+		// opens: rotation both creates a fresh (buffered, unflushed)
+		// file that a reader must not see mid-write and prunes old
+		// files that should still contribute to the restart's memory
+		// view.
+		if cfg.WarmStart {
+			segs, err := ReadDir(cfg.Dir)
+			if err != nil {
+				return nil, fmt.Errorf("tsdb: warm start: %w", err)
+			}
+			for _, ss := range segs {
+				s.Series(ss.Key.Pole, ss.Key.Name).load(ss.Samples)
+			}
+		}
+		w, err := newSegmentWriter(cfg.Dir, cfg.SegmentBytes, cfg.MaxSegments, cfg.MaxAge)
 		if err != nil {
 			return nil, err
 		}
@@ -240,10 +270,11 @@ func (s *Store) PoleSeries(pole uint32) []SeriesMeta {
 type Stats struct {
 	Series          int     `json:"series"`
 	Appended        uint64  `json:"appended"` // lifetime samples appended
+	Loaded          uint64  `json:"loaded"`   // samples warm-started from disk segments
 	Retained        uint64  `json:"retained"` // decodable right now: sealed in memory + hot
 	SealedSamples   uint64  `json:"sealed_samples"`
 	SealedBytes     uint64  `json:"sealed_bytes"`
-	DroppedSamples  uint64  `json:"dropped_samples"` // evicted by the per-series ring
+	DroppedSamples  uint64  `json:"dropped_samples"` // evicted by the per-series ring or MaxAge
 	IntChunks       uint64  `json:"int_chunks"`
 	BytesPerSample  float64 `json:"bytes_per_sample"` // sealed bytes / sealed samples
 	NaiveBytes      uint64  `json:"naive_bytes"`      // 16-byte (ts,value) rows
@@ -252,11 +283,12 @@ type Stats struct {
 
 // Stats walks every series (taking each lock briefly) and returns the
 // current totals. Conservation invariant when nothing has been evicted:
-// Retained == Appended.
+// Retained == Appended + Loaded.
 func (s *Store) Stats() Stats {
 	st := Stats{
 		Series:         int(s.seriesN.Load()),
 		Appended:       s.appended.Load(),
+		Loaded:         s.loadedN.Load(),
 		SealedSamples:  s.sealedN.Load(),
 		SealedBytes:    s.sealedB.Load(),
 		DroppedSamples: s.droppedN.Load(),
@@ -352,13 +384,7 @@ func (sr *Series) seal() {
 	next := make([]*Chunk, 0, len(chunks)+1)
 	next = append(next, chunks...)
 	next = append(next, c)
-	if max := sr.st.cfg.MaxChunks; max > 0 && len(next) > max {
-		for _, evicted := range next[:len(next)-max] {
-			sr.st.droppedN.Add(uint64(evicted.Count))
-		}
-		next = append([]*Chunk(nil), next[len(next)-max:]...)
-	}
-	sr.sealed.Store(&chunkList{chunks: next})
+	sr.sealed.Store(&chunkList{chunks: sr.retain(next)})
 	sr.st.sealedN.Add(uint64(c.Count))
 	sr.st.sealedB.Add(uint64(len(c.data)))
 	if c.data[2] == encIntDelta {
@@ -368,6 +394,82 @@ func (sr *Series) seal() {
 		sr.st.disk.writeChunk(sr.id, sr.Key, c.data)
 	}
 	sr.n = 0
+}
+
+// retain applies the series' retention policy to a prospective sealed
+// list — MaxAge expiry first (chunks whose newest sample trails the
+// series' latest timestamp by more than MaxAge; the newest chunk is
+// never expired), then the MaxChunks ring — accounting every evicted
+// sample in droppedN. Caller holds sr.mu and owns the slice.
+func (sr *Series) retain(chunks []*Chunk) []*Chunk {
+	if maxAge := sr.st.cfg.MaxAge; maxAge > 0 {
+		cutoff := sr.lastTS - int64(maxAge)
+		drop := 0
+		for drop < len(chunks)-1 && chunks[drop].MaxTS < cutoff {
+			sr.st.droppedN.Add(uint64(chunks[drop].Count))
+			drop++
+		}
+		chunks = chunks[drop:]
+	}
+	if max := sr.st.cfg.MaxChunks; max > 0 && len(chunks) > max {
+		for _, evicted := range chunks[:len(chunks)-max] {
+			sr.st.droppedN.Add(uint64(evicted.Count))
+		}
+		chunks = chunks[len(chunks)-max:]
+	}
+	return chunks
+}
+
+// load installs samples read back from disk segments as sealed chunks,
+// without echoing them to the writer (they are already on disk). It
+// runs during New, before the store is shared, but locks anyway.
+func (sr *Series) load(samples []Sample) {
+	if len(samples) == 0 {
+		return
+	}
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	size := len(sr.ts)
+	old := sr.sealed.Load()
+	var chunks []*Chunk
+	if old != nil {
+		chunks = append(chunks, old.chunks...)
+	}
+	ts := make([]int64, 0, size)
+	vals := make([]float64, 0, size)
+	last := int64(math.MinInt64)
+	for i := 0; i < len(samples); i += size {
+		end := i + size
+		if end > len(samples) {
+			end = len(samples)
+		}
+		ts, vals = ts[:0], vals[:0]
+		for _, smp := range samples[i:end] {
+			// Re-impose the append-path clamp: per-series order was
+			// non-decreasing when written, but be safe against
+			// hand-edited or mixed segment directories.
+			if smp.TS < last {
+				smp.TS = last
+			}
+			last = smp.TS
+			ts = append(ts, smp.TS)
+			vals = append(vals, smp.V)
+		}
+		c, err := EncodeChunk(ts, vals)
+		if err != nil {
+			continue // unreachable: end > i
+		}
+		chunks = append(chunks, c)
+	}
+	if sr.total == 0 {
+		sr.firstTS = samples[0].TS
+	}
+	if last > sr.lastTS {
+		sr.lastTS = last
+	}
+	sr.total += uint64(len(samples))
+	sr.st.loadedN.Add(uint64(len(samples)))
+	sr.sealed.Store(&chunkList{chunks: sr.retain(chunks)})
 }
 
 // Seal forces the pending hot samples into a sealed chunk (a no-op when

@@ -1,0 +1,257 @@
+package tsdb
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// TestWarmStartRoundTrip seals two poles' series to disk, reopens the
+// directory with WarmStart, and requires bit-identical reads plus
+// continued appends that a third generation also restores.
+func TestWarmStartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{ChunkSamples: 8, Dir: dir}
+
+	st1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pole := uint32(1); pole <= 2; pole++ {
+		sr := st1.Series(pole, "count")
+		for i := 0; i < 50; i++ {
+			sr.Append(int64(1000*i), float64(pole)*100+float64(i))
+		}
+	}
+	st1.SealAll()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.WarmStart = true
+	st2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.Stats().Loaded; got != 100 {
+		t.Fatalf("loaded %d samples, want 100", got)
+	}
+	for pole := uint32(1); pole <= 2; pole++ {
+		sr, ok := st2.Lookup(pole, "count")
+		if !ok {
+			t.Fatalf("pole %d series missing after warm start", pole)
+		}
+		got, err := sr.QueryRaw(0, 1<<60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 50 {
+			t.Fatalf("pole %d: %d samples after warm start, want 50", pole, len(got))
+		}
+		for i, smp := range got {
+			if smp.TS != int64(1000*i) || smp.V != float64(pole)*100+float64(i) {
+				t.Fatalf("pole %d sample %d = %+v", pole, i, smp)
+			}
+		}
+	}
+
+	// Appends continue past the restored history and persist in turn.
+	sr := st2.Series(1, "count")
+	for i := 50; i < 60; i++ {
+		sr.Append(int64(1000*i), float64(100+i))
+	}
+	st2.SealAll()
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st3, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	sr3, _ := st3.Lookup(1, "count")
+	got, err := sr3.QueryRaw(0, 1<<60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 60 {
+		t.Fatalf("third generation sees %d samples, want 60", len(got))
+	}
+	if got[59].TS != 59000 || got[59].V != 159 {
+		t.Fatalf("tail sample = %+v", got[59])
+	}
+}
+
+// TestWarmStartOffByDefault pins that reopening without the flag starts
+// empty (the pre-existing behavior) while leaving the files alone.
+func TestWarmStartOffByDefault(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := New(Config{ChunkSamples: 4, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := st1.Series(7, "count")
+	for i := 0; i < 12; i++ {
+		sr.Append(int64(i), float64(i))
+	}
+	st1.SealAll()
+	st1.Close()
+
+	st2, err := New(Config{ChunkSamples: 4, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.Stats().Loaded; got != 0 {
+		t.Fatalf("loaded %d without WarmStart, want 0", got)
+	}
+	if _, ok := st2.Lookup(7, "count"); ok {
+		t.Fatal("series exists without WarmStart")
+	}
+}
+
+// TestMaxAgeExpiry drives a series far past a MaxAge horizon and checks
+// that old sealed chunks expire at seal time with eviction accounting
+// identical to the ring's: Retained + Dropped == Appended.
+func TestMaxAgeExpiry(t *testing.T) {
+	st := MustNew(Config{ChunkSamples: 4, MaxChunks: -1, MaxAge: 100 * time.Nanosecond})
+	sr := st.Series(1, "count")
+	// 1ns per sample: by the final seal the first chunks are far older
+	// than the 100ns horizon.
+	const n = 400
+	for i := 0; i < n; i++ {
+		sr.Append(int64(i), float64(i))
+	}
+	sr.Seal()
+	stats := st.Stats()
+	if stats.DroppedSamples == 0 {
+		t.Fatal("no samples expired by MaxAge")
+	}
+	if stats.Retained+stats.DroppedSamples != stats.Appended {
+		t.Fatalf("conservation broken: retained %d + dropped %d != appended %d",
+			stats.Retained, stats.DroppedSamples, stats.Appended)
+	}
+	got, err := sr.QueryRaw(0, 1<<60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whole chunks expire, so the oldest surviving sample is within
+	// MaxAge + one chunk span of the newest.
+	if first := got[0].TS; first < n-1-100-4 || first > n-1 {
+		t.Fatalf("oldest surviving ts = %d", first)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].TS != got[i-1].TS+1 {
+			t.Fatalf("gap in surviving samples at %d", i)
+		}
+	}
+}
+
+// TestMaxAgeNeverExpiresNewestChunk pins the guard: even when every
+// sealed chunk is past the horizon, the newest survives.
+func TestMaxAgeNeverExpiresNewestChunk(t *testing.T) {
+	st := MustNew(Config{ChunkSamples: 4, MaxChunks: -1, MaxAge: 1 * time.Nanosecond})
+	sr := st.Series(1, "count")
+	for i := 0; i < 16; i++ {
+		sr.Append(int64(1000*i), float64(i))
+	}
+	sr.Seal()
+	got, err := sr.QueryRaw(0, 1<<60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("%d samples survive, want the newest chunk's 4", len(got))
+	}
+	if got[0].TS != 12000 {
+		t.Fatalf("surviving chunk starts at %d, want 12000", got[0].TS)
+	}
+}
+
+// TestMaxAgeAppliesAtWarmStart expires aged history during load: a
+// restart with MaxAge only restores the still-live window, with the
+// expired samples accounted as dropped.
+func TestMaxAgeAppliesAtWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := New(Config{ChunkSamples: 4, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := st1.Series(1, "count")
+	for i := 0; i < 40; i++ {
+		sr.Append(int64(i), float64(i))
+	}
+	st1.SealAll()
+	st1.Close()
+
+	st2, err := New(Config{ChunkSamples: 4, Dir: dir, WarmStart: true, MaxAge: 10 * time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	stats := st2.Stats()
+	if stats.Loaded != 40 {
+		t.Fatalf("loaded %d, want 40 (expiry is accounted separately)", stats.Loaded)
+	}
+	if stats.Retained+stats.DroppedSamples != stats.Loaded {
+		t.Fatalf("load conservation broken: retained %d + dropped %d != loaded %d",
+			stats.Retained, stats.DroppedSamples, stats.Loaded)
+	}
+	sr2, _ := st2.Lookup(1, "count")
+	got, err := sr2.QueryRaw(0, 1<<60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 40 || len(got) == 0 {
+		t.Fatalf("%d samples survive load expiry, want a strict subset", len(got))
+	}
+	if got[len(got)-1].TS != 39 {
+		t.Fatalf("newest sample %d, want 39", got[len(got)-1].TS)
+	}
+}
+
+// TestSegmentAgePrune ages segment files on disk (mtime) and checks
+// rotation deletes them while sparing the active file.
+func TestSegmentAgePrune(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments so every few seals rotates.
+	st1, err := New(Config{ChunkSamples: 4, Dir: dir, SegmentBytes: 64, MaxSegments: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := st1.Series(1, "count")
+	for i := 0; i < 200; i++ {
+		sr.Append(int64(i), float64(i))
+	}
+	st1.SealAll()
+	st1.Close()
+	files, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 3 {
+		t.Fatalf("only %d segments; the fixture needs several", len(files))
+	}
+	old := time.Now().Add(-48 * time.Hour)
+	for _, f := range files {
+		if err := os.Chtimes(f, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Opening a writer rotates once, which prunes aged files.
+	st2, err := New(Config{ChunkSamples: 4, Dir: dir, SegmentBytes: 64, MaxSegments: -1, MaxAge: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	after, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != 1 {
+		t.Fatalf("%d segments survive age prune, want only the active file", len(after))
+	}
+}
