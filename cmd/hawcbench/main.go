@@ -8,7 +8,7 @@
 //
 // Experiments: table1 table2 table3 table4 table5 table6 fig4 fig6 fig8
 // (combined 8a+8b; fig8a/fig8b run the individual variants) fig9 fig10
-// fig11 parallel kernels stream cluster geom fleet history offload
+// fig11 parallel kernels stream cluster geom fleet history offload api
 // thermal, or "all". Presets: quick, standard, full.
 //
 // The parallel experiment sweeps frame-level worker counts and, with
@@ -44,10 +44,15 @@
 // edge-only vs forced-offload pole race through a live backend at
 // induced edge saturation, and a deterministic thermal ramp through the
 // adaptive hysteresis controller; -offload-out writes BENCH_offload.json
-// for the CI bench-offload gates. The thermal
-// experiment rederives the Figure 10 temperature analysis from history
-// store reads (raw zip + 24h downsampled daily maxima) and asserts it
-// matches the in-memory telemetry path bit for bit.
+// for the CI bench-offload gates. The api experiment A/Bs the
+// snapshot-keyed pre-serialized response cache against the per-request
+// encode path over the cacheable query endpoints at 1k/10k poles,
+// asserts the bodies byte-identical, and runs an HTTP phase with
+// conditional (If-None-Match) dashboard queries under fleet report
+// load; -api-out writes BENCH_api.json for the CI bench-api gates. The
+// thermal experiment rederives the Figure 10 temperature analysis from
+// history store reads (raw zip + 24h downsampled daily maxima) and
+// asserts it matches the in-memory telemetry path bit for bit.
 //
 // SIGINT/SIGTERM stop the run between experiments: the current
 // experiment finishes, its output (and any requested JSON artifact
@@ -76,7 +81,7 @@ func main() {
 }
 
 func run() error {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (table1..table6, fig4, fig6, fig8a, fig8b, fig9, fig10, fig11, parallel, kernels, stream, cluster, geom, fleet, history, offload, thermal, all)")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (table1..table6, fig4, fig6, fig8a, fig8b, fig9, fig10, fig11, parallel, kernels, stream, cluster, geom, fleet, history, offload, api, thermal, all)")
 	parallelOut := flag.String("parallel-out", "", "write the parallel sweep as JSON to this path (e.g. BENCH_parallel.json)")
 	kernelsOut := flag.String("kernels-out", "", "write the kernels sweep as JSON to this path (e.g. BENCH_kernels.json)")
 	streamOut := flag.String("stream-out", "", "write the stream-vs-loop sweep as JSON to this path (e.g. BENCH_stream.json)")
@@ -85,6 +90,7 @@ func run() error {
 	fleetOut := flag.String("fleet-out", "", "write the fleet-scale backend sweep as JSON to this path (e.g. BENCH_fleet.json)")
 	historyOut := flag.String("history-out", "", "write the history-store benchmark as JSON to this path (e.g. BENCH_history.json)")
 	offloadOut := flag.String("offload-out", "", "write the edge/cloud offload benchmark as JSON to this path (e.g. BENCH_offload.json)")
+	apiOut := flag.String("api-out", "", "write the query-serving cache benchmark as JSON to this path (e.g. BENCH_api.json)")
 	preset := flag.String("preset", "standard", "dataset/training scale: quick, standard, full")
 	seed := flag.Int64("seed", 0, "override the preset's random seed")
 	pnEpochs := flag.Int("pn-epochs", 0, "override the preset's PointNet training epochs")
@@ -412,6 +418,25 @@ func run() error {
 				return fmt.Errorf("offload-out: %w", err)
 			}
 			fmt.Printf("wrote %s\n", *offloadOut)
+		}
+	}
+	if runIt("api") {
+		header("Api — pre-serialized response cache vs per-request encode")
+		r := experiments.ApiBench(lab)
+		fmt.Print(experiments.FormatApi(r))
+		if *apiOut != "" {
+			f, err := os.Create(*apiOut)
+			if err != nil {
+				return fmt.Errorf("api-out: %w", err)
+			}
+			if err := experiments.WriteApiJSON(f, r); err != nil {
+				f.Close()
+				return fmt.Errorf("api-out: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("api-out: %w", err)
+			}
+			fmt.Printf("wrote %s\n", *apiOut)
 		}
 	}
 	if runIt("thermal") {

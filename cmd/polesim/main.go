@@ -105,6 +105,7 @@ func run() error {
 	historyDir := flag.String("history-dir", "", "stream sealed history chunks to segment files in this directory (implies -history)")
 	historyPercent := flag.Int("history-percent", 0, "percent of -query-workers load aimed at /api/history in -synthetic mode (implies -history)")
 	offloadFlag := flag.String("offload", "off", "edge/cloud classify offload mode: off, forced, or adaptive")
+	conditional := flag.Int("conditional", 0, "percent of -query-workers snapshot queries sent conditionally (If-None-Match revalidation; unchanged snapshots answer 304)")
 	flag.Parse()
 
 	offload, err := counting.ParseOffloadMode(*offloadFlag)
@@ -204,7 +205,7 @@ func run() error {
 			poles: *poles, reports: *reports, conns: *conns,
 			interval: *interval, stagger: *stagger,
 			zones: *zones, seed: *seed, queryWorkers: *queryWorkers,
-			historyPercent: *historyPercent,
+			historyPercent: *historyPercent, conditionalPercent: *conditional,
 		}); err != nil {
 			return err
 		}
@@ -245,6 +246,10 @@ func runCampus(ctx context.Context, srv *backend.Server, reg *obs.Registry, clf 
 		fmt.Printf("offload mode: %s\n", cfg.offload)
 	}
 	readings := telemetry.Simulate(telemetry.SummerConfig())
+	// Every pole runs the same trained weights as the backend, so they
+	// all advertise one classifier version; compute the hash once rather
+	// than per pole (it re-serializes the weights).
+	ver := clf.ModelVersion()
 	start := time.Now()
 	var wg sync.WaitGroup
 	for id := 1; id <= cfg.poles; id++ {
@@ -264,6 +269,7 @@ func runCampus(ctx context.Context, srv *backend.Server, reg *obs.Registry, clf 
 			FrameInterval: cfg.interval,
 			Telemetry:     readings[400*id:],
 			Offload:       counting.OffloadConfig{Mode: cfg.offload},
+			ModelVersion:  ver,
 			MaxReconnects: cfg.reconnects,
 			Obs:           reg,
 			Logf:          func(f string, a ...any) { logf("[pole] "+f, a...) },
@@ -293,7 +299,7 @@ func runCampus(ctx context.Context, srv *backend.Server, reg *obs.Registry, clf 
 
 type syntheticConfig struct {
 	poles, reports, conns, zones, queryWorkers int
-	historyPercent                             int
+	historyPercent, conditionalPercent         int
 	interval, stagger                          time.Duration
 	seed                                       int64
 }
@@ -309,12 +315,13 @@ func runSynthetic(ctx context.Context, srv *backend.Server, cfg syntheticConfig)
 	if cfg.queryWorkers > 0 {
 		go func() {
 			queryDone <- fleet.Query(qctx, fleet.QueryConfig{
-				BaseURL:        "http://" + srv.APIAddr(),
-				Workers:        cfg.queryWorkers,
-				Poles:          cfg.poles,
-				Zones:          cfg.zones,
-				HistoryPercent: cfg.historyPercent,
-				Seed:           cfg.seed + 1,
+				BaseURL:            "http://" + srv.APIAddr(),
+				Workers:            cfg.queryWorkers,
+				Poles:              cfg.poles,
+				Zones:              cfg.zones,
+				HistoryPercent:     cfg.historyPercent,
+				ConditionalPercent: cfg.conditionalPercent,
+				Seed:               cfg.seed + 1,
 			})
 		}()
 	}
@@ -341,6 +348,9 @@ func runSynthetic(ctx context.Context, srv *backend.Server, cfg syntheticConfig)
 		q := <-queryDone
 		fmt.Printf("queries: %d from %d workers — %.0f QPS, p50 %.3fms p99 %.3fms, %d errors\n",
 			q.Queries, q.Workers, q.QPS, q.Latency.P50Ms, q.Latency.P99Ms, q.Errors+q.NonOK)
+		if q.NotModified > 0 {
+			fmt.Printf("conditional revalidations answered 304: %d\n", q.NotModified)
+		}
 		if q.HistoryQueries > 0 {
 			fmt.Printf("history queries: %d — p50 %.3fms p99 %.3fms\n",
 				q.HistoryQueries, q.HistoryLatency.P50Ms, q.HistoryLatency.P99Ms)

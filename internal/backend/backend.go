@@ -87,6 +87,12 @@ type Config struct {
 	// OffloadMaxBatch caps the clusters coalesced into one forward pass
 	// (0 selects DefaultOffloadMaxBatch).
 	OffloadMaxBatch int
+	// DisableResponseCache starts the server with the pre-serialized
+	// response cache bypassed: every API request takes the pooled
+	// per-request-encode path. Benchmarks toggle this (SetResponseCache)
+	// to measure the cached path against its baseline; production keeps
+	// the cache on.
+	DisableResponseCache bool
 	// Obs, when non-nil, registers the backend's metrics: per-pole report
 	// and alert counters, last-seen timestamps, compartment temperature,
 	// connection counts, wire traffic, the edge latency each report
@@ -111,6 +117,10 @@ type PoleStats struct {
 	LastTemp   float64   `json:"last_temp"`
 	MaxTemp    float64   `json:"max_temp"`
 	Alerts     int       `json:"alerts"`
+	// ModelVersion is the classifier fingerprint the pole announced in
+	// its hello (0 = unversioned). When it differs from the backend's
+	// own model, the pole's offload batches are rejected (model skew).
+	ModelVersion uint32 `json:"model_version,omitempty"`
 }
 
 // backendObs is the server-wide instrument set; nil fields (no registry)
@@ -124,6 +134,8 @@ type backendObs struct {
 	msgsOut        *obs.Counter
 	crowding       *obs.Counter
 	overheat       *obs.Counter
+	modelSkew      *obs.Counter
+	versionSkew    *obs.Counter
 	edgeLatency    *obs.Histogram
 	snapshotBuilds *obs.Counter
 	snapshotPoles  *obs.Gauge
@@ -160,10 +172,28 @@ type Server struct {
 
 	alog alertLog
 
+	// cacheOff bypasses the snapshot response cache when set
+	// (Config.DisableResponseCache / SetResponseCache).
+	cacheOff atomic.Bool
+
+	// modelVersion fingerprints the backend's own classifier weights
+	// (0 when Classifier is nil or unversioned); offload batches carrying
+	// a different nonzero version are rejected. skewAlerted dedupes the
+	// model-skew alert per pole so a retrying pole cannot flood the log.
+	modelVersion uint32
+	skewMu       sync.Mutex
+	skewAlerted  map[uint32]bool
+
 	// hist is the FTDC-style history store (nil when Config.History is
 	// nil); sampler captures Obs instruments into it on a background tick.
 	hist    *tsdb.Store
 	sampler *tsdb.Sampler
+	// histBatches defers per-report tsdb appends off the shard-locked
+	// ingest callback: one batch per registry shard, mutated only under
+	// that shard's lock and drained by the history loop (history.go).
+	// flushMu serializes drains.
+	histBatches []histShardBatch
+	flushMu     sync.Mutex
 
 	// off is the classify offload service (nil when Config.Classifier is
 	// nil).
@@ -198,6 +228,13 @@ func Listen(cfg Config) (*Server, error) {
 	}
 	s.snap.Store(newSnapshot(0, time.Now(), nil))
 	s.alog.init(cfg.AlertLogCap)
+	s.cacheOff.Store(cfg.DisableResponseCache)
+	s.skewAlerted = make(map[uint32]bool)
+	if cfg.Classifier != nil {
+		if v, ok := cfg.Classifier.(interface{ ModelVersion() uint32 }); ok {
+			s.modelVersion = v.ModelVersion()
+		}
+	}
 	if cfg.History != nil {
 		st, err := tsdb.New(*cfg.History)
 		if err != nil {
@@ -206,15 +243,20 @@ func Listen(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.hist = st
+		s.histBatches = make([]histShardBatch, len(s.reg.shards))
 		if cfg.Obs != nil {
 			s.sampler = tsdb.NewSampler(st, cfg.Obs, tsdb.SamplerConfig{Interval: cfg.HistorySampleInterval})
-			if cfg.HistorySampleInterval >= 0 {
-				s.wg.Add(1)
-				go func() {
-					defer s.wg.Done()
-					s.sampler.Run(ctx)
-				}()
+		}
+		// One loop owns both capture duties: drain the per-shard report
+		// batches into the store and (with a registry) take one sampler
+		// tick. Negative disables it; tests drive SampleHistory directly.
+		if cfg.HistorySampleInterval >= 0 {
+			interval := cfg.HistorySampleInterval
+			if interval == 0 {
+				interval = tsdb.DefaultSampleInterval
 			}
+			s.wg.Add(1)
+			go s.historyLoop(interval)
 		}
 	}
 	if reg := cfg.Obs; reg != nil {
@@ -227,6 +269,8 @@ func Listen(cfg Config) (*Server, error) {
 			msgsOut:        reg.Counter("backend_wire_messages_sent_total", "framed messages sent to poles"),
 			crowding:       reg.Counter("backend_alerts_total", "alerts raised, by kind", obs.L("kind", "crowding")),
 			overheat:       reg.Counter("backend_alerts_total", "alerts raised, by kind", obs.L("kind", "overheat")),
+			modelSkew:      reg.Counter("backend_alerts_total", "alerts raised, by kind", obs.L("kind", "model_skew")),
+			versionSkew:    reg.Counter("backend_offload_version_skew_total", "offload cluster batches rejected for classifier version skew"),
 			edgeLatency:    reg.Histogram("backend_report_edge_latency_seconds", "per-frame edge processing latency carried by count reports", obs.LatencyBuckets()),
 			snapshotBuilds: reg.Counter("backend_snapshot_builds_total", "campus snapshots rebuilt from the sharded registry"),
 			snapshotPoles:  reg.Gauge("backend_snapshot_poles", "poles in the current campus snapshot"),
@@ -277,8 +321,11 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	if s.hist != nil {
-		// Seal the hot tails so disk segments carry every captured sample,
-		// then flush the segment writer. The store itself stays readable.
+		// Drain any report batches the stopped history loop left behind
+		// (handlers have exited by now, so nothing refills them), seal the
+		// hot tails so disk segments carry every captured sample, then
+		// flush the segment writer. The store itself stays readable.
+		s.FlushHistory()
 		s.hist.SealAll()
 		if cerr := s.hist.Close(); cerr != nil && err == nil {
 			err = cerr
@@ -338,10 +385,14 @@ func (s *Server) handle(conn net.Conn) error {
 			s.withPole(h.PoleID, func(p *PoleStats, m *poleObs, _ *poleHist) {
 				p.Location = h.Location
 				p.Zone = h.Zone
+				if h.ModelVersion != 0 {
+					p.ModelVersion = h.ModelVersion
+				}
 				p.LastSeen = time.Now()
 				m.lastSeen.SetTime(p.LastSeen)
 			})
 			s.logf("backend: pole %d (%s) connected", h.PoleID, h.Location)
+			s.checkModelSkew(h.PoleID, h.ModelVersion)
 		case wire.MsgCountReport:
 			r, err := wire.DecodeCountReport(body)
 			if err != nil {
@@ -386,6 +437,16 @@ func (s *Server) handle(conn net.Conn) error {
 }
 
 func (s *Server) alert(wc *lockedConn, a wire.Alert) error {
+	s.alertLocal(a)
+	return wc.send(wire.MsgAlert, wire.EncodeAlert(a))
+}
+
+// alertLocal records an alert in the log and the pole's counters without
+// notifying the pole on the wire — for conditions detected on
+// connections whose protocol carries no alert frames (the offload
+// channel tolerates only classify results) or that need no pole-side
+// action.
+func (s *Server) alertLocal(a wire.Alert) {
 	s.alog.add(a)
 	s.withPole(a.PoleID, func(p *PoleStats, m *poleObs, _ *poleHist) {
 		p.Alerts++
@@ -396,9 +457,32 @@ func (s *Server) alert(wc *lockedConn, a wire.Alert) error {
 		s.m.crowding.Inc()
 	case wire.AlertOverheat:
 		s.m.overheat.Inc()
+	case wire.AlertModelSkew:
+		s.m.modelSkew.Inc()
 	}
 	s.logf("backend: ALERT %s", a.Message)
-	return wc.send(wire.MsgAlert, wire.EncodeAlert(a))
+}
+
+// checkModelSkew compares a pole-announced classifier version against
+// the backend's own and raises one AlertModelSkew per pole on mismatch.
+// Zero on either side means unversioned and is never flagged, so
+// synthetic fleets and classifier-less backends stay silent.
+func (s *Server) checkModelSkew(poleID, poleVersion uint32) {
+	if poleVersion == 0 || s.modelVersion == 0 || poleVersion == s.modelVersion {
+		return
+	}
+	s.skewMu.Lock()
+	seen := s.skewAlerted[poleID]
+	s.skewAlerted[poleID] = true
+	s.skewMu.Unlock()
+	if seen {
+		return
+	}
+	s.alertLocal(wire.Alert{
+		PoleID:  poleID,
+		Kind:    wire.AlertModelSkew,
+		Message: fmt.Sprintf("pole %d classifier version %#x does not match backend %#x; offloaded batches are rejected", poleID, poleVersion, s.modelVersion),
+	})
 }
 
 // withPole runs f with the pole's aggregate record, instrument set, and

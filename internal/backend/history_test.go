@@ -57,6 +57,9 @@ func sendReports(t *testing.T, s *Server, temps []float64) (countTS []int64, cou
 			t.Fatalf("recv: type %d err %v", typ, err)
 		}
 	}
+	// Capture is batched per shard; drain it so the store sees every
+	// message (the background history loop is off in these tests).
+	s.FlushHistory()
 	return countTS, counts
 }
 

@@ -1,0 +1,114 @@
+package backend
+
+import (
+	"strings"
+	"testing"
+
+	"hawccc/internal/geom"
+	"hawccc/internal/obs"
+	"hawccc/internal/wire"
+)
+
+// versionedStub is extentStub with an advertised classifier version, so
+// skew tests can pit a backend build against poles running different
+// weights.
+type versionedStub struct {
+	extentStub
+	v uint32
+}
+
+func (s versionedStub) ModelVersion() uint32 { return s.v }
+
+// TestModelVersionSkewDetection pins satellite behavior for classifier
+// version skew: a pole whose hello advertises different weights than the
+// backend runs is flagged once (alert log + counter), its version lands
+// in the snapshot, and an offload batch carrying the skewed version is
+// rejected so the pole falls back to local classification rather than
+// receiving labels from foreign weights.
+func TestModelVersionSkewDetection(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := Listen(Config{Addr: "127.0.0.1:0", Classifier: versionedStub{v: 7}, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// A matching pole: no alert, version recorded.
+	okConn := dialBackend(t, s)
+	if err := okConn.Send(wire.MsgHello, wire.EncodeHello(wire.Hello{PoleID: 1, Location: "in sync", ModelVersion: 7})); err != nil {
+		t.Fatal(err)
+	}
+	// A skewed pole: hello alone must raise the flag.
+	skewConn := dialBackend(t, s)
+	if err := skewConn.Send(wire.MsgHello, wire.EncodeHello(wire.Hello{PoleID: 2, Location: "stale weights", ModelVersion: 9})); err != nil {
+		t.Fatal(err)
+	}
+	// Hellos are fire-and-forget; fence both with an acked report.
+	for id, c := range map[uint32]*wire.Conn{1: okConn, 2: skewConn} {
+		if err := c.Send(wire.MsgCountReport, wire.EncodeCountReport(wire.CountReport{PoleID: id, Seq: 1})); err != nil {
+			t.Fatal(err)
+		}
+		if typ, _, err := c.Recv(); err != nil || typ != wire.MsgAck {
+			t.Fatalf("report fence: type=%d err=%v", typ, err)
+		}
+	}
+
+	total, alerts := s.recentAlerts(10)
+	if total != 1 || len(alerts) != 1 {
+		t.Fatalf("alerts = %d (total %d), want exactly 1 skew alert", len(alerts), total)
+	}
+	a := alerts[0]
+	if a.PoleID != 2 || a.Kind != wire.AlertModelSkew || !strings.Contains(a.Message, "9") {
+		t.Errorf("skew alert = %+v", a)
+	}
+	if got := reg.Counter("backend_alerts_total", "", obs.L("kind", "model_skew")).Value(); got != 1 {
+		t.Errorf("model_skew alert counter = %d, want 1", got)
+	}
+
+	// The advertised versions surface in the snapshot.
+	for _, p := range s.Snapshot() {
+		want := map[uint32]uint32{1: 7, 2: 9}[p.PoleID]
+		if p.ModelVersion != want {
+			t.Errorf("pole %d snapshot ModelVersion = %#x, want %#x", p.PoleID, p.ModelVersion, want)
+		}
+	}
+
+	// Re-announcing the same skew must not flood the alert log.
+	if err := skewConn.Send(wire.MsgHello, wire.EncodeHello(wire.Hello{PoleID: 2, Location: "stale weights", ModelVersion: 9})); err != nil {
+		t.Fatal(err)
+	}
+	if err := skewConn.Send(wire.MsgCountReport, wire.EncodeCountReport(wire.CountReport{PoleID: 2, Seq: 2})); err != nil {
+		t.Fatal(err)
+	}
+	if typ, _, err := skewConn.Recv(); err != nil || typ != wire.MsgAck {
+		t.Fatalf("second fence: type=%d err=%v", typ, err)
+	}
+	if total, _ := s.recentAlerts(10); total != 1 {
+		t.Errorf("repeated skewed hello raised %d alerts, want the original 1", total)
+	}
+
+	// An offload batch carrying the skewed version is refused: the
+	// connection drops (the pole's designed local-fallback trigger) and
+	// the rejection counter increments.
+	batch := wire.BuildClusterBatch(2, 3, []geom.Cloud{{{X: 1, Y: 1, Z: 1}}}, 0)
+	batch.ModelVersion = 9
+	if err := skewConn.Send(wire.MsgClusterBatch, wire.EncodeClusterBatch(batch)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := skewConn.Recv(); err == nil {
+		t.Fatal("skewed offload batch was answered; want the connection dropped")
+	}
+	if got := reg.Counter("backend_offload_version_skew_total", "").Value(); got != 1 {
+		t.Errorf("version skew rejections = %d, want 1", got)
+	}
+
+	// A matching batch still classifies.
+	batch = wire.BuildClusterBatch(1, 3, []geom.Cloud{{{X: 1, Y: 1, Z: 1}}}, 0)
+	batch.ModelVersion = 7
+	if err := okConn.Send(wire.MsgClusterBatch, wire.EncodeClusterBatch(batch)); err != nil {
+		t.Fatal(err)
+	}
+	if typ, _, err := okConn.Recv(); err != nil || typ != wire.MsgClassifyResult {
+		t.Fatalf("matching-version batch: type=%d err=%v, want classify result", typ, err)
+	}
+}

@@ -237,6 +237,14 @@ func (s *Server) handleClusterBatch(body []byte, reply *lockedConn) error {
 	if s.off == nil {
 		return fmt.Errorf("backend: pole %d offloaded a cluster batch but no classifier is configured", batch.PoleID)
 	}
+	// Classifier version skew: answering with our weights would break the
+	// edge/offload bit-equality contract, so reject the batch (the pole
+	// falls back to its local classify stage) and flag the pole once.
+	if batch.ModelVersion != 0 && s.modelVersion != 0 && batch.ModelVersion != s.modelVersion {
+		s.m.versionSkew.Inc()
+		s.checkModelSkew(batch.PoleID, batch.ModelVersion)
+		return fmt.Errorf("backend: pole %d offload batch carries classifier version %#x, backend runs %#x", batch.PoleID, batch.ModelVersion, s.modelVersion)
+	}
 	if s.loopCtx.Err() != nil {
 		return net.ErrClosed
 	}

@@ -1,0 +1,8 @@
+//go:build race
+
+package backend
+
+// raceEnabled reports whether the race detector is instrumenting this
+// test binary, so the cached-serve allocation gate skips itself under
+// -race (shadow memory makes every header write allocate).
+const raceEnabled = true

@@ -1,0 +1,229 @@
+package backend
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hawccc/internal/wire"
+)
+
+// cacheablePaths are the requests the response cache answers from
+// pre-serialized bodies (the default-k /api/top both with and without
+// the explicit parameter).
+var cacheablePaths = []string{"/api/campus", "/api/poles", "/api/zones", "/api/top", "/api/top?k=10"}
+
+// TestCachedBodiesBitIdentical is the correctness contract of the
+// tentpole: for every cacheable request, the pre-serialized body must be
+// byte-for-byte what the fall-through encoder path produces for the same
+// snapshot. Anything less and a dashboard's parse behavior would depend
+// on which path answered.
+func TestCachedBodiesBitIdentical(t *testing.T) {
+	s := newAPITestServer(t)
+	h := s.APIHandler()
+
+	for _, path := range cacheablePaths {
+		cached := httptest.NewRecorder()
+		h.ServeHTTP(cached, httptest.NewRequest("GET", path, nil))
+		s.SetResponseCache(false)
+		direct := httptest.NewRecorder()
+		h.ServeHTTP(direct, httptest.NewRequest("GET", path, nil))
+		s.SetResponseCache(true)
+
+		if cached.Code != http.StatusOK || direct.Code != http.StatusOK {
+			t.Fatalf("%s: status cached=%d direct=%d", path, cached.Code, direct.Code)
+		}
+		if cached.Body.String() != direct.Body.String() {
+			t.Errorf("%s: cached body differs from encoder path\ncached: %q\ndirect: %q",
+				path, cached.Body.String(), direct.Body.String())
+		}
+		if got := cached.Header().Get("Content-Length"); got != strconv.Itoa(cached.Body.Len()) {
+			t.Errorf("%s: cached Content-Length %q, body is %d bytes", path, got, cached.Body.Len())
+		}
+		if got := direct.Header().Get("Content-Length"); got != strconv.Itoa(direct.Body.Len()) {
+			t.Errorf("%s: direct Content-Length %q, body is %d bytes", path, got, direct.Body.Len())
+		}
+		if cached.Header().Get("ETag") == "" {
+			t.Errorf("%s: cached response carries no ETag", path)
+		}
+	}
+
+	// An uncommon k falls through: still a correct answer, but unkeyed.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/api/top?k=3", nil))
+	if rec.Code != http.StatusOK || rec.Header().Get("ETag") != "" {
+		t.Errorf("top k=3: status %d etag %q, want 200 with no ETag", rec.Code, rec.Header().Get("ETag"))
+	}
+}
+
+// TestAPIETagConditionalRequests pins the revalidation scheme: the ETag
+// is the quoted snapshot sequence, a matching If-None-Match answers 304
+// with an empty body, and a rebuild invalidates outstanding validators.
+func TestAPIETagConditionalRequests(t *testing.T) {
+	s := newAPITestServer(t)
+	h := s.APIHandler()
+
+	first := httptest.NewRecorder()
+	h.ServeHTTP(first, httptest.NewRequest("GET", "/api/campus", nil))
+	etag := first.Header().Get("ETag")
+	var body struct {
+		SnapshotSeq uint64 `json:"snapshot_seq"`
+	}
+	if err := json.Unmarshal(first.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if want := `"` + strconv.FormatUint(body.SnapshotSeq, 10) + `"`; etag != want {
+		t.Fatalf("ETag %q, want quoted snapshot seq %q", etag, want)
+	}
+
+	cond := httptest.NewRequest("GET", "/api/campus", nil)
+	cond.Header.Set("If-None-Match", etag)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, cond)
+	if rec.Code != http.StatusNotModified || rec.Body.Len() != 0 {
+		t.Fatalf("matching If-None-Match: status %d with %d body bytes, want empty 304", rec.Code, rec.Body.Len())
+	}
+	if rec.Header().Get("ETag") != etag {
+		t.Errorf("304 carries ETag %q, want %q", rec.Header().Get("ETag"), etag)
+	}
+
+	// A rebuild bumps the sequence; the stale validator must get a full
+	// 200 with the new ETag.
+	s.recordCount(wire.CountReport{PoleID: 1, Seq: 2, Count: 30})
+	s.RebuildSnapshot()
+	cond = httptest.NewRequest("GET", "/api/campus", nil)
+	cond.Header.Set("If-None-Match", etag)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, cond)
+	if rec.Code != http.StatusOK || rec.Body.Len() == 0 {
+		t.Fatalf("stale If-None-Match after rebuild: status %d, want full 200", rec.Code)
+	}
+	if got := rec.Header().Get("ETag"); got == etag || got == "" {
+		t.Errorf("post-rebuild ETag %q did not advance past %q", got, etag)
+	}
+}
+
+// nullRW is a header-preserving no-op ResponseWriter for the allocation
+// gate: its header map is allocated once and reused, matching what
+// net/http gives a handler at steady state (the server pools header
+// maps per connection).
+type nullRW struct {
+	h      http.Header
+	status int
+}
+
+func (w *nullRW) Header() http.Header         { return w.h }
+func (w *nullRW) Write(b []byte) (int, error) { return len(b), nil }
+func (w *nullRW) WriteHeader(status int)      { w.status = status }
+
+// TestCachedServeZeroAllocs is the tentpole's allocation gate: answering
+// a cacheable request from the pre-serialized body — and answering a
+// conditional revalidation with 304 — allocates nothing per request.
+func TestCachedServeZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector shadow memory allocates; gate runs in non-race CI job")
+	}
+	s := newAPITestServer(t)
+	handler := s.api("campus", s.handleCampus)
+
+	w := &nullRW{h: make(http.Header)}
+	req := httptest.NewRequest("GET", "/api/campus", nil)
+	handler(w, req) // warm the header map
+	if w.status != http.StatusOK {
+		t.Fatalf("warm-up status %d", w.status)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		handler(w, req)
+	}); allocs != 0 {
+		t.Errorf("cached serve allocated %.2f objects/request, want 0", allocs)
+	}
+
+	cond := httptest.NewRequest("GET", "/api/campus", nil)
+	cond.Header.Set("If-None-Match", s.Current().cache.etag)
+	handler(w, cond)
+	if w.status != http.StatusNotModified {
+		t.Fatalf("conditional warm-up status %d", w.status)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		handler(w, cond)
+	}); allocs != 0 {
+		t.Errorf("304 revalidation allocated %.2f objects/request, want 0", allocs)
+	}
+}
+
+// TestSnapshotCacheConsistentUnderRebuild hammers the query API from
+// reader goroutines while a writer rebuilds snapshots, asserting every
+// response is internally consistent: its ETag always names the snapshot
+// sequence inside its body, and a conditional hit never pairs a 304 with
+// a body. Run under -race this also proves the pre-serialized cache is
+// published atomically with its snapshot.
+func TestSnapshotCacheConsistentUnderRebuild(t *testing.T) {
+	s := newAPITestServer(t)
+	h := s.APIHandler()
+
+	const rebuilds = 200
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer done.Store(true)
+		for i := 0; i < rebuilds; i++ {
+			s.recordCount(wire.CountReport{PoleID: 3, Seq: uint64(i + 2), Count: uint32(i)})
+			s.RebuildSnapshot()
+		}
+	}()
+
+	readErr := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			path := cacheablePaths[g%len(cacheablePaths)]
+			lastETag := ""
+			for !done.Load() {
+				req := httptest.NewRequest("GET", path, nil)
+				if lastETag != "" && g%2 == 0 {
+					req.Header.Set("If-None-Match", lastETag)
+				}
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				etag := rec.Header().Get("ETag")
+				switch rec.Code {
+				case http.StatusNotModified:
+					if rec.Body.Len() != 0 {
+						readErr <- fmt.Errorf("%s: 304 with %d body bytes", path, rec.Body.Len())
+						return
+					}
+				case http.StatusOK:
+					var body struct {
+						SnapshotSeq uint64 `json:"snapshot_seq"`
+					}
+					if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+						readErr <- fmt.Errorf("%s: torn body: %v", path, err)
+						return
+					}
+					if want := `"` + strconv.FormatUint(body.SnapshotSeq, 10) + `"`; etag != want {
+						readErr <- fmt.Errorf("%s: ETag %s paired with body from snapshot %d", path, etag, body.SnapshotSeq)
+						return
+					}
+				default:
+					readErr <- fmt.Errorf("%s: status %d", path, rec.Code)
+					return
+				}
+				lastETag = etag
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-readErr:
+		t.Fatal(err)
+	default:
+	}
+}

@@ -46,6 +46,12 @@ type Snapshot struct {
 	byID    map[uint32]int
 	byZone  map[string]int
 	busiest []int // indices into Poles, by LastCount desc then ID asc
+
+	// cache holds the pre-serialized hot-endpoint bodies for THIS
+	// snapshot (respcache.go). Riding inside the snapshot, it is
+	// published by the same atomic store — body and ETag can never come
+	// from different builds. Always non-nil on a published snapshot.
+	cache *respCache
 }
 
 // newSnapshot derives the indexes and rollups from the collected pole
@@ -104,6 +110,9 @@ func newSnapshot(seq uint64, builtAt time.Time, poles []PoleStats) *Snapshot {
 		}
 		return a.PoleID < b.PoleID
 	})
+	// Pre-serialize the hot endpoint bodies once, before publication:
+	// the rebuild-amortized cost that makes every cached request free.
+	s.cache = buildRespCache(s)
 	return s
 }
 

@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"time"
+
+	"hawccc/internal/backend"
+	"hawccc/internal/fleet"
+)
+
+// The api experiment measures what the snapshot-keyed response cache
+// buys the query API: every cacheable endpoint is served twice per pole
+// count — once from the pre-serialized bodies, once with the cache
+// disabled so every request pays a full JSON encode of the same
+// snapshot — and the ratio is the CI-gated speedup. Bodies must be
+// byte-identical between the two paths (the cache is a serving
+// optimization, never a semantic change), and a concurrent HTTP phase
+// with conditional revalidations bounds query p99 under combined
+// report + dashboard load.
+
+// apiPoleCounts is the sweep: the 1k campus and the 10k-pole fleet
+// whose /api/poles body is megabytes — the case pre-serialization
+// exists for.
+var apiPoleCounts = []int{1000, 10000}
+
+// apiEndpointPaths are the cacheable requests measured in the A/B
+// phase and mixed round-robin for the aggregate rate.
+var apiEndpointPaths = []string{"/api/campus", "/api/poles", "/api/zones", "/api/top?k=10"}
+
+// apiConditionalPercent is the HTTP phase's revalidation share: half
+// the dashboard queries carry If-None-Match, matching a polling
+// dashboard that reuses validators between refreshes.
+const apiConditionalPercent = 50
+
+// apiMeasureBudget is the wall-clock budget per (endpoint, mode)
+// throughput loop.
+const apiMeasureBudget = 150 * time.Millisecond
+
+// ApiEndpointRow is one endpoint's cached-vs-encode A/B.
+type ApiEndpointRow struct {
+	Path              string  `json:"path"`
+	BodyBytes         int     `json:"body_bytes"`
+	CachedOpsPerSec   float64 `json:"cached_ops_per_sec"`
+	UncachedOpsPerSec float64 `json:"uncached_ops_per_sec"`
+	Speedup           float64 `json:"speedup"`
+	BodiesIdentical   bool    `json:"bodies_identical"`
+}
+
+// ApiRow is one pole-count point.
+type ApiRow struct {
+	Poles     int              `json:"poles"`
+	Endpoints []ApiEndpointRow `json:"endpoints"`
+	// Aggregate round-robin mix over the cacheable endpoints — the
+	// number a dashboard actually experiences, and the gated ratio.
+	CachedOpsPerSec   float64 `json:"cached_ops_per_sec"`
+	UncachedOpsPerSec float64 `json:"uncached_ops_per_sec"`
+	CachedSpeedup     float64 `json:"cached_speedup"`
+	BodiesIdentical   bool    `json:"bodies_identical"`
+	// The HTTP phase: dashboard workers with conditional revalidations
+	// querying while the synthetic fleet streams reports.
+	Queries     int     `json:"queries"`
+	QueryQPS    float64 `json:"query_qps"`
+	QueryP50Ms  float64 `json:"query_p50_ms"`
+	QueryP99Ms  float64 `json:"query_p99_ms"`
+	NotModified int     `json:"not_modified"`
+	QueryErrors int     `json:"query_errors"`
+}
+
+// ApiBenchResult is the sweep plus the CI gate fields (taken at the
+// largest fleet, where the uncached encode cost peaks).
+type ApiBenchResult struct {
+	NumCPU             int      `json:"num_cpu"`
+	QueryWorkers       int      `json:"query_workers"`
+	ConditionalPercent int      `json:"conditional_percent"`
+	Rows               []ApiRow `json:"rows"`
+	LargestPoles       int      `json:"largest_poles"`
+	CachedSpeedup      float64  `json:"cached_speedup"`
+	BodiesIdentical    bool     `json:"bodies_identical"`
+	QueryP99Ms         float64  `json:"query_p99_ms"`
+	NotModified        int      `json:"not_modified"`
+}
+
+// ApiBench runs the query-serving A/B per pole count.
+func ApiBench(l *Lab) ApiBenchResult {
+	res := ApiBenchResult{
+		NumCPU:             runtime.NumCPU(),
+		QueryWorkers:       fleetQueryWorkers,
+		ConditionalPercent: apiConditionalPercent,
+		BodiesIdentical:    true,
+	}
+	target := fleetTargetReports(l.Cfg)
+	for _, poles := range apiPoleCounts {
+		reportsPerPole := target / poles
+		if reportsPerPole < 2 {
+			reportsPerPole = 2
+		}
+		l.logf("api bench: %d poles × %d reports, %d conditional-mix query workers...",
+			poles, reportsPerPole, fleetQueryWorkers)
+		row := benchApiRow(l, poles, reportsPerPole)
+		res.Rows = append(res.Rows, row)
+		res.BodiesIdentical = res.BodiesIdentical && row.BodiesIdentical
+		res.NotModified += row.NotModified
+		if poles > res.LargestPoles {
+			res.LargestPoles = poles
+			res.CachedSpeedup = row.CachedSpeedup
+			res.QueryP99Ms = row.QueryP99Ms
+		}
+	}
+	return res
+}
+
+// benchApiRow stands up one backend, runs the combined-load HTTP phase,
+// then the direct-handler A/B over a frozen snapshot.
+func benchApiRow(l *Lab, poles, reportsPerPole int) ApiRow {
+	srv, err := backend.Listen(backend.Config{
+		Addr:    "127.0.0.1:0",
+		APIAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: api backend: %v", err))
+	}
+	defer srv.Close()
+
+	// Phase 1 — combined load: the synthetic fleet streams reports while
+	// dashboard workers (half of them revalidating with If-None-Match)
+	// hammer the HTTP API. Snapshot rebuilds rotate the ETag under them.
+	qctx, stopQueries := context.WithCancel(context.Background())
+	queryDone := make(chan fleet.QueryResult, 1)
+	go func() {
+		queryDone <- fleet.Query(qctx, fleet.QueryConfig{
+			BaseURL:            "http://" + srv.APIAddr(),
+			Workers:            fleetQueryWorkers,
+			Poles:              poles,
+			ConditionalPercent: apiConditionalPercent,
+			Seed:               l.Cfg.Seed + int64(poles) + 1,
+		})
+	}()
+	if _, err := fleet.Report(context.Background(), fleet.ReportConfig{
+		Addr:           srv.Addr(),
+		Poles:          poles,
+		ReportsPerPole: reportsPerPole,
+		Seed:           l.Cfg.Seed + int64(poles),
+	}); err != nil {
+		panic(fmt.Sprintf("experiments: api report load: %v", err))
+	}
+	time.Sleep(fleetQueryGrace)
+	stopQueries()
+	qres := <-queryDone
+
+	// Phase 2 — the A/B. Freeze one snapshot so both paths serialize the
+	// same state, then drive the handler directly (no sockets) so the
+	// measured delta is purely serving cost: pre-serialized body vs
+	// per-request JSON encode.
+	srv.RebuildSnapshot()
+	h := srv.APIHandler()
+	row := ApiRow{
+		Poles:           poles,
+		BodiesIdentical: true,
+		Queries:         qres.Queries,
+		QueryQPS:        qres.QPS,
+		QueryP50Ms:      qres.Latency.P50Ms,
+		QueryP99Ms:      qres.Latency.P99Ms,
+		NotModified:     qres.NotModified,
+		QueryErrors:     qres.Errors + qres.NonOK,
+	}
+	reqs := make([]*http.Request, len(apiEndpointPaths))
+	for i, path := range apiEndpointPaths {
+		reqs[i] = httptest.NewRequest("GET", path, nil)
+		er := ApiEndpointRow{Path: path}
+		srv.SetResponseCache(true)
+		cachedBody := recordBody(h, reqs[i])
+		er.CachedOpsPerSec = measureServeRate(h, reqs[i:i+1])
+		srv.SetResponseCache(false)
+		uncachedBody := recordBody(h, reqs[i])
+		er.UncachedOpsPerSec = measureServeRate(h, reqs[i:i+1])
+		srv.SetResponseCache(true)
+		er.BodyBytes = len(cachedBody)
+		er.BodiesIdentical = bytes.Equal(cachedBody, uncachedBody)
+		if er.UncachedOpsPerSec > 0 {
+			er.Speedup = er.CachedOpsPerSec / er.UncachedOpsPerSec
+		}
+		row.Endpoints = append(row.Endpoints, er)
+		row.BodiesIdentical = row.BodiesIdentical && er.BodiesIdentical
+	}
+	row.CachedOpsPerSec = measureServeRate(h, reqs)
+	srv.SetResponseCache(false)
+	row.UncachedOpsPerSec = measureServeRate(h, reqs)
+	srv.SetResponseCache(true)
+	if row.UncachedOpsPerSec > 0 {
+		row.CachedSpeedup = row.CachedOpsPerSec / row.UncachedOpsPerSec
+	}
+	return row
+}
+
+// recordBody captures one response body for the byte-identity check.
+func recordBody(h http.Handler, req *http.Request) []byte {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		panic(fmt.Sprintf("experiments: api bench %s: status %d", req.URL, rec.Code))
+	}
+	return rec.Body.Bytes()
+}
+
+// benchWriter discards response bodies without allocating, so the
+// throughput loops time serving, not measurement overhead. The header
+// map is cleared (not reallocated) between requests — matching what
+// net/http's connection-pooled header maps cost a real handler.
+type benchWriter struct {
+	h http.Header
+}
+
+func (w *benchWriter) Header() http.Header         { return w.h }
+func (w *benchWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (w *benchWriter) WriteHeader(int)             {}
+
+// measureServeRate drives the handler round-robin over reqs for the
+// measurement budget and returns requests/sec.
+func measureServeRate(h http.Handler, reqs []*http.Request) float64 {
+	w := &benchWriter{h: make(http.Header)}
+	for _, req := range reqs { // warm: route resolution, pool priming
+		h.ServeHTTP(w, req)
+		clear(w.h)
+	}
+	const batch = 64
+	ops := 0
+	start := time.Now()
+	for time.Since(start) < apiMeasureBudget {
+		for i := 0; i < batch; i++ {
+			h.ServeHTTP(w, reqs[ops%len(reqs)])
+			clear(w.h)
+			ops++
+		}
+	}
+	return float64(ops) / time.Since(start).Seconds()
+}
+
+// FormatApi renders the sweep as a console table.
+func FormatApi(r ApiBenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "host: %d cores; %d query workers, %d%% conditional revalidations\n",
+		r.NumCPU, r.QueryWorkers, r.ConditionalPercent)
+	fmt.Fprintf(&b, "%-7s %-16s %10s %12s %12s %9s %6s\n",
+		"Poles", "Endpoint", "Body", "Cached/s", "Encode/s", "Speedup", "Same")
+	for _, row := range r.Rows {
+		for _, e := range row.Endpoints {
+			fmt.Fprintf(&b, "%-7d %-16s %9dB %12.0f %12.0f %8.1fx %6v\n",
+				row.Poles, strings.TrimPrefix(e.Path, "/api/"), e.BodyBytes,
+				e.CachedOpsPerSec, e.UncachedOpsPerSec, e.Speedup, e.BodiesIdentical)
+		}
+		fmt.Fprintf(&b, "%-7d %-16s %10s %12.0f %12.0f %8.1fx %6v\n",
+			row.Poles, "mix", "", row.CachedOpsPerSec, row.UncachedOpsPerSec,
+			row.CachedSpeedup, row.BodiesIdentical)
+		fmt.Fprintf(&b, "%-7d %-16s queries %d, QPS %.0f, p50 %.3fms p99 %.3fms, 304s %d, errors %d\n",
+			row.Poles, "http", row.Queries, row.QueryQPS,
+			row.QueryP50Ms, row.QueryP99Ms, row.NotModified, row.QueryErrors)
+	}
+	fmt.Fprintf(&b, "at %d poles: cached mix %.1fx the per-request encode path, bodies identical: %v, query p99 %.3fms\n",
+		r.LargestPoles, r.CachedSpeedup, r.BodiesIdentical, r.QueryP99Ms)
+	return b.String()
+}
+
+// WriteApiJSON writes the sweep as the BENCH_api.json artifact consumed
+// by CI.
+func WriteApiJSON(w io.Writer, r ApiBenchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

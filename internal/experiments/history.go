@@ -55,9 +55,10 @@ type HistoryBenchResult struct {
 	AllSamplesConserved  bool    `json:"all_samples_conserved"`
 	RawRoundTripExact    bool    `json:"raw_round_trip_exact"`
 
-	// Replay: a live backend ingests fleet reports (captured into the
-	// history store inline) while dashboard workers mix snapshot and
-	// /api/history queries; the history percentiles are measured alone.
+	// Replay: a live backend ingests fleet reports (batched per registry
+	// shard and drained into the history store by the capture tick) while
+	// dashboard workers mix snapshot and /api/history queries; the
+	// history percentiles are measured alone.
 	ReplayPoles            int     `json:"replay_poles"`
 	ReplayReports          int     `json:"replay_reports"`
 	ReportsPerSec          float64 `json:"reports_per_sec"`
@@ -260,9 +261,10 @@ func benchHistoryReplay(l *Lab, res *HistoryBenchResult) {
 		Addr:    "127.0.0.1:0",
 		APIAddr: "127.0.0.1:0",
 		History: &tsdb.Config{},
-		// No background sampler: count reports are captured inline by the
-		// ingest path itself, which is what the replay measures.
-		HistorySampleInterval: -1,
+		// Count reports buffer into per-shard batches on the ingest path;
+		// a short flush cadence keeps the store close behind ingest so the
+		// timed /api/history reads scan real data, as in production.
+		HistorySampleInterval: 50 * time.Millisecond,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: history backend: %v", err))
@@ -303,6 +305,7 @@ func benchHistoryReplay(l *Lab, res *HistoryBenchResult) {
 	}
 	qres := <-queryDone
 
+	srv.FlushHistory() // drain the batched tail so Stats sees every capture
 	stats := srv.History().Stats()
 	res.ReplayPoles = poles
 	res.ReplayReports = rep.Reports + poles // timed phase + warm-up

@@ -371,6 +371,12 @@ type QueryConfig struct {
 	// HistoryWindow is the lookback of each history query (0 selects
 	// DefaultHistoryWindow); downsampled reads use window/60 buckets.
 	HistoryWindow time.Duration
+	// ConditionalPercent is the share (0–100) of cacheable-endpoint
+	// requests sent with If-None-Match set to the last ETag the worker
+	// saw for that URL — the polling-dashboard pattern. A request whose
+	// snapshot has not changed is answered 304 Not Modified with no
+	// body; those count toward QueryResult.NotModified, not NonOK.
+	ConditionalPercent int
 	// Seed drives endpoint sampling.
 	Seed int64
 }
@@ -387,9 +393,12 @@ type QueryResult struct {
 	// HistoryLatency are their percentiles alone (Latency covers all).
 	HistoryQueries int          `json:"history_queries"`
 	HistoryLatency LatencyStats `json:"history_latency"`
-	// Errors are transport failures; NonOK are non-200 responses.
-	Errors int `json:"errors"`
-	NonOK  int `json:"non_ok"`
+	// Errors are transport failures; NonOK are responses that are
+	// neither 200 nor 304; NotModified counts conditional requests the
+	// server short-circuited with 304.
+	Errors      int `json:"errors"`
+	NonOK       int `json:"non_ok"`
+	NotModified int `json:"not_modified"`
 }
 
 // Query hammers the query API from cfg.Workers concurrent clients until
@@ -415,6 +424,7 @@ func Query(ctx context.Context, cfg QueryConfig) QueryResult {
 		histSam  []float64
 		errsN    atomic.Int64
 		nonOK    atomic.Int64
+		notMod   atomic.Int64
 	)
 	start := time.Now()
 	for w := 0; w < workers; w++ {
@@ -424,10 +434,17 @@ func Query(ctx context.Context, cfg QueryConfig) QueryResult {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*104729))
 			local := make([]float64, 0, 1024)
 			localHist := make([]float64, 0, 1024)
+			// lastETag remembers, per URL, the ETag of the last answer —
+			// a dashboard's revalidation state.
+			lastETag := make(map[string]string)
 			for ctx.Err() == nil {
 				url, isHistory := pickEndpoint(cfg, rng)
+				inm := ""
+				if cfg.ConditionalPercent > 0 && !isHistory && rng.Intn(100) < cfg.ConditionalPercent {
+					inm = lastETag[url]
+				}
 				t0 := time.Now()
-				ok, status := getOnce(ctx, client, url)
+				ok, status, etag := getOnce(ctx, client, url, inm)
 				if ctx.Err() != nil {
 					break // a canceled request measures shutdown, not the API
 				}
@@ -436,9 +453,15 @@ func Query(ctx context.Context, cfg QueryConfig) QueryResult {
 				if isHistory {
 					localHist = append(localHist, ms)
 				}
-				if !ok {
+				if etag != "" {
+					lastETag[url] = etag
+				}
+				switch {
+				case !ok:
 					errsN.Add(1)
-				} else if status != http.StatusOK {
+				case status == http.StatusNotModified:
+					notMod.Add(1)
+				case status != http.StatusOK:
 					nonOK.Add(1)
 				}
 			}
@@ -457,6 +480,7 @@ func Query(ctx context.Context, cfg QueryConfig) QueryResult {
 		ElapsedMS:      float64(elapsed.Microseconds()) / 1e3,
 		Errors:         int(errsN.Load()),
 		NonOK:          int(nonOK.Load()),
+		NotModified:    int(notMod.Load()),
 		Latency:        Percentiles(samples),
 		HistoryQueries: len(histSam),
 		HistoryLatency: Percentiles(histSam),
@@ -515,18 +539,23 @@ func pickHistory(cfg QueryConfig, rng *rand.Rand) string {
 		cfg.BaseURL, 1+rng.Intn(cfg.Poles), series[rng.Intn(len(series))], window, res)
 }
 
-// getOnce performs one GET, draining the body so the connection is
-// reused. ok reports transport success; status the HTTP code.
-func getOnce(ctx context.Context, client *http.Client, url string) (ok bool, status int) {
+// getOnce performs one GET (conditional when inm carries an ETag for
+// If-None-Match), draining the body so the connection is reused. ok
+// reports transport success; status the HTTP code; etag the response's
+// ETag for the caller's revalidation state ("" when absent).
+func getOnce(ctx context.Context, client *http.Client, url, inm string) (ok bool, status int, etag string) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return false, 0
+		return false, 0, ""
+	}
+	if inm != "" {
+		req.Header.Set("If-None-Match", inm)
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return false, 0
+		return false, 0, ""
 	}
 	defer resp.Body.Close()
 	_, _ = io.Copy(io.Discard, resp.Body)
-	return true, resp.StatusCode
+	return true, resp.StatusCode, resp.Header.Get("ETag")
 }

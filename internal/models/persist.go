@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
 	"math/rand"
@@ -78,6 +79,29 @@ func (h *HAWC) Save(w io.Writer) error {
 		return fmt.Errorf("models: save: %w", err)
 	}
 	return h.net.Save(w)
+}
+
+// ModelVersion returns a stable fingerprint of the trained model — an
+// FNV-1a hash over the exact bytes Save would write (projector, pool,
+// weights), folded to 32 bits for the wire's model-version fields. Two
+// HAWCs trained identically (same data, same seed) agree; any weight
+// change disagrees. An untrained model returns 0 ("unversioned").
+// Hashing re-serializes the model, so callers stamping many poles
+// should compute it once and reuse the value.
+func (h *HAWC) ModelVersion() uint32 {
+	if h.net == nil {
+		return 0
+	}
+	f := fnv.New64a()
+	if err := h.Save(f); err != nil {
+		return 0
+	}
+	v := f.Sum64()
+	folded := uint32(v>>32) ^ uint32(v)
+	if folded == 0 {
+		folded = 1 // zero is reserved for "unversioned"
+	}
+	return folded
 }
 
 // LoadHAWC reconstructs a trained HAWC written by Save.

@@ -28,6 +28,11 @@ type OffloaderConfig struct {
 	// (PoleID, Seq).
 	PoleID         uint32
 	Location, Zone string
+	// ModelVersion fingerprints the classifier the pole runs locally; it
+	// is announced in the hello and stamped onto every shipped batch so
+	// the backend can refuse to classify with skewed weights (the pole
+	// then falls back to its edge path). Zero means unversioned.
+	ModelVersion uint32
 	// BytesSent/BytesReceived/MsgsSent/MsgsReceived, when non-nil,
 	// instrument the offload connection's traffic (the pole node passes
 	// its pole_wire_* counters so offload bytes aggregate with report
@@ -81,6 +86,7 @@ func NewOffloader(cfg OffloaderConfig) *Offloader {
 // nothing here may re-quantize it.
 func (o *Offloader) ClassifyRemote(batch *wire.ClusterBatch) ([]bool, error) {
 	batch.PoleID = o.cfg.PoleID
+	batch.ModelVersion = o.cfg.ModelVersion
 	seq := batch.Seq
 	body := wire.EncodeClusterBatch(*batch)
 	o.mu.Lock()
@@ -121,7 +127,7 @@ func (o *Offloader) ensureConnLocked() (*wire.Conn, error) {
 	}
 	wc := wire.NewConn(conn)
 	wc.Instrument(o.cfg.BytesSent, o.cfg.BytesReceived, o.cfg.MsgsSent, o.cfg.MsgsReceived)
-	hello := wire.Hello{PoleID: o.cfg.PoleID, Location: o.cfg.Location, Zone: o.cfg.Zone}
+	hello := wire.Hello{PoleID: o.cfg.PoleID, Location: o.cfg.Location, Zone: o.cfg.Zone, ModelVersion: o.cfg.ModelVersion}
 	if err := wc.Send(wire.MsgHello, wire.EncodeHello(hello)); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("pole: offload hello: %w", err)

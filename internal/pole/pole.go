@@ -90,6 +90,12 @@ type Config struct {
 	// a pre-set Remote is used as-is (tests inject loopbacks). The zero
 	// value keeps every frame classified on the pole.
 	Offload counting.OffloadConfig
+	// ModelVersion fingerprints the classifier weights Pipeline runs
+	// (models.HAWC.ModelVersion); it is announced in every hello and
+	// stamped onto offloaded cluster batches so the backend can flag —
+	// and refuse to classify across — weight-generation skew. Zero means
+	// unversioned.
+	ModelVersion uint32
 	// MaxReconnects is how many times the node re-dials the backend when
 	// a delivery fails, per report; after a successful ack the budget
 	// resets. 0 keeps the historical fail-fast behavior.
@@ -162,11 +168,12 @@ func Dial(cfg Config) (*Node, error) {
 	if cfg.Offload.Mode != counting.OffloadOff {
 		if n.cfg.Offload.Remote == nil {
 			n.offl = NewOffloader(OffloaderConfig{
-				BackendAddr: cfg.BackendAddr,
-				PoleID:      cfg.PoleID,
-				Location:    cfg.Location,
-				Zone:        cfg.Zone,
-				BytesSent:   n.m.bytesOut, BytesReceived: n.m.bytesIn,
+				BackendAddr:  cfg.BackendAddr,
+				PoleID:       cfg.PoleID,
+				Location:     cfg.Location,
+				Zone:         cfg.Zone,
+				ModelVersion: cfg.ModelVersion,
+				BytesSent:    n.m.bytesOut, BytesReceived: n.m.bytesIn,
 				MsgsSent: n.m.msgsOut, MsgsReceived: n.m.msgsIn,
 			})
 			n.cfg.Offload.Remote = n.offl
@@ -220,7 +227,7 @@ func (n *Node) connect() error {
 	}
 	wc := wire.NewConn(conn)
 	wc.Instrument(n.m.bytesOut, n.m.bytesIn, n.m.msgsOut, n.m.msgsIn)
-	hello := wire.Hello{PoleID: n.cfg.PoleID, Location: n.cfg.Location, Zone: n.cfg.Zone}
+	hello := wire.Hello{PoleID: n.cfg.PoleID, Location: n.cfg.Location, Zone: n.cfg.Zone, ModelVersion: n.cfg.ModelVersion}
 	if err := wc.Send(wire.MsgHello, wire.EncodeHello(hello)); err != nil {
 		conn.Close()
 		return fmt.Errorf("pole: hello: %w", err)
@@ -292,7 +299,7 @@ func (n *Node) Run(ctx context.Context) (int, error) {
 	var srcErr error
 	go func() {
 		defer close(frames)
-		for {
+		for captured := 0; ; captured++ {
 			if ctx.Err() != nil {
 				return
 			}
@@ -303,6 +310,14 @@ func (n *Node) Run(ctx context.Context) (int, error) {
 			if err != nil {
 				srcErr = fmt.Errorf("pole: frame source: %w", err)
 				return
+			}
+			// Feed the enclosure temperature sampled WITH this frame to
+			// the offload controller before the frame enters the stream,
+			// so the classify decision for frame i sees reading i — the
+			// live telemetry loop — instead of a reading lagged by the
+			// pipeline's queue depth.
+			if captured < len(n.cfg.Telemetry) {
+				n.offctl.SetTemperature(n.cfg.Telemetry[captured].Pole)
 			}
 			select {
 			case frames <- frame.Cloud:
@@ -355,11 +370,10 @@ func (n *Node) Run(ctx context.Context) (int, error) {
 		}
 
 		if processed < len(n.cfg.Telemetry) {
+			// The capture goroutine already fed this reading's compartment
+			// temperature to the offload controller (Fig. 10); here the
+			// reading just streams to the backend alongside the report.
 			r := n.cfg.Telemetry[processed]
-			// The sampled compartment temperature feeds the offload
-			// controller's thermal signal (Fig. 10): an overheating
-			// enclosure sheds its classify stage.
-			n.offctl.SetTemperature(r.Pole)
 			tm := wire.EncodeTelemetry(wire.Telemetry{
 				PoleID:    n.cfg.PoleID,
 				Timestamp: r.At,

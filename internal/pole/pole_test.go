@@ -452,3 +452,76 @@ func TestPoleRunStreamsThroughScheduler(t *testing.T) {
 		t.Errorf("acked seq = %d, want %d", got, len(frames))
 	}
 }
+
+// batchTallStub widens tallStub for the backend's offload service.
+type batchTallStub struct{ tallStub }
+
+func (s batchTallStub) PredictHumans(cs []geom.Cloud) []bool {
+	out := make([]bool, len(cs))
+	for i, c := range cs {
+		out[i] = s.PredictHuman(c)
+	}
+	return out
+}
+
+// TestTemperatureRampFlipsOffloadController pins the live telemetry
+// wiring: the capture loop feeds each frame's compartment reading to the
+// offload controller, so a thermal ramp crossing the hysteresis band
+// flips an adaptive pole to backend classification and back — no
+// external SetTemperature caller involved.
+func TestTemperatureRampFlipsOffloadController(t *testing.T) {
+	srv, err := backend.Listen(backend.Config{Addr: "127.0.0.1:0", Classifier: batchTallStub{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const cold, hot = 15, 10
+	frames := dataset.NewGenerator(9).CrowdFrames(2*cold+hot, 1, 3, 1)
+	readings := make([]telemetry.Reading, 0, len(frames))
+	for i := range frames {
+		temp := 30.0 // idles well under the 45°C exit threshold
+		if i >= cold && i < cold+hot {
+			temp = 60 // plateau above the 50°C enter threshold
+		}
+		readings = append(readings, telemetry.Reading{At: time.Now(), Weather: 25, Pole: temp})
+	}
+
+	cfg := testConfig(t, srv.Addr(), frames)
+	cfg.Telemetry = readings
+	// Thermal-only adaptive offload: queue-depth and backpressure
+	// signals disabled, short dwell so the cold tail exits promptly.
+	cfg.Offload = counting.OffloadConfig{
+		Mode:              counting.OffloadAdaptive,
+		EnterQueueDepth:   -1,
+		EnterBackpressure: -1,
+		EnterTempC:        50,
+		ExitTempC:         45,
+		MinDwellFrames:    2,
+	}
+	// Pace capture so the per-frame readings track classification
+	// instead of racing ahead of the pipeline queues.
+	cfg.FrameInterval = time.Millisecond
+	node, err := Dial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	ctl := node.Offload()
+	local, remote, fallback := ctl.Decisions()
+	if remote == 0 {
+		t.Errorf("hot plateau never offloaded: local=%d remote=%d fallback=%d", local, remote, fallback)
+	}
+	if local == 0 {
+		t.Errorf("cold frames never classified locally: local=%d remote=%d fallback=%d", local, remote, fallback)
+	}
+	if sw := ctl.Switches(); sw < 2 {
+		t.Errorf("controller switched %d times, want >= 2 (into offload and back)", sw)
+	}
+	if ctl.Offloading() {
+		t.Error("controller still offloading after the ramp cooled")
+	}
+}

@@ -54,11 +54,17 @@ func (c *QuantCluster) Len() int { return len(c.X) }
 // Seq is the pole-local frame sequence number; replies are keyed on
 // (PoleID, Seq) and labels are positional by cluster index.
 type ClusterBatch struct {
-	PoleID   uint32
-	Seq      uint64
-	Origin   geom.Point3 // lattice origin in the pole's sensor frame
-	Scale    float64     // metres per lattice step, > 0
-	Clusters []QuantCluster
+	PoleID uint32
+	Seq    uint64
+	// ModelVersion fingerprints the classifier the pole would have run
+	// locally (models.HAWC.ModelVersion). The backend rejects batches
+	// whose nonzero version differs from its own model so offloaded
+	// labels never come from a different weight generation than the
+	// edge path they must stay bit-equal with. Zero means unversioned.
+	ModelVersion uint32
+	Origin       geom.Point3 // lattice origin in the pole's sensor frame
+	Scale        float64     // metres per lattice step, > 0
+	Clusters     []QuantCluster
 }
 
 // Points returns the total point count across clusters.
@@ -323,13 +329,15 @@ func decodeAxis(d *decoder, dst []int16) {
 }
 
 // EncodeClusterBatch serializes b. The layout is: PoleID u32, Seq u64,
-// Origin 3×f64, Scale f64, cluster count u32, then per cluster a point
-// count u32 followed by the three packed axes (x, y, z) — see
-// encodeAxis. Empty clusters carry only their zero point count.
+// ModelVersion u32, Origin 3×f64, Scale f64, cluster count u32, then
+// per cluster a point count u32 followed by the three packed axes
+// (x, y, z) — see encodeAxis. Empty clusters carry only their zero
+// point count.
 func EncodeClusterBatch(b ClusterBatch) []byte {
 	var e encoder
 	e.u32(b.PoleID)
 	e.u64(b.Seq)
+	e.u32(b.ModelVersion)
 	e.f64(b.Origin.X)
 	e.f64(b.Origin.Y)
 	e.f64(b.Origin.Z)
@@ -356,7 +364,7 @@ func EncodeClusterBatch(b ClusterBatch) []byte {
 // lie on the int16 lattice.
 func DecodeClusterBatch(buf []byte) (ClusterBatch, error) {
 	d := decoder{buf: buf}
-	b := ClusterBatch{PoleID: d.u32(), Seq: d.u64()}
+	b := ClusterBatch{PoleID: d.u32(), Seq: d.u64(), ModelVersion: d.u32()}
 	b.Origin = geom.Point3{X: d.f64(), Y: d.f64(), Z: d.f64()}
 	b.Scale = d.f64()
 	if d.err == nil {

@@ -41,6 +41,11 @@ type Hello struct {
 	PoleID   uint32
 	Location string // human-readable walkway name
 	Zone     string // campus zone the pole belongs to (e.g. "north"); may be empty
+	// ModelVersion fingerprints the classifier weights the pole counts
+	// with (models.HAWC.ModelVersion). Zero means unversioned; the
+	// backend flags a mismatch against its own model so offloaded
+	// classification never silently mixes weight generations.
+	ModelVersion uint32
 }
 
 // CountReport is one crowd-count measurement.
@@ -80,6 +85,11 @@ const (
 	// AlertOverheat fires when compartment temperature exceeds the rated
 	// device limit.
 	AlertOverheat = 2
+	// AlertModelSkew fires when a pole's classifier version differs from
+	// the backend's: its offload batches are rejected (the pole falls
+	// back to edge classification) until the versions agree. Logged on
+	// the backend only — the offload channel carries no alert frames.
+	AlertModelSkew = 3
 )
 
 // WriteFrame writes one framed message: u32 length, u8 type, body.
@@ -205,13 +215,14 @@ func EncodeHello(h Hello) []byte {
 	e.u32(h.PoleID)
 	e.str(h.Location)
 	e.str(h.Zone)
+	e.u32(h.ModelVersion)
 	return e.buf
 }
 
 // DecodeHello parses a Hello body.
 func DecodeHello(b []byte) (Hello, error) {
 	d := decoder{buf: b}
-	h := Hello{PoleID: d.u32(), Location: d.str(), Zone: d.str()}
+	h := Hello{PoleID: d.u32(), Location: d.str(), Zone: d.str(), ModelVersion: d.u32()}
 	return h, d.finish()
 }
 
